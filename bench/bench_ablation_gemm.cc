@@ -1,0 +1,87 @@
+// Ablation (google-benchmark): what each layer of the Goto algorithm buys —
+// reference triple loop vs blocked GEMM with the scalar micro-kernel vs the
+// AVX2+FMA micro-kernel — on a ranking-realistic shape (first layer of a
+// 400-wide network, batch 256) and on a large square shape.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "mm/gemm.h"
+
+namespace {
+
+using dnlr::Rng;
+using dnlr::mm::Gemm;
+using dnlr::mm::GemmParams;
+using dnlr::mm::GemmReference;
+using dnlr::mm::GemmWithParams;
+using dnlr::mm::Matrix;
+
+struct Shapes {
+  Matrix a;
+  Matrix b;
+  Matrix c;
+  Shapes(uint32_t m, uint32_t k, uint32_t n) : a(m, k), b(k, n), c(m, n) {
+    Rng rng(m * 131 + k * 31 + n);
+    a.FillNormal(rng);
+    b.FillNormal(rng);
+  }
+};
+
+void SetFlops(benchmark::State& state, uint32_t m, uint32_t k, uint32_t n) {
+  state.counters["GFLOPS"] = benchmark::Counter(
+      2.0 * m * k * n * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate, benchmark::Counter::OneK::kIs1000);
+}
+
+void BM_GemmReference(benchmark::State& state) {
+  const auto m = static_cast<uint32_t>(state.range(0));
+  const auto k = static_cast<uint32_t>(state.range(1));
+  const auto n = static_cast<uint32_t>(state.range(2));
+  Shapes s(m, k, n);
+  for (auto _ : state) {
+    GemmReference(s.a, s.b, &s.c);
+    benchmark::DoNotOptimize(s.c.data());
+  }
+  SetFlops(state, m, k, n);
+}
+
+void BM_GemmBlockedScalar(benchmark::State& state) {
+  const auto m = static_cast<uint32_t>(state.range(0));
+  const auto k = static_cast<uint32_t>(state.range(1));
+  const auto n = static_cast<uint32_t>(state.range(2));
+  Shapes s(m, k, n);
+  GemmParams params;  // non-default micro-tile => scalar kernel
+  params.mr = 4;
+  params.nr = 8;
+  for (auto _ : state) {
+    GemmWithParams(s.a, s.b, &s.c, params);
+    benchmark::DoNotOptimize(s.c.data());
+  }
+  SetFlops(state, m, k, n);
+}
+
+void BM_GemmBlockedSimd(benchmark::State& state) {
+  const auto m = static_cast<uint32_t>(state.range(0));
+  const auto k = static_cast<uint32_t>(state.range(1));
+  const auto n = static_cast<uint32_t>(state.range(2));
+  Shapes s(m, k, n);
+  for (auto _ : state) {
+    Gemm(s.a, s.b, &s.c);
+    benchmark::DoNotOptimize(s.c.data());
+  }
+  SetFlops(state, m, k, n);
+}
+
+// First layer of a 400-wide net on MSN30K features, batch 256; and a square
+// compute-bound shape.
+#define DNLR_GEMM_SHAPES \
+  ->Args({400, 136, 256})->Args({512, 512, 512})
+
+BENCHMARK(BM_GemmReference) DNLR_GEMM_SHAPES;
+BENCHMARK(BM_GemmBlockedScalar) DNLR_GEMM_SHAPES;
+BENCHMARK(BM_GemmBlockedSimd) DNLR_GEMM_SHAPES;
+
+}  // namespace
+
+BENCHMARK_MAIN();

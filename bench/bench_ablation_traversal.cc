@@ -1,0 +1,68 @@
+// Ablation: what QuickScorer's feature-wise traversal buys over classic
+// root-to-leaf traversal — work done (node tests) and wall time — plus the
+// block-wise and vectorized variants. Paper context (Section 2.2): classic
+// traversal touches ~80 % of a tree's nodes, QuickScorer ~30 %, with
+// branch-predictable sequential access on top.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/timing.h"
+#include "forest/quickscorer.h"
+#include "forest/vectorized_quickscorer.h"
+
+int main() {
+  using namespace dnlr;
+  benchx::PrintBanner("Ablation: traversal",
+                      "naive vs QuickScorer vs BWQS vs vQS");
+
+  const data::DatasetSplits& splits = benchx::MsnSplits();
+  const uint32_t f = splits.test.num_features();
+  const gbdt::Ensemble forest = benchx::GetForest(
+      "msn_f400x64", splits, benchx::StandardBooster(400, 64));
+
+  const forest::NaiveTraversalScorer naive(forest);
+  const forest::QuickScorer qs(forest, f);
+  const forest::BlockwiseQuickScorer bwqs(forest, f);
+  const forest::VectorizedQuickScorer vqs(forest, f);
+
+  // Work accounting over a sample of documents.
+  const uint32_t sample = std::min(2000u, splits.test.num_docs());
+  uint64_t naive_visits = 0;
+  uint64_t qs_comparisons = 0;
+  for (uint32_t d = 0; d < sample; ++d) {
+    const float* row = splits.test.Row(d);
+    for (const auto& tree : forest.trees()) {
+      naive_visits += tree.CountVisitedNodes(row);
+    }
+    qs_comparisons += qs.CountComparisons(row);
+  }
+  const double total_nodes =
+      static_cast<double>(forest.TotalNodes()) * sample;
+  std::printf("decision nodes in the forest: %u (x%u docs)\n",
+              forest.TotalNodes(), sample);
+  std::printf("classic traversal tests: %llu (%.1f%% of all nodes)\n",
+              static_cast<unsigned long long>(naive_visits),
+              100.0 * naive_visits / total_nodes);
+  std::printf("QuickScorer comparisons:  %llu (%.1f%% of all nodes)\n\n",
+              static_cast<unsigned long long>(qs_comparisons),
+              100.0 * qs_comparisons / total_nodes);
+
+  std::printf("%-26s %12s\n", "scorer", "us/doc");
+  for (const forest::DocumentScorer* scorer :
+       {static_cast<const forest::DocumentScorer*>(&naive),
+        static_cast<const forest::DocumentScorer*>(&qs),
+        static_cast<const forest::DocumentScorer*>(&bwqs),
+        static_cast<const forest::DocumentScorer*>(&vqs)}) {
+    std::printf("%-26s %12.2f\n", std::string(scorer->name()).c_str(),
+                core::MeasureScorerMicrosPerDoc(*scorer, splits.test));
+  }
+  std::printf(
+      "\nexpected: every QS variant beats naive traversal in wall time (vQS "
+      "has AVX2: %s).\nnote: on real web features (mostly zero/small) QS "
+      "also tests far fewer nodes (the paper's 80%% -> 30%%); our synthetic "
+      "features are symmetric, so threshold scans run longer and QS wins on "
+      "sequential, branch-predictable access alone.\n",
+      forest::VectorizedQuickScorer::HasSimd() ? "yes" : "no");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Reproduces Figure 10: static vs dynamic per-layer pruning sensitivity of a
+// 400x200x200x100 student. Expected shape: statically, earlier layers are
+// the most sensitive (quality collapses as their sparsity grows); with
+// fine-tuning (dynamic), the trend inverts and high first-layer sparsity can
+// even *beat* the dense model — pruning as regularization.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "prune/sensitivity.h"
+
+int main() {
+  using namespace dnlr;
+  benchx::PrintBanner("Figure 10",
+                      "static vs dynamic pruning sensitivity per layer, "
+                      "400x200x200x100 student (MSN30K)");
+
+  const data::DatasetSplits& splits = benchx::MsnSplits();
+  const data::ZNormalizer& normalizer = benchx::NormalizerFor(splits);
+  const uint32_t f = splits.train.num_features();
+
+  gbdt::BoosterConfig big = benchx::StandardBooster(300, 256);
+  big.min_docs_per_leaf = 80;
+  big.lambda_l2 = 10.0;
+  const gbdt::Ensemble teacher =
+      benchx::GetForest("msn_t300x256", splits, big);
+  const auto arch = predict::Architecture::Parse("400x200x200x100", f);
+  const nn::Mlp student =
+      benchx::GetStudent("msn_net_400x200x200x100_t256", splits, teacher,
+                         *arch, 0.0, benchx::StandardDistill(202));
+
+  prune::SensitivityConfig config;
+  config.sparsity_levels = {0.5, 0.9, 0.95, 0.99};
+
+  config.dynamic = false;
+  const prune::SensitivityResult static_result = prune::AnalyzeSensitivity(
+      student, splits.train, splits.valid, teacher, normalizer, config);
+
+  config.dynamic = true;
+  config.finetune = benchx::StandardDistill(400);
+  config.finetune.epochs = 3;
+  config.finetune.gamma_epochs.clear();
+  config.finetune.adam.learning_rate = 1e-3;
+  const prune::SensitivityResult dynamic_result = prune::AnalyzeSensitivity(
+      student, splits.train, splits.valid, teacher, normalizer, config);
+
+  auto print = [&](const char* title, const prune::SensitivityResult& r) {
+    std::printf("\n%s (dense model: NDCG@10 %.4f)\n", title, r.dense_ndcg);
+    std::printf("%-8s |", "layer");
+    for (const double s : r.sparsity_levels) std::printf("  s=%.2f", s);
+    std::printf("\n");
+    for (size_t layer = 0; layer < r.ndcg.size(); ++layer) {
+      std::printf("fc%-6zu |", layer + 1);
+      for (const double value : r.ndcg[layer]) std::printf(" %7.4f", value);
+      std::printf("\n");
+    }
+  };
+  print("STATIC sensitivity (no retraining)", static_result);
+  print("DYNAMIC sensitivity (with fine-tuning)", dynamic_result);
+
+  std::printf("\npaper shape: static — first layers suffer most; dynamic — "
+              "trend inverts, and a highly sparse first layer can beat the "
+              "dense model.\n");
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Reproduces Figure 12: the effectiveness-efficiency Pareto comparison in
+// the high-quality-retrieval scenario (models within 99 % of the best
+// 64-leaf forest's NDCG@10) on both datasets. Expected shape: the neural
+// frontier (hybrid sparse-first-layer students) lies below (faster than) the
+// tree-based frontier over most of the quality range.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/pareto.h"
+#include "core/timing.h"
+#include "forest/vectorized_quickscorer.h"
+#include "metrics/metrics.h"
+#include "nn/scorer.h"
+
+namespace {
+
+using namespace dnlr;
+
+void RunDataset(const char* name, const std::string& prefix,
+                const data::DatasetSplits& splits,
+                const std::vector<std::pair<std::string, uint32_t>>& forests,
+                const std::vector<std::string>& nets) {
+  const data::ZNormalizer& normalizer = benchx::NormalizerFor(splits);
+  const uint32_t f = splits.train.num_features();
+
+  gbdt::BoosterConfig big = benchx::StandardBooster(300, 256);
+  big.min_docs_per_leaf = 80;
+  big.lambda_l2 = 10.0;
+  const gbdt::Ensemble teacher =
+      benchx::GetForest(prefix + "_t300x256", splits, big);
+
+  std::vector<core::TradeoffPoint> tree_points;
+  std::vector<core::TradeoffPoint> neural_points;
+  double best_forest_ndcg = 0.0;
+
+  for (const auto& [tag, trees] : forests) {
+    const gbdt::Ensemble forest =
+        benchx::GetForest(tag, splits, benchx::StandardBooster(trees, 64));
+    const forest::VectorizedQuickScorer qs(forest, f);
+    core::TradeoffPoint point;
+    point.name = "forest-" + std::to_string(forest.num_trees());
+    point.ndcg10 =
+        metrics::MeanNdcg(splits.test, qs.ScoreDataset(splits.test), 10);
+    point.us_per_doc = core::MeasureScorerMicrosPerDoc(qs, splits.test);
+    best_forest_ndcg = std::max(best_forest_ndcg, point.ndcg10);
+    tree_points.push_back(point);
+  }
+
+  for (const std::string& spec : nets) {
+    const auto arch = predict::Architecture::Parse(spec, f);
+    const nn::Mlp net = benchx::GetStudent(
+        prefix + "_net_" + spec + "_t256_p97", splits, teacher, *arch, 0.97,
+        benchx::StandardDistill(500 + std::hash<std::string>{}(spec) % 89));
+    const nn::HybridNeuralScorer scorer(net, &normalizer);
+    core::TradeoffPoint point;
+    point.name = "neural-" + spec;
+    point.ndcg10 =
+        metrics::MeanNdcg(splits.test, scorer.ScoreDataset(splits.test), 10);
+    point.us_per_doc = core::MeasureScorerMicrosPerDoc(scorer, splits.test);
+    neural_points.push_back(point);
+  }
+
+  const double quality_floor = 0.99 * best_forest_ndcg;
+  std::printf("\n--- %s (quality floor: %.4f = 99%% of best forest) ---\n",
+              name, quality_floor);
+  std::printf("%-26s %9s %10s %8s %8s\n", "model", "NDCG@10", "us/doc",
+              "in-HQ", "family");
+  std::vector<core::TradeoffPoint> all = tree_points;
+  all.insert(all.end(), neural_points.begin(), neural_points.end());
+  for (const auto& point : all) {
+    const bool hq = point.ndcg10 >= quality_floor;
+    const bool neural = point.name.rfind("neural", 0) == 0;
+    std::printf("%-26s %9.4f %10.2f %8s %8s\n", point.name.c_str(),
+                point.ndcg10, point.us_per_doc, hq ? "yes" : "no",
+                neural ? "neural" : "tree");
+  }
+  // Frontier comparison inside the HQ region.
+  const auto tree_frontier =
+      core::ParetoFrontier(core::FilterByQuality(tree_points, quality_floor));
+  const auto neural_frontier = core::ParetoFrontier(
+      core::FilterByQuality(neural_points, quality_floor));
+  auto fastest = [](const std::vector<core::TradeoffPoint>& points) {
+    double best = 1e300;
+    for (const auto& p : points) best = std::min(best, p.us_per_doc);
+    return best;
+  };
+  if (!tree_frontier.empty() && !neural_frontier.empty()) {
+    std::printf("fastest HQ model: tree %.2f us vs neural %.2f us -> %s\n",
+                fastest(tree_frontier), fastest(neural_frontier),
+                fastest(neural_frontier) < fastest(tree_frontier)
+                    ? "NEURAL wins"
+                    : "tree wins");
+  }
+}
+
+}  // namespace
+
+int main() {
+  benchx::PrintBanner("Figure 12",
+                      "Pareto comparison, high-quality retrieval scenario");
+  RunDataset("MSN30K", "msn", benchx::MsnSplits(),
+             {{"msn_f400x64", 400}, {"msn_f150x64", 150}, {"msn_f80x64", 80}},
+             {"300x200x100", "200x100x100x50", "200x50x50x25"});
+  RunDataset("Istella-S", "ist", benchx::IstellaSplits(),
+             {{"ist_f300x64", 300}, {"ist_f100x64", 100}},
+             {"400x200x200x100", "300x200x100"});
+  std::printf(
+      "\npaper shape: neural frontier below the tree frontier on MSN30K; on "
+      "Istella-S trees keep a small edge at the very top of the quality "
+      "range.\n");
+  return 0;
+}

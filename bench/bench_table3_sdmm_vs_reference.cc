@@ -1,0 +1,59 @@
+// Reproduces Table 3: the specialized LIBXSMM-style SDMM kernel vs a
+// general-purpose CSR x dense routine (standing in for closed-source MKL,
+// see DESIGN.md) on the small, very sparse, asymmetric matrices that arise
+// as pruned first layers on MSN30K. Batch size 64. Expected shape: the
+// specialized kernel wins on every shape, often by >2x.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/rng.h"
+#include "mm/csr.h"
+#include "mm/sdmm.h"
+
+namespace {
+
+dnlr::mm::CsrMatrix RandomSparse(uint32_t m, uint32_t k, double sparsity,
+                                 uint64_t seed) {
+  dnlr::Rng rng(seed);
+  dnlr::mm::Matrix dense(m, k);
+  for (uint32_t r = 0; r < m; ++r) {
+    for (uint32_t c = 0; c < k; ++c) {
+      if (rng.Uniform() >= sparsity) {
+        dense.At(r, c) = static_cast<float>(rng.Normal());
+      }
+    }
+  }
+  return dnlr::mm::CsrMatrix::FromDense(dense);
+}
+
+}  // namespace
+
+int main() {
+  using namespace dnlr;
+  benchx::PrintBanner("Table 3",
+                      "reference (MKL role) vs specialized SDMM on pruned "
+                      "first-layer shapes, batch 64");
+
+  struct Case {
+    uint32_t m;
+    double sparsity;
+  };
+  const Case cases[] = {{400, 0.996}, {300, 0.985}, {200, 0.971},
+                        {100, 0.989}, {50, 0.968}};
+  const uint32_t k = 136;
+  const uint32_t n = 64;
+
+  std::printf("%-12s %9s %14s %14s %9s\n", "Shape", "Sparsity",
+              "reference us", "optimized us", "speedup");
+  for (const Case& c : cases) {
+    const mm::CsrMatrix a = RandomSparse(c.m, k, c.sparsity, 1000 + c.m);
+    const double reference = mm::MeasureSdmmReferenceMicros(a, n, 9);
+    const double optimized = mm::MeasureSdmmMicros(a, n, 9);
+    std::printf("%4ux%-7u %9.3f %14.2f %14.2f %8.1fx\n", c.m, k, a.Sparsity(),
+                reference, optimized, reference / optimized);
+  }
+  std::printf("\npaper shape: LIBXSMM beats MKL on all five shapes, often "
+              ">2x (e.g. 400x136: 3.1 vs 1.2 us).\n");
+  return 0;
+}

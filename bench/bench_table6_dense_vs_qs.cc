@@ -1,0 +1,70 @@
+// Reproduces Table 6: dense (unpruned) neural networks designed to match the
+// scoring-time budgets of two QuickScorer forests. Expected shape: at equal
+// time budget, deeper networks beat wider ones in NDCG@10, but dense
+// networks alone give no clear advantage over the forests on either axis —
+// the gap the pruning step closes in Table 8.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/timing.h"
+#include "forest/vectorized_quickscorer.h"
+#include "metrics/metrics.h"
+#include "nn/scorer.h"
+#include "nn/trainer.h"
+
+int main() {
+  using namespace dnlr;
+  benchx::PrintBanner("Table 6",
+                      "dense nets vs QuickScorer at matched time budgets "
+                      "(MSN30K)");
+
+  const data::DatasetSplits& splits = benchx::MsnSplits();
+  const data::ZNormalizer& normalizer = benchx::NormalizerFor(splits);
+  const uint32_t f = splits.train.num_features();
+
+  const gbdt::Ensemble teacher = benchx::GetForest(
+      "msn_t300x256", splits, [] {
+        gbdt::BoosterConfig big = benchx::StandardBooster(300, 256);
+        big.min_docs_per_leaf = 80;
+        big.lambda_l2 = 10.0;
+        return big;
+      }());
+
+  struct Group {
+    std::string forest_tag;
+    uint32_t trees;
+    std::vector<std::string> nets;
+  };
+  const std::vector<Group> groups{
+      {"msn_f150x64", 150, {"500x100", "300x200x100", "300x150x150x30"}},
+      {"msn_f250x64", 250, {"1000x200", "500x250x250x100"}}};
+
+  std::printf("%-24s %14s %9s\n", "Model", "us/doc", "NDCG@10");
+  for (const Group& group : groups) {
+    const gbdt::Ensemble forest = benchx::GetForest(
+        group.forest_tag, splits, benchx::StandardBooster(group.trees, 64));
+    const forest::VectorizedQuickScorer qs(forest, f);
+    std::printf("QuickScorer %-12u %14.2f %9.4f\n", forest.num_trees(),
+                core::MeasureScorerMicrosPerDoc(qs, splits.test),
+                metrics::MeanNdcg(splits.test, qs.ScoreDataset(splits.test),
+                                  10));
+    for (const std::string& spec : group.nets) {
+      const auto arch = predict::Architecture::Parse(spec, f);
+      const nn::Mlp net = benchx::GetStudent(
+          "msn_net_" + spec + "_t256", splits, teacher, *arch, 0.0,
+          benchx::StandardDistill(301 + std::hash<std::string>{}(spec) % 97));
+      const nn::NeuralScorer scorer(net, &normalizer);
+      std::printf("%-24s %14.2f %9.4f\n", spec.c_str(),
+                  core::MeasureScorerMicrosPerDoc(scorer, splits.test),
+                  metrics::MeanNdcg(splits.test,
+                                    scorer.ScoreDataset(splits.test), 10));
+    }
+    std::printf("\n");
+  }
+  std::printf("paper shape: within each budget, deeper > wider in NDCG@10; "
+              "dense nets do not yet beat the forests.\n");
+  return 0;
+}

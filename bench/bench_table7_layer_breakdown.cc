@@ -1,0 +1,57 @@
+// Reproduces Table 7: the relative execution time of each layer in several
+// architectures, measured layer by layer on the real GEMM engine. Expected
+// shape: the first layer always dominates (35-60 %), the final scoring layer
+// is negligible (~2 %) — the observation that motivates first-layer-only
+// pruning.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/timer.h"
+#include "mm/gemm.h"
+
+int main() {
+  using namespace dnlr;
+  benchx::PrintBanner("Table 7",
+                      "relative execution time per layer (measured), batch "
+                      "64");
+
+  const uint32_t f = 136;
+  const uint32_t batch = 64;
+  Rng rng(5);
+
+  for (const char* spec :
+       {"400x200x200x100", "100x50x50x10", "200x100x100x50"}) {
+    const auto arch = predict::Architecture::Parse(spec, f);
+    std::vector<double> layer_micros;
+    for (const auto& [rows, cols] : arch->LayerShapes()) {
+      mm::Matrix a(rows, cols);
+      mm::Matrix b(cols, batch);
+      mm::Matrix c(rows, batch);
+      a.FillNormal(rng);
+      b.FillNormal(rng);
+      layer_micros.push_back(TimeMicros([&] { mm::Gemm(a, b, &c); }, 9));
+    }
+    double total = 0.0;
+    for (const double micros : layer_micros) total += micros;
+    std::printf("%-18s |", spec);
+    for (const double micros : layer_micros) {
+      std::printf(" %5.1f%%", 100.0 * micros / total);
+    }
+    std::printf("  (total %.1f us/batch)\n", total);
+  }
+
+  std::printf("\npredicted breakdown (dense time predictor), same shapes:\n");
+  const predict::DenseTimePredictor& predictor = benchx::DensePredictor();
+  for (const char* spec :
+       {"400x200x200x100", "100x50x50x10", "200x100x100x50"}) {
+    const auto arch = predict::Architecture::Parse(spec, f);
+    const auto impact = predictor.PredictLayerImpactPercent(*arch, batch);
+    std::printf("%-18s |", spec);
+    for (const double pct : impact) std::printf(" %5.1f%%", pct);
+    std::printf("\n");
+  }
+  std::printf("\npaper shape: first layer 35-60%%, last layer ~2%%.\n");
+  return 0;
+}

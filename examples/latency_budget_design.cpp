@@ -1,0 +1,83 @@
+// Latency-budget architecture design — the paper's "train only the models
+// that fit" methodology (Sections 4-5), with zero training.
+//
+// The program calibrates the dense and sparse time predictors on this
+// machine, then enumerates feed-forward architectures whose *predicted*
+// scoring time (with a 95 %-sparse first layer) fits a per-document latency
+// budget, printing the per-layer breakdown of each candidate.
+//
+// Usage:  ./build/examples/latency_budget_design [budget_us] [num_features]
+//         defaults: budget 3.0 us/doc, 136 features (MSN30K).
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/design.h"
+#include "predict/dense_predictor.h"
+#include "predict/network_time.h"
+#include "predict/sparse_predictor.h"
+
+int main(int argc, char** argv) {
+  using namespace dnlr;
+
+  const double budget_us = argc > 1 ? std::atof(argv[1]) : 3.0;
+  const uint32_t num_features =
+      argc > 2 ? static_cast<uint32_t>(std::atoi(argv[2])) : 136;
+
+  std::printf("calibrating dense GEMM predictor (a few seconds)...\n");
+  predict::DenseCalibrationConfig dense_config;
+  dense_config.m_values = {16, 32, 64, 128, 256, 512, 1024};
+  dense_config.k_values = {16, 32, 64, 136, 256, 512};
+  dense_config.n_values = {16, 64, 256};
+  const predict::DenseTimePredictor dense =
+      predict::DenseTimePredictor::Calibrate(dense_config);
+
+  std::printf("calibrating sparse SDMM predictor...\n");
+  const predict::SparseTimePredictor sparse =
+      predict::SparseTimePredictor::Calibrate();
+  std::printf("  L_a=%.2e L_b=%.2e L_c=%.2e us per batch column\n",
+              sparse.la(), sparse.lb(), sparse.lc());
+
+  core::DesignConfig design;
+  design.time_budget_us = budget_us;
+  design.batch = 64;
+  design.first_layer_sparsity = 0.95;
+  design.max_candidates = 6;
+  const auto candidates =
+      core::DesignArchitectures(num_features, design, dense, sparse);
+
+  std::printf(
+      "\narchitectures fitting %.2f us/doc (batch %u, first layer 95%% "
+      "sparse):\n\n",
+      budget_us, design.batch);
+  std::printf("%-22s %8s %8s %8s %12s\n", "architecture", "dense", "pruned",
+              "hybrid", "L1 impact %");
+  for (const auto& candidate : candidates) {
+    std::printf("%-22s %8.2f %8.2f %8.2f %12.0f\n",
+                candidate.arch.ToString().c_str(),
+                candidate.estimate.dense_us_per_doc,
+                candidate.estimate.pruned_us_per_doc,
+                candidate.estimate.hybrid_us_per_doc,
+                candidate.estimate.first_layer_impact_percent);
+  }
+  if (candidates.empty()) {
+    std::printf("  (none -- try a larger budget)\n");
+    return 0;
+  }
+
+  std::printf("\nper-layer predicted breakdown of the top candidate (%s):\n",
+              candidates.front().arch.ToString().c_str());
+  const auto layers =
+      dense.PredictLayerMicros(candidates.front().arch, design.batch);
+  const auto impact =
+      dense.PredictLayerImpactPercent(candidates.front().arch, design.batch);
+  for (size_t l = 0; l < layers.size(); ++l) {
+    std::printf("  layer %zu: %8.2f us/batch  (%4.1f%%)\n", l + 1, layers[l],
+                impact[l]);
+  }
+  std::printf(
+      "\nOnly these %zu models would be trained; everything else is "
+      "discarded analytically.\n",
+      candidates.size());
+  return 0;
+}

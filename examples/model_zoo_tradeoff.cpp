@@ -1,0 +1,116 @@
+// Model persistence and deployment: train once, serialize every artifact
+// (dataset in LETOR format, tree ensemble, neural student), reload from
+// disk, and verify the reloaded models reproduce their scores bit-for-bit
+// in ranking terms. Also reports the on-disk size of each model — the
+// memory-footprint angle of model compression (Section 2.3).
+//
+// Usage:  ./build/examples/model_zoo_tradeoff [output_dir]
+//         default output_dir: /tmp/dnlr_model_zoo
+//         If output_dir contains a file `train.letor`, it is used as
+//         training data instead of the synthetic generator (any
+//         LETOR/SVMLight ranking file works, e.g. real MSLR-WEB30K folds).
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "core/pipeline.h"
+#include "data/letor_io.h"
+#include "data/synthetic.h"
+#include "metrics/metrics.h"
+#include "nn/trainer.h"
+
+int main(int argc, char** argv) {
+  using namespace dnlr;
+  namespace fs = std::filesystem;
+
+  const std::string dir = argc > 1 ? argv[1] : "/tmp/dnlr_model_zoo";
+  fs::create_directories(dir);
+
+  // --- Data: real LETOR file if present, synthetic otherwise. ---
+  data::Dataset full;
+  const std::string letor_path = dir + "/train.letor";
+  if (fs::exists(letor_path)) {
+    auto loaded = data::ReadLetorFile(letor_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "failed to read %s: %s\n", letor_path.c_str(),
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    full = std::move(loaded).value();
+    std::printf("loaded %u docs (%u features) from %s\n", full.num_docs(),
+                full.num_features(), letor_path.c_str());
+  } else {
+    full = data::GenerateSynthetic(data::SyntheticConfig::MsnLike(0.25));
+    const auto status = data::WriteLetorFile(full, dir + "/synthetic.letor");
+    std::printf("generated synthetic data (%u docs); LETOR copy %s: %s\n",
+                full.num_docs(), (dir + "/synthetic.letor").c_str(),
+                status.ToString().c_str());
+  }
+  const data::DatasetSplits splits = data::SplitByQuery(full, 0.6, 0.2, 4242);
+
+  // --- Train the zoo. ---
+  core::PipelineConfig config;
+  config.teacher.num_trees = 120;
+  config.teacher.num_leaves = 32;
+  config.distill.epochs = 20;
+  config.distill.batch_size = 256;
+  config.distill.adam.learning_rate = 2e-3;
+  config.prune.target_sparsity = 0.9;
+  config.prune.prune_rounds = 5;
+  config.prune.finetune_epochs = 3;
+  config.prune.train.batch_size = 256;
+  core::Pipeline pipeline(config);
+
+  const gbdt::Ensemble teacher = pipeline.TrainTeacher(splits);
+  const predict::Architecture arch(splits.train.num_features(),
+                                   {100, 50, 50, 25});
+  const core::DistilledModel student =
+      pipeline.DistillAndPrune(arch, splits.train, teacher);
+
+  // --- Serialize. ---
+  const std::string forest_path = dir + "/teacher.ensemble";
+  const std::string mlp_path = dir + "/student.mlp";
+  if (!teacher.SaveToFile(forest_path).ok() ||
+      !student.mlp.SaveToFile(mlp_path).ok()) {
+    std::fprintf(stderr, "serialization failed\n");
+    return 1;
+  }
+  std::printf("\n%-28s %12s\n", "artifact", "bytes on disk");
+  for (const std::string& path : {forest_path, mlp_path}) {
+    std::printf("%-28s %12ju\n", path.c_str(),
+                static_cast<uintmax_t>(fs::file_size(path)));
+  }
+
+  // --- Reload and verify. ---
+  auto reloaded_forest = gbdt::Ensemble::LoadFromFile(forest_path);
+  auto reloaded_mlp = nn::Mlp::LoadFromFile(mlp_path);
+  if (!reloaded_forest.ok() || !reloaded_mlp.ok()) {
+    std::fprintf(stderr, "reload failed\n");
+    return 1;
+  }
+
+  const double forest_ndcg = metrics::MeanNdcg(
+      splits.test, teacher.ScoreDataset(splits.test), 10);
+  const double reloaded_forest_ndcg = metrics::MeanNdcg(
+      splits.test, reloaded_forest->ScoreDataset(splits.test), 10);
+  const double student_ndcg = metrics::MeanNdcg(
+      splits.test,
+      nn::ScoreDatasetWithMlp(student.mlp, splits.test, &student.normalizer),
+      10);
+  const double reloaded_student_ndcg = metrics::MeanNdcg(
+      splits.test,
+      nn::ScoreDatasetWithMlp(*reloaded_mlp, splits.test, &student.normalizer),
+      10);
+
+  std::printf("\n%-28s %10s %10s\n", "model", "trained", "reloaded");
+  std::printf("%-28s %10.4f %10.4f\n", "teacher (NDCG@10)", forest_ndcg,
+              reloaded_forest_ndcg);
+  std::printf("%-28s %10.4f %10.4f\n", "pruned student (NDCG@10)",
+              student_ndcg, reloaded_student_ndcg);
+
+  const bool ok = std::abs(forest_ndcg - reloaded_forest_ndcg) < 1e-9 &&
+                  std::abs(student_ndcg - reloaded_student_ndcg) < 1e-4;
+  std::printf("\nround trip %s\n", ok ? "OK" : "MISMATCH");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,61 @@
+#ifndef DNLR_COMMON_CHECK_H_
+#define DNLR_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace dnlr {
+namespace internal {
+
+/// Accumulates a failure message and aborts the process when destroyed.
+/// Used only via the DNLR_CHECK* macros below; never instantiate directly.
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* kind, const char* file, int line,
+                     const char* condition) {
+    stream_ << kind << " failed at " << file << ":" << line << ": "
+            << condition;
+  }
+  [[noreturn]] ~CheckFailureStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  template <typename T>
+  CheckFailureStream& operator<<(const T& value) {
+    stream_ << " " << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace dnlr
+
+/// Aborts with a diagnostic when `condition` is false. Enabled in all build
+/// types: these guard internal invariants whose violation would otherwise
+/// produce silent data corruption (the database-engine convention).
+#define DNLR_CHECK(condition)                                          \
+  if (!(condition))                                                    \
+  ::dnlr::internal::CheckFailureStream("DNLR_CHECK", __FILE__, __LINE__, \
+                                       #condition)
+
+#define DNLR_CHECK_OP(op, a, b) DNLR_CHECK((a)op(b)) << "(" << (a) << " vs " << (b) << ")"
+#define DNLR_CHECK_EQ(a, b) DNLR_CHECK_OP(==, a, b)
+#define DNLR_CHECK_NE(a, b) DNLR_CHECK_OP(!=, a, b)
+#define DNLR_CHECK_LT(a, b) DNLR_CHECK_OP(<, a, b)
+#define DNLR_CHECK_LE(a, b) DNLR_CHECK_OP(<=, a, b)
+#define DNLR_CHECK_GT(a, b) DNLR_CHECK_OP(>, a, b)
+#define DNLR_CHECK_GE(a, b) DNLR_CHECK_OP(>=, a, b)
+
+/// Debug-only check for hot paths; compiles away in release builds.
+#ifdef NDEBUG
+#define DNLR_DCHECK(condition) \
+  if (false) DNLR_CHECK(condition)
+#else
+#define DNLR_DCHECK(condition) DNLR_CHECK(condition)
+#endif
+
+#endif  // DNLR_COMMON_CHECK_H_

@@ -1,0 +1,81 @@
+#ifndef DNLR_COMMON_RNG_H_
+#define DNLR_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace dnlr {
+
+/// Deterministic, fast pseudo-random generator (xoshiro256** seeded via
+/// SplitMix64). Every stochastic component in the library takes an explicit
+/// seed so experiments are reproducible run-to-run; std::mt19937 is avoided
+/// because its distributions are not specified bit-exactly across platforms.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull) { Seed(seed); }
+
+  /// Re-seeds the generator. Distinct seeds give decorrelated streams.
+  void Seed(uint64_t seed) {
+    // SplitMix64 expansion of the seed into the four xoshiro words.
+    for (auto& word : state_) {
+      seed += 0x9E3779B97F4A7C15ull;
+      uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, 1).
+  double Uniform() { return (Next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t Below(uint64_t n) { return Next() % n; }
+
+  /// Standard normal variate (Box-Muller; one value per call, no caching so
+  /// the stream stays a pure function of call count).
+  double Normal() {
+    double u1 = Uniform();
+    while (u1 <= 1e-300) u1 = Uniform();
+    const double u2 = Uniform();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+  /// Normal with the given mean and standard deviation.
+  double Normal(double mean, double stddev) { return mean + stddev * Normal(); }
+
+  /// Fisher-Yates shuffle of a random-access container.
+  template <typename Container>
+  void Shuffle(Container& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      const size_t j = static_cast<size_t>(Below(i));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+}  // namespace dnlr
+
+#endif  // DNLR_COMMON_RNG_H_

@@ -1,0 +1,130 @@
+#ifndef DNLR_COMMON_STATUS_H_
+#define DNLR_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/check.h"
+
+namespace dnlr {
+
+/// Error categories for fallible operations (I/O, parsing, configuration).
+/// Internal invariant violations use DNLR_CHECK instead and abort.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIoError,
+  kParseError,
+  kFailedPrecondition,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a human-readable name for `code` ("OK", "INVALID_ARGUMENT", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Lightweight status object in the style of absl::Status / arrow::Status.
+/// Functions that can fail for reasons outside the programmer's control
+/// return a Status (or a Result<T>) instead of throwing.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Value-or-error wrapper in the style of absl::StatusOr. A Result holds
+/// either a T (when ok()) or a non-OK Status describing the failure.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: `return value;` in a Result-returning function.
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from error: `return Status::IoError(...);`.
+  Result(Status status) : data_(std::move(status)) {  // NOLINT
+    DNLR_CHECK(!std::get<Status>(data_).ok())
+        << "Result constructed from OK status without a value";
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(data_);
+  }
+
+  /// Requires ok(); aborts otherwise.
+  const T& value() const& {
+    DNLR_CHECK(ok()) << "Result::value on error: " << status().ToString();
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    DNLR_CHECK(ok()) << "Result::value on error: " << status().ToString();
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    DNLR_CHECK(ok()) << "Result::value on error: " << status().ToString();
+    return std::get<T>(std::move(data_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+/// Propagates a non-OK status out of the enclosing function.
+#define DNLR_RETURN_IF_ERROR(expr)                 \
+  do {                                             \
+    ::dnlr::Status dnlr_status_tmp_ = (expr);      \
+    if (!dnlr_status_tmp_.ok()) return dnlr_status_tmp_; \
+  } while (false)
+
+}  // namespace dnlr
+
+#endif  // DNLR_COMMON_STATUS_H_

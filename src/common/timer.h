@@ -1,0 +1,50 @@
+#ifndef DNLR_COMMON_TIMER_H_
+#define DNLR_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace dnlr {
+
+/// Monotonic wall-clock stopwatch used by every scoring-time measurement.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction / last Reset, in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in microseconds (the unit the paper reports).
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Runs `fn` repeatedly and returns the median-of-repeats wall time of one
+/// invocation, in microseconds. The first (warm-up) run is discarded so
+/// measurements reflect warm-cache behaviour, matching how the paper times
+/// document scoring.
+template <typename Fn>
+double TimeMicros(Fn&& fn, int repeats = 5) {
+  if (repeats < 1) repeats = 1;
+  fn();  // Warm-up: page in code and data.
+  double best = 1e300;
+  for (int r = 0; r < repeats; ++r) {
+    Timer timer;
+    fn();
+    const double us = timer.ElapsedMicros();
+    if (us < best) best = us;
+  }
+  return best;
+}
+
+}  // namespace dnlr
+
+#endif  // DNLR_COMMON_TIMER_H_

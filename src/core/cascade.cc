@@ -1,0 +1,87 @@
+#include "core/cascade.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace dnlr::core {
+
+CascadeScorer::CascadeScorer(const forest::DocumentScorer* first_stage,
+                             const forest::DocumentScorer* second_stage,
+                             double rescore_fraction)
+    : first_stage_(first_stage),
+      second_stage_(second_stage),
+      rescore_fraction_(rescore_fraction) {
+  DNLR_CHECK(first_stage_ != nullptr);
+  DNLR_CHECK(second_stage_ != nullptr);
+  DNLR_CHECK_GT(rescore_fraction_, 0.0);
+  DNLR_CHECK_LE(rescore_fraction_, 1.0);
+}
+
+void CascadeScorer::Score(const float* docs, uint32_t count, uint32_t stride,
+                          float* out) const {
+  if (count == 0) return;
+  first_stage_->Score(docs, count, stride, out);
+
+  const auto keep = std::max<uint32_t>(
+      1, static_cast<uint32_t>(rescore_fraction_ * count + 0.5));
+  if (keep >= count) {
+    second_stage_->Score(docs, count, stride, out);
+    last_rescored_fraction_ = 1.0;
+    return;
+  }
+
+  // Select the top-`keep` documents of the first stage.
+  std::vector<uint32_t> order(count);
+  std::iota(order.begin(), order.end(), 0);
+  std::partial_sort(order.begin(), order.begin() + keep, order.end(),
+                    [&](uint32_t a, uint32_t b) { return out[a] > out[b]; });
+
+  // Rescore them (gathered contiguously so the second stage can batch).
+  std::vector<float> gathered(static_cast<size_t>(keep) * stride);
+  for (uint32_t r = 0; r < keep; ++r) {
+    const float* row = docs + static_cast<size_t>(order[r]) * stride;
+    std::copy(row, row + stride, gathered.begin() + static_cast<size_t>(r) * stride);
+  }
+  std::vector<float> rescored(keep);
+  second_stage_->Score(gathered.data(), keep, stride, rescored.data());
+
+  // Keep the cascade cut: every rescored document must stay above every
+  // non-rescored one, so shift the second-stage scores above the tail's
+  // maximum.
+  float tail_max = -std::numeric_limits<float>::infinity();
+  for (uint32_t r = keep; r < count; ++r) {
+    tail_max = std::max(tail_max, out[order[r]]);
+  }
+  float rescored_min = rescored[0];
+  for (const float s : rescored) rescored_min = std::min(rescored_min, s);
+  const float shift =
+      tail_max > -std::numeric_limits<float>::infinity() &&
+              rescored_min <= tail_max
+          ? tail_max - rescored_min + 1.0f
+          : 0.0f;
+  for (uint32_t r = 0; r < keep; ++r) {
+    out[order[r]] = rescored[r] + shift;
+  }
+  last_rescored_fraction_ = static_cast<double>(keep) / count;
+}
+
+std::vector<float> CascadeScorer::ScoreQueries(
+    const data::Dataset& dataset) const {
+  std::vector<float> scores(dataset.num_docs());
+  double rescored = 0.0;
+  for (uint32_t q = 0; q < dataset.num_queries(); ++q) {
+    const uint32_t begin = dataset.QueryBegin(q);
+    const uint32_t size = dataset.QuerySize(q);
+    Score(dataset.Row(begin), size, dataset.num_features(),
+          scores.data() + begin);
+    rescored += last_rescored_fraction_ * size;
+  }
+  last_rescored_fraction_ =
+      dataset.num_docs() > 0 ? rescored / dataset.num_docs() : 0.0;
+  return scores;
+}
+
+}  // namespace dnlr::core

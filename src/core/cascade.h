@@ -1,0 +1,56 @@
+#ifndef DNLR_CORE_CASCADE_H_
+#define DNLR_CORE_CASCADE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "forest/scorer.h"
+
+namespace dnlr::core {
+
+/// Two-stage early-exit ranking cascade — the paper's second future-work
+/// direction ("early exiting to further improve the efficiency of our
+/// neural models"). A cheap first-stage scorer ranks the whole candidate
+/// set; only the top `rescore_fraction` of documents per batch are rescored
+/// by the expensive second stage, whose scores overwrite the first stage's
+/// (shifted to stay above the non-rescored tail, preserving the cut).
+///
+/// With a well-correlated cheap stage, this keeps most of the expensive
+/// model's NDCG@k at a fraction of its cost — the classic multi-stage
+/// ranking architecture of web search (Section 1's latency-bound query
+/// processors).
+class CascadeScorer : public forest::DocumentScorer {
+ public:
+  /// Neither scorer is owned; both must outlive the cascade.
+  /// `rescore_fraction` in (0, 1]: share of each batch forwarded to the
+  /// second stage.
+  CascadeScorer(const forest::DocumentScorer* first_stage,
+                const forest::DocumentScorer* second_stage,
+                double rescore_fraction);
+
+  std::string_view name() const override { return "cascade"; }
+
+  /// Scores documents of one query (the batch is treated as one candidate
+  /// set; callers score query by query, as ScoreDataset does for ranking
+  /// metrics — the cascade cut is per ranked list).
+  void Score(const float* docs, uint32_t count, uint32_t stride,
+             float* out) const override;
+
+  /// Scores a dataset query by query (each query is one candidate list).
+  std::vector<float> ScoreQueries(const data::Dataset& dataset) const;
+
+  /// Fraction of documents the expensive stage actually scored in the last
+  /// ScoreQueries call.
+  double last_rescored_fraction() const { return last_rescored_fraction_; }
+
+ private:
+  const forest::DocumentScorer* first_stage_;
+  const forest::DocumentScorer* second_stage_;
+  double rescore_fraction_;
+  mutable double last_rescored_fraction_ = 0.0;
+};
+
+}  // namespace dnlr::core
+
+#endif  // DNLR_CORE_CASCADE_H_

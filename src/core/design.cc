@@ -1,0 +1,61 @@
+#include "core/design.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/check.h"
+
+namespace dnlr::core {
+
+std::vector<DesignedArchitecture> DesignArchitectures(
+    uint32_t input_dim, const DesignConfig& config,
+    const predict::DenseTimePredictor& dense,
+    const predict::SparseTimePredictor& sparse) {
+  DNLR_CHECK_GT(input_dim, 0u);
+  DNLR_CHECK_GE(config.max_layers, config.min_layers);
+  DNLR_CHECK_GE(config.min_layers, 1u);
+
+  std::vector<uint32_t> widths = config.width_choices;
+  std::sort(widths.begin(), widths.end(), std::greater<uint32_t>());
+
+  std::vector<DesignedArchitecture> fitting;
+  std::vector<uint32_t> stack;
+
+  std::function<void(size_t)> enumerate = [&](size_t min_choice) {
+    if (stack.size() >= config.min_layers) {
+      predict::Architecture arch(input_dim, stack);
+      const predict::HybridTimeEstimate estimate = predict::EstimateHybridTime(
+          arch, config.batch, config.first_layer_sparsity, dense, sparse);
+      const double predicted = config.first_layer_sparsity > 0.0
+                                   ? estimate.hybrid_us_per_doc
+                                   : estimate.dense_us_per_doc;
+      if (predicted <= config.time_budget_us) {
+        fitting.push_back({std::move(arch), estimate});
+      }
+    }
+    if (stack.size() == config.max_layers) return;
+    // Non-increasing widths: continue from the current choice onwards.
+    for (size_t c = min_choice; c < widths.size(); ++c) {
+      stack.push_back(widths[c]);
+      enumerate(c);
+      stack.pop_back();
+    }
+  };
+  enumerate(0);
+
+  // Most expressive candidates first: deeper networks beat wider ones at
+  // equal budget (Section 5.2), then break ties by multiply count.
+  std::sort(fitting.begin(), fitting.end(),
+            [](const DesignedArchitecture& a, const DesignedArchitecture& b) {
+              if (a.arch.hidden.size() != b.arch.hidden.size()) {
+                return a.arch.hidden.size() > b.arch.hidden.size();
+              }
+              return a.arch.MultiplyCount() > b.arch.MultiplyCount();
+            });
+  if (fitting.size() > config.max_candidates) {
+    fitting.resize(config.max_candidates);
+  }
+  return fitting;
+}
+
+}  // namespace dnlr::core

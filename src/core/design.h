@@ -1,0 +1,50 @@
+#ifndef DNLR_CORE_DESIGN_H_
+#define DNLR_CORE_DESIGN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "predict/network_time.h"
+
+namespace dnlr::core {
+
+/// Architecture search under a latency budget (Section 5.2 "Architecture
+/// design"): instead of training every candidate, the time predictors place
+/// each architecture on the efficiency axis analytically, and only the ones
+/// fitting the budget are ever trained.
+struct DesignConfig {
+  /// Per-document scoring-time budget in microseconds.
+  double time_budget_us = 3.0;
+  /// Batch size the network will be scored with.
+  uint32_t batch = 64;
+  /// Estimate times assuming the first layer will be pruned to this
+  /// sparsity and run sparse (the paper's recipe). Set to 0 to design fully
+  /// dense models.
+  double first_layer_sparsity = 0.95;
+  /// Layer-width vocabulary (the paper's tables use round widths).
+  std::vector<uint32_t> width_choices{10, 25,  50,  75,  100, 150, 200,
+                                      250, 300, 400, 500, 600, 800, 1000};
+  uint32_t min_layers = 2;
+  uint32_t max_layers = 4;
+  /// How many candidates to return (most expressive first).
+  uint32_t max_candidates = 8;
+};
+
+/// One candidate with its predicted placement on the time axis.
+struct DesignedArchitecture {
+  predict::Architecture arch;
+  predict::HybridTimeEstimate estimate;
+};
+
+/// Enumerates non-increasing-width architectures over the vocabulary,
+/// predicts each one's scoring time, and returns the budget-respecting
+/// candidates ordered by expressiveness (deeper first, then more
+/// multiplies) — the models worth training.
+std::vector<DesignedArchitecture> DesignArchitectures(
+    uint32_t input_dim, const DesignConfig& config,
+    const predict::DenseTimePredictor& dense,
+    const predict::SparseTimePredictor& sparse);
+
+}  // namespace dnlr::core
+
+#endif  // DNLR_CORE_DESIGN_H_

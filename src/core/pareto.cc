@@ -1,0 +1,44 @@
+#include "core/pareto.h"
+
+#include <algorithm>
+
+namespace dnlr::core {
+
+std::vector<TradeoffPoint> ParetoFrontier(std::vector<TradeoffPoint> points) {
+  std::sort(points.begin(), points.end(),
+            [](const TradeoffPoint& a, const TradeoffPoint& b) {
+              if (a.us_per_doc != b.us_per_doc) {
+                return a.us_per_doc < b.us_per_doc;
+              }
+              return a.ndcg10 > b.ndcg10;
+            });
+  std::vector<TradeoffPoint> frontier;
+  double best_ndcg = -1.0;
+  for (const TradeoffPoint& point : points) {
+    if (point.ndcg10 > best_ndcg) {
+      frontier.push_back(point);
+      best_ndcg = point.ndcg10;
+    }
+  }
+  return frontier;
+}
+
+std::vector<TradeoffPoint> FilterByQuality(
+    const std::vector<TradeoffPoint>& points, double quality_floor) {
+  std::vector<TradeoffPoint> kept;
+  for (const TradeoffPoint& point : points) {
+    if (point.ndcg10 >= quality_floor) kept.push_back(point);
+  }
+  return kept;
+}
+
+std::vector<TradeoffPoint> FilterByLatency(
+    const std::vector<TradeoffPoint>& points, double max_us_per_doc) {
+  std::vector<TradeoffPoint> kept;
+  for (const TradeoffPoint& point : points) {
+    if (point.us_per_doc <= max_us_per_doc) kept.push_back(point);
+  }
+  return kept;
+}
+
+}  // namespace dnlr::core

@@ -1,0 +1,33 @@
+#ifndef DNLR_CORE_PARETO_H_
+#define DNLR_CORE_PARETO_H_
+
+#include <string>
+#include <vector>
+
+namespace dnlr::core {
+
+/// One model on the effectiveness-efficiency plane (Figures 12-13).
+struct TradeoffPoint {
+  std::string name;
+  double ndcg10 = 0.0;
+  double us_per_doc = 0.0;
+};
+
+/// The Pareto-optimal subset: points not dominated by any other (a point
+/// dominates another when it is at least as accurate AND at least as fast,
+/// and strictly better on one axis). Returned sorted by ascending time.
+std::vector<TradeoffPoint> ParetoFrontier(std::vector<TradeoffPoint> points);
+
+/// High-quality scenario filter: models whose NDCG@10 is at least
+/// `quality_floor` (the paper uses 99 % of the best tree-based model).
+std::vector<TradeoffPoint> FilterByQuality(
+    const std::vector<TradeoffPoint>& points, double quality_floor);
+
+/// Low-latency scenario filter: models at most `max_us_per_doc` slow (the
+/// paper uses 0.5 us/doc).
+std::vector<TradeoffPoint> FilterByLatency(
+    const std::vector<TradeoffPoint>& points, double max_us_per_doc);
+
+}  // namespace dnlr::core
+
+#endif  // DNLR_CORE_PARETO_H_

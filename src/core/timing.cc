@@ -1,0 +1,38 @@
+#include "core/timing.h"
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/timer.h"
+
+namespace dnlr::core {
+
+double MeasureScorerMicrosPerDoc(const forest::DocumentScorer& scorer,
+                                 const data::Dataset& dataset, int repeats) {
+  DNLR_CHECK_GT(dataset.num_docs(), 0u);
+  std::vector<float> out(dataset.num_docs());
+  const double micros = TimeMicros(
+      [&] {
+        scorer.Score(dataset.features().data(), dataset.num_docs(),
+                     dataset.num_features(), out.data());
+      },
+      repeats);
+  return micros / dataset.num_docs();
+}
+
+double MeasureScorerMicrosPerDocSynthetic(const forest::DocumentScorer& scorer,
+                                          uint32_t count,
+                                          uint32_t num_features, int repeats,
+                                          uint64_t seed) {
+  DNLR_CHECK_GT(count, 0u);
+  Rng rng(seed);
+  std::vector<float> docs(static_cast<size_t>(count) * num_features);
+  for (float& value : docs) value = static_cast<float>(rng.Normal());
+  std::vector<float> out(count);
+  const double micros = TimeMicros(
+      [&] { scorer.Score(docs.data(), count, num_features, out.data()); },
+      repeats);
+  return micros / count;
+}
+
+}  // namespace dnlr::core

@@ -1,0 +1,143 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace dnlr::data {
+
+void Dataset::AddQuery(uint32_t qid, std::span<const float> features,
+                       std::span<const float> labels) {
+  DNLR_CHECK_EQ(features.size(), labels.size() * num_features_);
+  BeginQuery(qid);
+  for (size_t d = 0; d < labels.size(); ++d) {
+    AddDocument(features.subspan(d * num_features_, num_features_), labels[d]);
+  }
+}
+
+void Dataset::BeginQuery(uint32_t qid) {
+  if (query_offsets_.empty()) query_offsets_.push_back(0);
+  DNLR_CHECK(qids_.empty() || query_offsets_.back() > query_offsets_[qids_.size() - 1])
+      << "BeginQuery while the previous query is still empty";
+  qids_.push_back(qid);
+  query_offsets_.push_back(static_cast<uint32_t>(labels_.size()));
+}
+
+void Dataset::AddDocument(std::span<const float> features, float label) {
+  DNLR_CHECK_EQ(features.size(), num_features_);
+  DNLR_CHECK(!qids_.empty()) << "AddDocument before BeginQuery";
+  features_.insert(features_.end(), features.begin(), features.end());
+  labels_.push_back(label);
+  query_offsets_.back() = static_cast<uint32_t>(labels_.size());
+}
+
+std::vector<float> Dataset::FeatureMin() const {
+  std::vector<float> mins(num_features_,
+                          std::numeric_limits<float>::infinity());
+  for (uint32_t d = 0; d < num_docs(); ++d) {
+    const float* row = Row(d);
+    for (uint32_t f = 0; f < num_features_; ++f) {
+      mins[f] = std::min(mins[f], row[f]);
+    }
+  }
+  return mins;
+}
+
+std::vector<float> Dataset::FeatureMax() const {
+  std::vector<float> maxs(num_features_,
+                          -std::numeric_limits<float>::infinity());
+  for (uint32_t d = 0; d < num_docs(); ++d) {
+    const float* row = Row(d);
+    for (uint32_t f = 0; f < num_features_; ++f) {
+      maxs[f] = std::max(maxs[f], row[f]);
+    }
+  }
+  return maxs;
+}
+
+std::vector<float> Dataset::FeatureMean() const {
+  std::vector<double> sums(num_features_, 0.0);
+  for (uint32_t d = 0; d < num_docs(); ++d) {
+    const float* row = Row(d);
+    for (uint32_t f = 0; f < num_features_; ++f) sums[f] += row[f];
+  }
+  std::vector<float> means(num_features_, 0.0f);
+  const double inv = num_docs() > 0 ? 1.0 / num_docs() : 0.0;
+  for (uint32_t f = 0; f < num_features_; ++f) {
+    means[f] = static_cast<float>(sums[f] * inv);
+  }
+  return means;
+}
+
+std::vector<float> Dataset::FeatureStddev() const {
+  const std::vector<float> means = FeatureMean();
+  std::vector<double> sq(num_features_, 0.0);
+  for (uint32_t d = 0; d < num_docs(); ++d) {
+    const float* row = Row(d);
+    for (uint32_t f = 0; f < num_features_; ++f) {
+      const double delta = row[f] - means[f];
+      sq[f] += delta * delta;
+    }
+  }
+  std::vector<float> stds(num_features_, 0.0f);
+  const double inv = num_docs() > 0 ? 1.0 / num_docs() : 0.0;
+  for (uint32_t f = 0; f < num_features_; ++f) {
+    stds[f] = static_cast<float>(std::sqrt(sq[f] * inv));
+  }
+  return stds;
+}
+
+Dataset Dataset::SliceQueries(uint32_t first, uint32_t last) const {
+  DNLR_CHECK_LE(first, last);
+  DNLR_CHECK_LE(last, num_queries());
+  Dataset out(num_features_);
+  for (uint32_t q = first; q < last; ++q) {
+    out.BeginQuery(QueryId(q));
+    for (uint32_t d = QueryBegin(q); d < QueryEnd(q); ++d) {
+      out.AddDocument(std::span<const float>(Row(d), num_features_),
+                      Label(d));
+    }
+  }
+  return out;
+}
+
+float Dataset::MaxLabel() const {
+  float max_label = 0.0f;
+  for (const float label : labels_) max_label = std::max(max_label, label);
+  return max_label;
+}
+
+DatasetSplits SplitByQuery(const Dataset& full, double train_fraction,
+                           double valid_fraction, uint64_t seed) {
+  DNLR_CHECK_GT(train_fraction, 0.0);
+  DNLR_CHECK_GE(valid_fraction, 0.0);
+  DNLR_CHECK_LE(train_fraction + valid_fraction, 1.0);
+
+  std::vector<uint32_t> order(full.num_queries());
+  std::iota(order.begin(), order.end(), 0);
+  Rng rng(seed);
+  rng.Shuffle(order);
+
+  const uint32_t n = full.num_queries();
+  const auto n_train = static_cast<uint32_t>(n * train_fraction);
+  const auto n_valid = static_cast<uint32_t>(n * valid_fraction);
+
+  DatasetSplits splits{Dataset(full.num_features()),
+                       Dataset(full.num_features()),
+                       Dataset(full.num_features())};
+  for (uint32_t i = 0; i < n; ++i) {
+    const uint32_t q = order[i];
+    Dataset* target = i < n_train                ? &splits.train
+                      : i < n_train + n_valid    ? &splits.valid
+                                                 : &splits.test;
+    target->BeginQuery(full.QueryId(q));
+    for (uint32_t d = full.QueryBegin(q); d < full.QueryEnd(q); ++d) {
+      target->AddDocument(
+          std::span<const float>(full.Row(d), full.num_features()),
+          full.Label(d));
+    }
+  }
+  return splits;
+}
+
+}  // namespace dnlr::data

@@ -1,0 +1,110 @@
+#ifndef DNLR_DATA_DATASET_H_
+#define DNLR_DATA_DATASET_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace dnlr::data {
+
+/// A query-grouped learning-to-rank dataset in the LETOR tradition: every
+/// document is a dense vector of `num_features` floats, carries a graded
+/// relevance label (0 = irrelevant ... 4 = perfectly relevant), and belongs
+/// to exactly one query. Documents of a query are stored contiguously.
+///
+/// Feature storage is row-major (document-major), which is what both the
+/// neural forward pass and tree traversal consume; the GBDT trainer builds
+/// its own column-wise binned copy.
+class Dataset {
+ public:
+  Dataset() : Dataset(0) {}
+  explicit Dataset(uint32_t num_features) : num_features_(num_features) {
+    query_offsets_.push_back(0);
+  }
+
+  /// Appends a query with `labels.size()` documents. `features` is row-major
+  /// with labels.size() * num_features() entries.
+  void AddQuery(uint32_t qid, std::span<const float> features,
+                std::span<const float> labels);
+
+  /// Starts a new empty query; follow with AddDocument calls.
+  void BeginQuery(uint32_t qid);
+
+  /// Appends one document to the query opened by the latest BeginQuery.
+  void AddDocument(std::span<const float> features, float label);
+
+  uint32_t num_features() const { return num_features_; }
+  uint32_t num_docs() const { return static_cast<uint32_t>(labels_.size()); }
+  uint32_t num_queries() const {
+    return static_cast<uint32_t>(query_offsets_.size() - 1);
+  }
+
+  /// First document index of query `q`.
+  uint32_t QueryBegin(uint32_t q) const { return query_offsets_[q]; }
+  /// One past the last document index of query `q`.
+  uint32_t QueryEnd(uint32_t q) const { return query_offsets_[q + 1]; }
+  /// Number of documents in query `q`.
+  uint32_t QuerySize(uint32_t q) const {
+    return query_offsets_[q + 1] - query_offsets_[q];
+  }
+  /// Original query identifier of query `q`.
+  uint32_t QueryId(uint32_t q) const { return qids_[q]; }
+
+  /// Feature vector of document `doc` (num_features() floats).
+  const float* Row(uint32_t doc) const {
+    DNLR_DCHECK(doc < num_docs());
+    return features_.data() + static_cast<size_t>(doc) * num_features_;
+  }
+  float* MutableRow(uint32_t doc) {
+    DNLR_DCHECK(doc < num_docs());
+    return features_.data() + static_cast<size_t>(doc) * num_features_;
+  }
+
+  float Label(uint32_t doc) const { return labels_[doc]; }
+  const std::vector<float>& labels() const { return labels_; }
+  const std::vector<float>& features() const { return features_; }
+
+  /// Per-feature minimum over all documents. Empty dataset yields empty.
+  std::vector<float> FeatureMin() const;
+  /// Per-feature maximum over all documents.
+  std::vector<float> FeatureMax() const;
+  /// Per-feature mean.
+  std::vector<float> FeatureMean() const;
+  /// Per-feature standard deviation (population).
+  std::vector<float> FeatureStddev() const;
+
+  /// Copies the queries whose indices are in [first, last) into a new
+  /// dataset. Used by the 60/20/20 splitter.
+  Dataset SliceQueries(uint32_t first, uint32_t last) const;
+
+  /// The maximum label value present (defines the NDCG gain scale).
+  float MaxLabel() const;
+
+ private:
+  uint32_t num_features_;
+  std::vector<float> features_;         // row-major, num_docs * num_features
+  std::vector<float> labels_;           // one per document
+  std::vector<uint32_t> query_offsets_; // size num_queries + 1
+  std::vector<uint32_t> qids_;          // size num_queries
+};
+
+/// Train / validation / test triple produced by the splitter and the
+/// synthetic generator.
+struct DatasetSplits {
+  Dataset train;
+  Dataset valid;
+  Dataset test;
+};
+
+/// Splits `full` by query into train/valid/test with the given fractions
+/// (the paper uses 60 % / 20 % / 20 %). Queries are shuffled with `seed`
+/// before splitting so splits are i.i.d. across query order.
+DatasetSplits SplitByQuery(const Dataset& full, double train_fraction,
+                           double valid_fraction, uint64_t seed);
+
+}  // namespace dnlr::data
+
+#endif  // DNLR_DATA_DATASET_H_

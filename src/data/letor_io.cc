@@ -1,0 +1,140 @@
+#include "data/letor_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace dnlr::data {
+namespace {
+
+struct ParsedDoc {
+  float label = 0.0f;
+  uint32_t qid = 0;
+  // (feature id - 1, value) pairs in file order.
+  std::vector<std::pair<uint32_t, float>> features;
+};
+
+Status ParseLine(std::string_view line, size_t line_number, ParsedDoc* doc) {
+  // Strip trailing comment.
+  const size_t hash = line.find('#');
+  if (hash != std::string_view::npos) line = line.substr(0, hash);
+  line = StripWhitespace(line);
+  if (line.empty()) return Status::NotFound("blank");
+
+  const std::vector<std::string_view> tokens = SplitAndSkipEmpty(line, ' ');
+  if (tokens.size() < 2) {
+    return Status::ParseError("line " + std::to_string(line_number) +
+                              ": expected '<label> qid:<id> ...'");
+  }
+  if (!ParseFloat(tokens[0], &doc->label)) {
+    return Status::ParseError("line " + std::to_string(line_number) +
+                              ": bad label '" + std::string(tokens[0]) + "'");
+  }
+  if (tokens[1].substr(0, 4) != "qid:" ||
+      !ParseUint32(tokens[1].substr(4), &doc->qid)) {
+    return Status::ParseError("line " + std::to_string(line_number) +
+                              ": bad qid token '" + std::string(tokens[1]) +
+                              "'");
+  }
+  doc->features.clear();
+  for (size_t i = 2; i < tokens.size(); ++i) {
+    const size_t colon = tokens[i].find(':');
+    uint32_t fid = 0;
+    float value = 0.0f;
+    if (colon == std::string_view::npos ||
+        !ParseUint32(tokens[i].substr(0, colon), &fid) ||
+        !ParseFloat(tokens[i].substr(colon + 1), &value) || fid == 0) {
+      return Status::ParseError("line " + std::to_string(line_number) +
+                                ": bad feature token '" +
+                                std::string(tokens[i]) + "'");
+    }
+    doc->features.emplace_back(fid - 1, value);
+  }
+  return Status::Ok();
+}
+
+Result<Dataset> ParseDocs(const std::vector<ParsedDoc>& docs,
+                          uint32_t num_features) {
+  if (num_features == 0) {
+    for (const ParsedDoc& doc : docs) {
+      for (const auto& [fid, value] : doc.features) {
+        num_features = std::max(num_features, fid + 1);
+      }
+    }
+  }
+  Dataset dataset(num_features);
+  std::vector<float> row(num_features, 0.0f);
+  bool have_query = false;
+  uint32_t current_qid = 0;
+  for (const ParsedDoc& doc : docs) {
+    if (!have_query || doc.qid != current_qid) {
+      dataset.BeginQuery(doc.qid);
+      current_qid = doc.qid;
+      have_query = true;
+    }
+    std::fill(row.begin(), row.end(), 0.0f);
+    for (const auto& [fid, value] : doc.features) {
+      if (fid >= num_features) {
+        return Status::ParseError("feature id " + std::to_string(fid + 1) +
+                                  " exceeds num_features " +
+                                  std::to_string(num_features));
+      }
+      row[fid] = value;
+    }
+    dataset.AddDocument(row, doc.label);
+  }
+  return dataset;
+}
+
+}  // namespace
+
+Result<Dataset> ParseLetor(const std::string& text, uint32_t num_features) {
+  std::vector<ParsedDoc> docs;
+  std::istringstream stream(text);
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(stream, line)) {
+    ++line_number;
+    ParsedDoc doc;
+    const Status status = ParseLine(line, line_number, &doc);
+    if (status.code() == StatusCode::kNotFound) continue;  // blank line
+    if (!status.ok()) return status;
+    docs.push_back(std::move(doc));
+  }
+  return ParseDocs(docs, num_features);
+}
+
+Result<Dataset> ReadLetorFile(const std::string& path, uint32_t num_features) {
+  std::ifstream file(path);
+  if (!file) return Status::IoError("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return ParseLetor(buffer.str(), num_features);
+}
+
+std::string ToLetorString(const Dataset& dataset) {
+  std::ostringstream out;
+  for (uint32_t q = 0; q < dataset.num_queries(); ++q) {
+    for (uint32_t d = dataset.QueryBegin(q); d < dataset.QueryEnd(q); ++d) {
+      out << dataset.Label(d) << " qid:" << dataset.QueryId(q);
+      const float* row = dataset.Row(d);
+      for (uint32_t f = 0; f < dataset.num_features(); ++f) {
+        out << ' ' << (f + 1) << ':' << row[f];
+      }
+      out << '\n';
+    }
+  }
+  return out.str();
+}
+
+Status WriteLetorFile(const Dataset& dataset, const std::string& path) {
+  std::ofstream file(path);
+  if (!file) return Status::IoError("cannot open '" + path + "' for writing");
+  file << ToLetorString(dataset);
+  if (!file) return Status::IoError("write to '" + path + "' failed");
+  return Status::Ok();
+}
+
+}  // namespace dnlr::data

@@ -1,0 +1,35 @@
+#ifndef DNLR_DATA_LETOR_IO_H_
+#define DNLR_DATA_LETOR_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace dnlr::data {
+
+/// Reads a dataset in the LETOR / SVMLight-for-ranking text format used by
+/// MSLR-WEB30K and Istella-S:
+///
+///   <label> qid:<qid> <fid>:<value> <fid>:<value> ... [# comment]
+///
+/// Feature ids are 1-based and may be sparse on a line; absent features read
+/// as 0 (the LETOR convention). `num_features` of 0 means "infer from the
+/// largest feature id seen". Documents sharing a qid must be contiguous,
+/// as they are in the official files.
+Result<Dataset> ReadLetorFile(const std::string& path,
+                              uint32_t num_features = 0);
+
+/// Parses LETOR-format text from a string (same grammar as ReadLetorFile).
+Result<Dataset> ParseLetor(const std::string& text, uint32_t num_features = 0);
+
+/// Writes `dataset` in LETOR format. Feature values equal to zero are still
+/// written explicitly so round-trips are exact.
+Status WriteLetorFile(const Dataset& dataset, const std::string& path);
+
+/// Serializes `dataset` to LETOR-format text.
+std::string ToLetorString(const Dataset& dataset);
+
+}  // namespace dnlr::data
+
+#endif  // DNLR_DATA_LETOR_IO_H_

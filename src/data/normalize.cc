@@ -1,0 +1,36 @@
+#include "data/normalize.h"
+
+#include <cmath>
+
+namespace dnlr::data {
+
+void ZNormalizer::Fit(const Dataset& train) {
+  mean_ = train.FeatureMean();
+  stddev_ = train.FeatureStddev();
+  for (float& s : stddev_) {
+    if (s < 1e-12f) s = 1.0f;
+  }
+}
+
+ZNormalizer::ZNormalizer(std::vector<float> mean, std::vector<float> stddev)
+    : mean_(std::move(mean)), stddev_(std::move(stddev)) {
+  DNLR_CHECK_EQ(mean_.size(), stddev_.size());
+  for (float& s : stddev_) {
+    if (s < 1e-12f) s = 1.0f;
+  }
+}
+
+void ZNormalizer::Apply(float* row) const {
+  for (size_t f = 0; f < mean_.size(); ++f) {
+    row[f] = (row[f] - mean_[f]) / stddev_[f];
+  }
+}
+
+Dataset ZNormalizer::Transform(const Dataset& input) const {
+  DNLR_CHECK_EQ(input.num_features(), num_features());
+  Dataset out = input;
+  for (uint32_t d = 0; d < out.num_docs(); ++d) Apply(out.MutableRow(d));
+  return out;
+}
+
+}  // namespace dnlr::data

@@ -1,0 +1,61 @@
+#ifndef DNLR_FOREST_SCORER_H_
+#define DNLR_FOREST_SCORER_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "data/dataset.h"
+#include "gbdt/ensemble.h"
+
+namespace dnlr::forest {
+
+/// Common interface of every document scorer in the efficiency study (tree
+/// traversal variants and neural inference engines alike): scores a batch of
+/// dense feature vectors, one float per document.
+class DocumentScorer {
+ public:
+  virtual ~DocumentScorer() = default;
+
+  /// Human-readable scorer name for benchmark tables.
+  virtual std::string_view name() const = 0;
+
+  /// Scores `count` documents. Document `i` starts at docs + i * stride and
+  /// has at least the model's feature count of valid floats.
+  virtual void Score(const float* docs, uint32_t count, uint32_t stride,
+                     float* out) const = 0;
+
+  /// Convenience: scores every document of a dataset.
+  std::vector<float> ScoreDataset(const data::Dataset& dataset) const {
+    std::vector<float> scores(dataset.num_docs());
+    if (dataset.num_docs() == 0) return scores;
+    Score(dataset.features().data(), dataset.num_docs(),
+          dataset.num_features(), scores.data());
+    return scores;
+  }
+};
+
+/// Classic root-to-leaf ensemble traversal (the if-then-else baseline whose
+/// branchy access pattern QuickScorer was designed to replace).
+class NaiveTraversalScorer : public DocumentScorer {
+ public:
+  explicit NaiveTraversalScorer(const gbdt::Ensemble& ensemble)
+      : ensemble_(&ensemble) {}
+
+  std::string_view name() const override { return "naive-traversal"; }
+
+  void Score(const float* docs, uint32_t count, uint32_t stride,
+             float* out) const override {
+    for (uint32_t d = 0; d < count; ++d) {
+      out[d] = static_cast<float>(
+          ensemble_->Score(docs + static_cast<size_t>(d) * stride));
+    }
+  }
+
+ private:
+  const gbdt::Ensemble* ensemble_;
+};
+
+}  // namespace dnlr::forest
+
+#endif  // DNLR_FOREST_SCORER_H_

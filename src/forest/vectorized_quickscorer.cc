@@ -1,0 +1,110 @@
+#include "forest/vectorized_quickscorer.h"
+
+#include <algorithm>
+#include <bit>
+#include <vector>
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace dnlr::forest {
+
+bool VectorizedQuickScorer::HasSimd() {
+#if defined(__AVX2__)
+  return true;
+#else
+  return false;
+#endif
+}
+
+void VectorizedQuickScorer::ScoreGroup8(const float* transposed,
+                                        float* out) const {
+  constexpr uint32_t kGroup = 8;
+  // leaf_index laid out document-major: doc d's words at [d * num_trees_).
+  std::vector<uint64_t> leaf_index(static_cast<size_t>(kGroup) * num_trees_,
+                                   ~0ull);
+
+  for (size_t f = 0; f < features_.size(); ++f) {
+    const FeatureConditions& fc = features_[f];
+    const size_t n = fc.thresholds.size();
+    if (n == 0) continue;
+    const float* values = transposed + f * kGroup;
+
+#if defined(__AVX2__)
+    const __m256 x = _mm256_loadu_ps(values);
+    for (size_t i = 0; i < n; ++i) {
+      const __m256 gamma = _mm256_set1_ps(fc.thresholds[i]);
+      // Documents whose test x <= gamma FAILS, i.e. x > gamma.
+      const __m256 failed = _mm256_cmp_ps(x, gamma, _CMP_GT_OQ);
+      int still_failing = _mm256_movemask_ps(failed);
+      if (still_failing == 0) break;  // ascending thresholds: done with f
+      const uint64_t mask = fc.masks[i];
+      uint64_t* words = leaf_index.data();
+      const uint32_t tree = fc.tree_ids[i];
+      while (still_failing != 0) {
+        const int doc = std::countr_zero(static_cast<unsigned>(still_failing));
+        words[static_cast<size_t>(doc) * num_trees_ + tree] &= mask;
+        still_failing &= still_failing - 1;
+      }
+    }
+#else
+    // Portable emulation of the 8-wide scan.
+    for (size_t i = 0; i < n; ++i) {
+      int still_failing = 0;
+      for (uint32_t d = 0; d < kGroup; ++d) {
+        if (values[d] > fc.thresholds[i]) still_failing |= 1 << d;
+      }
+      if (still_failing == 0) break;
+      const uint64_t mask = fc.masks[i];
+      const uint32_t tree = fc.tree_ids[i];
+      for (uint32_t d = 0; d < kGroup; ++d) {
+        if (still_failing & (1 << d)) {
+          leaf_index[static_cast<size_t>(d) * num_trees_ + tree] &= mask;
+        }
+      }
+    }
+#endif
+  }
+
+  for (uint32_t d = 0; d < kGroup; ++d) {
+    out[d] = static_cast<float>(
+        Harvest(leaf_index.data() + static_cast<size_t>(d) * num_trees_));
+  }
+}
+
+void VectorizedQuickScorer::Score(const float* docs, uint32_t count,
+                                  uint32_t stride, float* out) const {
+  constexpr uint32_t kGroup = 8;
+  const uint32_t num_feat = num_features();
+  std::vector<float> transposed(static_cast<size_t>(num_feat) * kGroup);
+  std::vector<float> group_out(kGroup);
+
+  uint32_t d = 0;
+  for (; d + kGroup <= count; d += kGroup) {
+    // Transpose the group to feature-major so each threshold test is one
+    // contiguous 8-float load.
+    for (uint32_t g = 0; g < kGroup; ++g) {
+      const float* row = docs + static_cast<size_t>(d + g) * stride;
+      for (uint32_t f = 0; f < num_feat; ++f) {
+        transposed[static_cast<size_t>(f) * kGroup + g] = row[f];
+      }
+    }
+    ScoreGroup8(transposed.data(), out + d);
+  }
+  // Remainder: pad with copies of the last document.
+  if (d < count) {
+    const uint32_t tail = count - d;
+    for (uint32_t g = 0; g < kGroup; ++g) {
+      const uint32_t source = d + std::min(g, tail - 1);
+      const float* row = docs + static_cast<size_t>(source) * stride;
+      for (uint32_t f = 0; f < num_feat; ++f) {
+        transposed[static_cast<size_t>(f) * kGroup + g] = row[f];
+      }
+    }
+    ScoreGroup8(transposed.data(), group_out.data());
+    for (uint32_t g = 0; g < tail; ++g) out[d + g] = group_out[g];
+  }
+}
+
+}  // namespace dnlr::forest

@@ -1,0 +1,38 @@
+#ifndef DNLR_FOREST_VECTORIZED_QUICKSCORER_H_
+#define DNLR_FOREST_VECTORIZED_QUICKSCORER_H_
+
+#include "forest/quickscorer.h"
+
+namespace dnlr::forest {
+
+/// Vectorized QuickScorer (vQS, Lucchese et al., SIGIR 2016): scores 8
+/// documents at a time. Each threshold of the feature-wise scan is compared
+/// against 8 document values with one AVX2 256-bit compare; masks are then
+/// applied to the documents whose test failed. Because thresholds are
+/// ascending, the set of still-failing documents only shrinks, and the scan
+/// of a feature stops when no document in the group fails anymore.
+///
+/// Falls back to a portable scalar emulation of the same 8-wide algorithm
+/// when AVX2 is not available at compile time.
+class VectorizedQuickScorer : public QuickScorer {
+ public:
+  VectorizedQuickScorer(const gbdt::Ensemble& ensemble, uint32_t num_features)
+      : QuickScorer(ensemble, num_features) {}
+
+  std::string_view name() const override { return "vectorized-quickscorer"; }
+
+  void Score(const float* docs, uint32_t count, uint32_t stride,
+             float* out) const override;
+
+  /// Whether the AVX2 path is compiled in.
+  static bool HasSimd();
+
+ private:
+  /// Scores one full group of 8 documents given their feature-major
+  /// transpose (values[f * 8 + d]).
+  void ScoreGroup8(const float* transposed, float* out) const;
+};
+
+}  // namespace dnlr::forest
+
+#endif  // DNLR_FOREST_VECTORIZED_QUICKSCORER_H_

@@ -1,0 +1,155 @@
+#include "forest/wide_quickscorer.h"
+
+#include <algorithm>
+#include <bit>
+#include <functional>
+
+#include "common/check.h"
+
+namespace dnlr::forest {
+namespace {
+
+struct RawCondition {
+  float threshold;
+  uint32_t feature;
+  uint32_t leaf_begin;  // left subtree's leaf range [begin, end)
+  uint32_t leaf_end;
+};
+
+/// Collects (feature, threshold, left-subtree leaf range) for every internal
+/// node; leaves are numbered left to right.
+void CollectConditions(const gbdt::RegressionTree& tree,
+                       std::vector<RawCondition>* out) {
+  if (tree.num_nodes() == 0) return;
+  std::function<std::pair<uint32_t, uint32_t>(int32_t)> visit =
+      [&](int32_t child) -> std::pair<uint32_t, uint32_t> {
+    if (gbdt::TreeNode::IsLeaf(child)) {
+      const uint32_t leaf = gbdt::TreeNode::DecodeLeaf(child);
+      return {leaf, leaf + 1};
+    }
+    const gbdt::TreeNode& node = tree.node(child);
+    const auto left = visit(node.left);
+    const auto right = visit(node.right);
+    DNLR_CHECK_EQ(left.second, right.first);
+    out->push_back({node.threshold, node.feature, left.first, left.second});
+    return {left.first, right.second};
+  };
+  visit(0);
+}
+
+}  // namespace
+
+WideQuickScorer::WideQuickScorer(const gbdt::Ensemble& ensemble,
+                                 uint32_t num_features) {
+  num_trees_ = ensemble.num_trees();
+  base_score_ = ensemble.base_score();
+  features_.resize(num_features);
+
+  tree_word_offsets_.push_back(0);
+  leaf_offsets_.push_back(0);
+
+  struct Pending {
+    float threshold;
+    uint32_t feature;
+    uint32_t tree;
+    uint32_t leaf_begin;
+    uint32_t leaf_end;
+  };
+  std::vector<Pending> pending;
+
+  for (uint32_t t = 0; t < num_trees_; ++t) {
+    const gbdt::RegressionTree& tree = ensemble.tree(t);
+    const uint32_t words = std::max(1u, (tree.num_leaves() + 63) / 64);
+    tree_word_offsets_.push_back(tree_word_offsets_.back() + words);
+    leaf_values_.insert(leaf_values_.end(), tree.leaf_values().begin(),
+                        tree.leaf_values().end());
+    leaf_offsets_.push_back(static_cast<uint32_t>(leaf_values_.size()));
+
+    std::vector<RawCondition> raw;
+    CollectConditions(tree, &raw);
+    for (const RawCondition& condition : raw) {
+      DNLR_CHECK_LT(condition.feature, num_features);
+      pending.push_back({condition.threshold, condition.feature, t,
+                         condition.leaf_begin, condition.leaf_end});
+    }
+  }
+  total_words_ = tree_word_offsets_.back();
+
+  // Group by feature, sort by threshold, and materialize the sparse mask
+  // windows.
+  std::stable_sort(pending.begin(), pending.end(),
+                   [](const Pending& a, const Pending& b) {
+                     if (a.feature != b.feature) return a.feature < b.feature;
+                     return a.threshold < b.threshold;
+                   });
+  for (const Pending& p : pending) {
+    // The left subtree's leaves span words [begin/64, (end-1)/64].
+    const uint32_t first_word = p.leaf_begin / 64;
+    const uint32_t last_word = (p.leaf_end - 1) / 64;
+    Condition condition;
+    condition.threshold = p.threshold;
+    condition.tree = p.tree;
+    condition.first_word = first_word;
+    condition.num_words = last_word - first_word + 1;
+    condition.mask_offset = static_cast<uint32_t>(masks_.size());
+    for (uint32_t w = first_word; w <= last_word; ++w) {
+      const uint32_t word_bit0 = w * 64;
+      uint64_t zeros = 0;
+      for (uint32_t leaf = std::max(p.leaf_begin, word_bit0);
+           leaf < std::min(p.leaf_end, word_bit0 + 64); ++leaf) {
+        zeros |= 1ull << (leaf - word_bit0);
+      }
+      masks_.push_back(~zeros);
+    }
+    features_[p.feature].conditions.push_back(condition);
+  }
+}
+
+void WideQuickScorer::ApplyMasks(const float* row,
+                                 uint64_t* leaf_index) const {
+  for (size_t f = 0; f < features_.size(); ++f) {
+    const std::vector<Condition>& conditions = features_[f].conditions;
+    const float value = row[f];
+    for (const Condition& condition : conditions) {
+      if (value <= condition.threshold) break;  // ascending thresholds
+      uint64_t* words =
+          leaf_index + tree_word_offsets_[condition.tree] + condition.first_word;
+      const uint64_t* mask = masks_.data() + condition.mask_offset;
+      for (uint32_t w = 0; w < condition.num_words; ++w) words[w] &= mask[w];
+    }
+  }
+}
+
+double WideQuickScorer::Harvest(const uint64_t* leaf_index) const {
+  double score = base_score_;
+  for (uint32_t t = 0; t < num_trees_; ++t) {
+    const uint64_t* words = leaf_index + tree_word_offsets_[t];
+    const uint32_t num_words = WordsOf(t);
+    for (uint32_t w = 0; w < num_words; ++w) {
+      if (words[w] != 0) {
+        const uint32_t leaf = w * 64 + std::countr_zero(words[w]);
+        score += leaf_values_[leaf_offsets_[t] + leaf];
+        break;
+      }
+    }
+  }
+  return score;
+}
+
+double WideQuickScorer::ScoreDocument(const float* row) const {
+  std::vector<uint64_t> leaf_index(total_words_, ~0ull);
+  ApplyMasks(row, leaf_index.data());
+  return Harvest(leaf_index.data());
+}
+
+void WideQuickScorer::Score(const float* docs, uint32_t count, uint32_t stride,
+                            float* out) const {
+  std::vector<uint64_t> leaf_index(total_words_);
+  for (uint32_t d = 0; d < count; ++d) {
+    std::fill(leaf_index.begin(), leaf_index.end(), ~0ull);
+    ApplyMasks(docs + static_cast<size_t>(d) * stride, leaf_index.data());
+    out[d] = static_cast<float>(Harvest(leaf_index.data()));
+  }
+}
+
+}  // namespace dnlr::forest

@@ -1,0 +1,71 @@
+#ifndef DNLR_FOREST_WIDE_QUICKSCORER_H_
+#define DNLR_FOREST_WIDE_QUICKSCORER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "forest/scorer.h"
+#include "gbdt/ensemble.h"
+
+namespace dnlr::forest {
+
+/// QuickScorer generalized to trees with more than 64 leaves, using
+/// multi-word bitvectors (the regime RapidScorer targets, paper
+/// Section 2.2: "when |leaves| > 64 the logical AND cannot be carried out in
+/// just one CPU instruction").
+///
+/// Every tree's leaf-index bitvector spans ceil(leaves/64) words. Masks are
+/// stored sparsely: most false-node masks touch only the words covering the
+/// node's left subtree, so each condition carries a (first_word, num_words)
+/// window and only those words are ANDed. The exit leaf is the lowest set
+/// bit across the words.
+///
+/// This makes the 256-leaf teachers of Section 5.1 scorable with the
+/// feature-wise algorithm instead of classic traversal (they remain
+/// teacher-only models in the paper's deployment story; this class exists
+/// to quantify exactly how much the >64-leaf regime costs).
+class WideQuickScorer : public DocumentScorer {
+ public:
+  WideQuickScorer(const gbdt::Ensemble& ensemble, uint32_t num_features);
+
+  std::string_view name() const override { return "wide-quickscorer"; }
+
+  void Score(const float* docs, uint32_t count, uint32_t stride,
+             float* out) const override;
+
+  /// Scores a single document.
+  double ScoreDocument(const float* row) const;
+
+  /// Bitvector words per tree (1 for <= 64 leaves, 4 for 256 leaves).
+  uint32_t WordsOf(uint32_t tree) const {
+    return tree_word_offsets_[tree + 1] - tree_word_offsets_[tree];
+  }
+
+ private:
+  struct Condition {
+    float threshold;
+    uint32_t tree;
+    uint32_t first_word;  // within the tree's word span
+    uint32_t num_words;
+    uint32_t mask_offset;  // into masks_
+  };
+  struct FeatureConditions {
+    std::vector<Condition> conditions;  // ascending by threshold
+  };
+
+  void ApplyMasks(const float* row, uint64_t* leaf_index) const;
+  double Harvest(const uint64_t* leaf_index) const;
+
+  std::vector<FeatureConditions> features_;
+  std::vector<uint64_t> masks_;          // concatenated mask windows
+  std::vector<uint32_t> tree_word_offsets_;  // size num_trees + 1
+  std::vector<double> leaf_values_;
+  std::vector<uint32_t> leaf_offsets_;  // size num_trees + 1
+  uint32_t num_trees_ = 0;
+  uint32_t total_words_ = 0;
+  double base_score_ = 0.0;
+};
+
+}  // namespace dnlr::forest
+
+#endif  // DNLR_FOREST_WIDE_QUICKSCORER_H_

@@ -1,0 +1,68 @@
+#include "gbdt/binning.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace dnlr::gbdt {
+
+FeatureBinner::FeatureBinner(const data::Dataset& train, uint32_t max_bins) {
+  DNLR_CHECK_GE(max_bins, 2u);
+  DNLR_CHECK_LE(max_bins, 255u);
+  const uint32_t num_features = train.num_features();
+  const uint32_t num_docs = train.num_docs();
+  upper_bounds_.resize(num_features);
+
+  std::vector<float> column(num_docs);
+  for (uint32_t f = 0; f < num_features; ++f) {
+    for (uint32_t d = 0; d < num_docs; ++d) column[d] = train.Row(d)[f];
+    std::sort(column.begin(), column.end());
+    column.erase(std::unique(column.begin(), column.end()), column.end());
+
+    std::vector<float>& bounds = upper_bounds_[f];
+    bounds.clear();
+    if (column.size() <= 1) continue;  // constant feature: single bin
+    if (column.size() <= max_bins) {
+      // One bin per distinct value; boundaries at midpoints, matching the
+      // split-point convention the distillation augmentation reuses.
+      for (size_t i = 0; i + 1 < column.size(); ++i) {
+        bounds.push_back(0.5f * (column[i] + column[i + 1]));
+      }
+    } else {
+      // Quantile boundaries over distinct values.
+      for (uint32_t b = 1; b < max_bins; ++b) {
+        const size_t idx = static_cast<size_t>(
+            static_cast<double>(b) * column.size() / max_bins);
+        const float boundary =
+            0.5f * (column[idx - 1] + column[std::min(idx, column.size() - 1)]);
+        if (bounds.empty() || boundary > bounds.back()) {
+          bounds.push_back(boundary);
+        }
+      }
+    }
+  }
+}
+
+uint8_t FeatureBinner::BinOf(uint32_t feature, float value) const {
+  const std::vector<float>& bounds = upper_bounds_[feature];
+  // First bin whose upper bound is >= value; values above every bound land
+  // in the catch-all last bin.
+  const auto it = std::lower_bound(bounds.begin(), bounds.end(), value);
+  return static_cast<uint8_t>(it - bounds.begin());
+}
+
+std::vector<uint8_t> FeatureBinner::BinDataset(
+    const data::Dataset& dataset) const {
+  DNLR_CHECK_EQ(dataset.num_features(), num_features());
+  const uint32_t num_docs = dataset.num_docs();
+  std::vector<uint8_t> bins(static_cast<size_t>(num_features()) * num_docs);
+  for (uint32_t d = 0; d < num_docs; ++d) {
+    const float* row = dataset.Row(d);
+    for (uint32_t f = 0; f < num_features(); ++f) {
+      bins[static_cast<size_t>(f) * num_docs + d] = BinOf(f, row[f]);
+    }
+  }
+  return bins;
+}
+
+}  // namespace dnlr::gbdt

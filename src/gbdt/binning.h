@@ -1,0 +1,51 @@
+#ifndef DNLR_GBDT_BINNING_H_
+#define DNLR_GBDT_BINNING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace dnlr::gbdt {
+
+/// Histogram-based feature discretization, the core trick LightGBM uses to
+/// make split finding O(bins) instead of O(docs): every feature is quantized
+/// into at most `max_bins` bins whose boundaries are quantiles of the
+/// training distribution. Splits are then searched over bin boundaries only.
+class FeatureBinner {
+ public:
+  /// Builds bin boundaries from the training data. `max_bins` <= 255 so bin
+  /// indices fit a byte.
+  FeatureBinner(const data::Dataset& train, uint32_t max_bins);
+
+  uint32_t num_features() const {
+    return static_cast<uint32_t>(upper_bounds_.size());
+  }
+  /// Number of bins for `feature` (at least 1).
+  uint32_t NumBins(uint32_t feature) const {
+    return static_cast<uint32_t>(upper_bounds_[feature].size()) + 1;
+  }
+  /// The real-valued threshold separating bin `bin` from bin `bin`+1 for
+  /// `feature`: a split "bin <= b" corresponds to the test
+  /// "x <= UpperBound(feature, b)".
+  float UpperBound(uint32_t feature, uint32_t bin) const {
+    return upper_bounds_[feature][bin];
+  }
+
+  /// Maps a raw feature value to its bin index.
+  uint8_t BinOf(uint32_t feature, float value) const;
+
+  /// Quantizes a whole dataset column-major: result[feature * num_docs + doc]
+  /// is the bin of document `doc` on `feature`. Column-major layout makes the
+  /// per-feature histogram pass sequential.
+  std::vector<uint8_t> BinDataset(const data::Dataset& dataset) const;
+
+ private:
+  // upper_bounds_[f] is a sorted list of bin upper edges (exclusive of the
+  // last catch-all bin).
+  std::vector<std::vector<float>> upper_bounds_;
+};
+
+}  // namespace dnlr::gbdt
+
+#endif  // DNLR_GBDT_BINNING_H_

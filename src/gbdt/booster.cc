@@ -1,0 +1,288 @@
+#include "gbdt/booster.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <vector>
+
+#include "common/check.h"
+#include "gbdt/binning.h"
+#include "metrics/metrics.h"
+
+namespace dnlr::gbdt {
+namespace {
+
+struct SplitCandidate {
+  double gain = -std::numeric_limits<double>::infinity();
+  uint32_t feature = 0;
+  uint32_t bin = 0;  // docs with bin <= this go left
+  double left_grad = 0.0;
+  double left_hess = 0.0;
+  uint32_t left_count = 0;
+
+  bool valid() const { return gain > 0.0; }
+};
+
+struct GrowerLeaf {
+  std::vector<uint32_t> docs;
+  double sum_grad = 0.0;
+  double sum_hess = 0.0;
+  SplitCandidate best;
+  // Where to patch the child pointer when this leaf is split or finalized:
+  // index of the parent TreeNode (-1 for the root) and which side.
+  int32_t parent_node = -1;
+  bool is_left_child = false;
+};
+
+struct HistogramBin {
+  double grad = 0.0;
+  double hess = 0.0;
+  uint32_t count = 0;
+};
+
+/// Grows one regression tree, leaf-wise (best-first), on binned features.
+class TreeGrower {
+ public:
+  TreeGrower(const BoosterConfig& config, const FeatureBinner& binner,
+             const std::vector<uint8_t>& bins, uint32_t num_docs)
+      : config_(config), binner_(binner), bins_(bins), num_docs_(num_docs) {}
+
+  RegressionTree Grow(std::span<const double> gradients,
+                      std::span<const double> hessians) {
+    gradients_ = gradients;
+    hessians_ = hessians;
+
+    std::vector<GrowerLeaf> leaves;
+    std::vector<TreeNode> nodes;
+
+    GrowerLeaf root;
+    root.docs.resize(num_docs_);
+    for (uint32_t d = 0; d < num_docs_; ++d) root.docs[d] = d;
+    for (uint32_t d = 0; d < num_docs_; ++d) {
+      root.sum_grad += gradients_[d];
+      root.sum_hess += hessians_[d];
+    }
+    FindBestSplit(&root);
+    leaves.push_back(std::move(root));
+
+    while (leaves.size() < config_.num_leaves) {
+      // Pick the leaf with the largest split gain.
+      size_t best_leaf = leaves.size();
+      double best_gain = 0.0;
+      for (size_t l = 0; l < leaves.size(); ++l) {
+        if (leaves[l].best.valid() && leaves[l].best.gain > best_gain) {
+          best_gain = leaves[l].best.gain;
+          best_leaf = l;
+        }
+      }
+      if (best_leaf == leaves.size()) break;  // no further useful split
+
+      GrowerLeaf parent = std::move(leaves[best_leaf]);
+      const SplitCandidate& split = parent.best;
+
+      // Materialize the internal node.
+      const auto node_index = static_cast<int32_t>(nodes.size());
+      TreeNode node;
+      node.feature = split.feature;
+      node.threshold = binner_.UpperBound(split.feature, split.bin);
+      nodes.push_back(node);
+      if (parent.parent_node >= 0) {
+        TreeNode& up = nodes[parent.parent_node];
+        (parent.is_left_child ? up.left : up.right) = node_index;
+      }
+
+      // Partition documents.
+      GrowerLeaf left;
+      GrowerLeaf right;
+      const uint8_t* feature_bins =
+          bins_.data() + static_cast<size_t>(split.feature) * num_docs_;
+      for (const uint32_t doc : parent.docs) {
+        if (feature_bins[doc] <= split.bin) {
+          left.docs.push_back(doc);
+        } else {
+          right.docs.push_back(doc);
+        }
+      }
+      DNLR_CHECK_EQ(left.docs.size(), split.left_count);
+      left.sum_grad = split.left_grad;
+      left.sum_hess = split.left_hess;
+      right.sum_grad = parent.sum_grad - split.left_grad;
+      right.sum_hess = parent.sum_hess - split.left_hess;
+      left.parent_node = node_index;
+      left.is_left_child = true;
+      right.parent_node = node_index;
+      right.is_left_child = false;
+
+      FindBestSplit(&left);
+      FindBestSplit(&right);
+
+      leaves[best_leaf] = std::move(left);
+      leaves.push_back(std::move(right));
+    }
+
+    // Finalize leaves: assign indices and patch parent pointers.
+    std::vector<double> leaf_values(leaves.size());
+    for (size_t l = 0; l < leaves.size(); ++l) {
+      leaf_values[l] = -leaves[l].sum_grad /
+                       (leaves[l].sum_hess + config_.lambda_l2) *
+                       config_.learning_rate;
+      const int32_t encoded = TreeNode::EncodeLeaf(static_cast<uint32_t>(l));
+      if (leaves[l].parent_node >= 0) {
+        TreeNode& up = nodes[leaves[l].parent_node];
+        (leaves[l].is_left_child ? up.left : up.right) = encoded;
+      }
+    }
+
+    RegressionTree tree(std::move(nodes), std::move(leaf_values));
+    tree.NormalizeLeafOrder();
+    return tree;
+  }
+
+ private:
+  void FindBestSplit(GrowerLeaf* leaf) {
+    leaf->best = SplitCandidate();
+    if (leaf->docs.size() < 2 * config_.min_docs_per_leaf) return;
+
+    const double total_grad = leaf->sum_grad;
+    const double total_hess = leaf->sum_hess;
+    const double parent_score =
+        total_grad * total_grad / (total_hess + config_.lambda_l2);
+
+    for (uint32_t f = 0; f < binner_.num_features(); ++f) {
+      const uint32_t num_bins = binner_.NumBins(f);
+      if (num_bins < 2) continue;
+      histogram_.assign(num_bins, HistogramBin());
+      const uint8_t* feature_bins =
+          bins_.data() + static_cast<size_t>(f) * num_docs_;
+      for (const uint32_t doc : leaf->docs) {
+        HistogramBin& bin = histogram_[feature_bins[doc]];
+        bin.grad += gradients_[doc];
+        bin.hess += hessians_[doc];
+        ++bin.count;
+      }
+
+      double left_grad = 0.0;
+      double left_hess = 0.0;
+      uint32_t left_count = 0;
+      for (uint32_t b = 0; b + 1 < num_bins; ++b) {
+        left_grad += histogram_[b].grad;
+        left_hess += histogram_[b].hess;
+        left_count += histogram_[b].count;
+        const uint32_t right_count =
+            static_cast<uint32_t>(leaf->docs.size()) - left_count;
+        if (left_count < config_.min_docs_per_leaf) continue;
+        if (right_count < config_.min_docs_per_leaf) break;
+        const double right_grad = total_grad - left_grad;
+        const double right_hess = total_hess - left_hess;
+        if (left_hess < config_.min_sum_hessian_per_leaf ||
+            right_hess < config_.min_sum_hessian_per_leaf) {
+          continue;
+        }
+        const double gain =
+            left_grad * left_grad / (left_hess + config_.lambda_l2) +
+            right_grad * right_grad / (right_hess + config_.lambda_l2) -
+            parent_score;
+        if (gain > leaf->best.gain) {
+          leaf->best.gain = gain;
+          leaf->best.feature = f;
+          leaf->best.bin = b;
+          leaf->best.left_grad = left_grad;
+          leaf->best.left_hess = left_hess;
+          leaf->best.left_count = left_count;
+        }
+      }
+    }
+  }
+
+  const BoosterConfig& config_;
+  const FeatureBinner& binner_;
+  const std::vector<uint8_t>& bins_;
+  const uint32_t num_docs_;
+  std::span<const double> gradients_;
+  std::span<const double> hessians_;
+  std::vector<HistogramBin> histogram_;
+};
+
+}  // namespace
+
+Ensemble Booster::TrainLambdaMart(const data::Dataset& train,
+                                  const data::Dataset* valid) const {
+  LambdaRankObjective objective(config_.sigma, config_.lambda_truncation);
+  return Train(&objective, train, valid);
+}
+
+Ensemble Booster::TrainRegression(const data::Dataset& train,
+                                  const data::Dataset* valid) const {
+  RegressionObjective objective;
+  return Train(&objective, train, valid);
+}
+
+Ensemble Booster::Train(Objective* objective, const data::Dataset& train,
+                        const data::Dataset* valid) const {
+  DNLR_CHECK_GT(train.num_docs(), 0u);
+  const FeatureBinner binner(train, config_.max_bins);
+  const std::vector<uint8_t> bins = binner.BinDataset(train);
+
+  const double base_score = objective->InitScore(train);
+  Ensemble ensemble(base_score);
+
+  std::vector<double> train_scores(train.num_docs(), base_score);
+  std::vector<double> gradients(train.num_docs());
+  std::vector<double> hessians(train.num_docs());
+
+  std::vector<float> valid_scores;
+  if (valid != nullptr) {
+    valid_scores.assign(valid->num_docs(), static_cast<float>(base_score));
+  }
+
+  double best_valid_ndcg = -1.0;
+  uint32_t best_num_trees = 0;
+  uint32_t evals_without_improvement = 0;
+
+  TreeGrower grower(config_, binner, bins, train.num_docs());
+  for (uint32_t t = 0; t < config_.num_trees; ++t) {
+    objective->ComputeGradients(train, train_scores, gradients, hessians);
+    RegressionTree tree = grower.Grow(gradients, hessians);
+
+    for (uint32_t d = 0; d < train.num_docs(); ++d) {
+      train_scores[d] += tree.Score(train.Row(d));
+    }
+    if (valid != nullptr) {
+      for (uint32_t d = 0; d < valid->num_docs(); ++d) {
+        valid_scores[d] += static_cast<float>(tree.Score(valid->Row(d)));
+      }
+    }
+    ensemble.AddTree(std::move(tree));
+
+    const bool last_tree = t + 1 == config_.num_trees;
+    if (valid != nullptr && config_.early_stopping_rounds > 0 &&
+        ((t + 1) % config_.eval_period == 0 || last_tree)) {
+      const double ndcg =
+          metrics::MeanNdcg(*valid, valid_scores, config_.eval_ndcg_cutoff);
+      if (config_.verbose) {
+        std::fprintf(stderr, "[booster] tree %u valid NDCG@%u = %.4f\n", t + 1,
+                     config_.eval_ndcg_cutoff, ndcg);
+      }
+      if (ndcg > best_valid_ndcg) {
+        best_valid_ndcg = ndcg;
+        best_num_trees = t + 1;
+        evals_without_improvement = 0;
+      } else if (++evals_without_improvement >=
+                 config_.early_stopping_rounds) {
+        if (config_.verbose) {
+          std::fprintf(stderr, "[booster] early stop at tree %u (best %u)\n",
+                       t + 1, best_num_trees);
+        }
+        break;
+      }
+    }
+  }
+
+  if (valid != nullptr && config_.early_stopping_rounds > 0 &&
+      best_num_trees > 0) {
+    ensemble.Truncate(best_num_trees);
+  }
+  return ensemble;
+}
+
+}  // namespace dnlr::gbdt

@@ -1,0 +1,125 @@
+#include "gbdt/ensemble.h"
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+namespace dnlr::gbdt {
+
+uint32_t Ensemble::MaxLeaves() const {
+  uint32_t max_leaves = 0;
+  for (const RegressionTree& tree : trees_) {
+    max_leaves = std::max(max_leaves, tree.num_leaves());
+  }
+  return max_leaves;
+}
+
+uint32_t Ensemble::TotalNodes() const {
+  uint32_t total = 0;
+  for (const RegressionTree& tree : trees_) total += tree.num_nodes();
+  return total;
+}
+
+std::vector<float> Ensemble::ScoreDataset(const data::Dataset& dataset) const {
+  std::vector<float> scores(dataset.num_docs());
+  for (uint32_t d = 0; d < dataset.num_docs(); ++d) {
+    scores[d] = static_cast<float>(Score(dataset.Row(d)));
+  }
+  return scores;
+}
+
+void Ensemble::Truncate(uint32_t n) {
+  if (n < trees_.size()) trees_.resize(n);
+}
+
+std::vector<std::vector<float>> Ensemble::SplitPointsPerFeature(
+    uint32_t num_features) const {
+  std::vector<std::set<float>> points(num_features);
+  for (const RegressionTree& tree : trees_) {
+    for (const TreeNode& node : tree.nodes()) {
+      DNLR_CHECK_LT(node.feature, num_features);
+      points[node.feature].insert(node.threshold);
+    }
+  }
+  std::vector<std::vector<float>> result(num_features);
+  for (uint32_t f = 0; f < num_features; ++f) {
+    result[f].assign(points[f].begin(), points[f].end());
+  }
+  return result;
+}
+
+// Grammar:
+//   ensemble <num_trees> <base_score>
+//   tree <num_nodes> <num_leaves>
+//   node <feature> <threshold> <left> <right>     (num_nodes lines)
+//   leaf <value>                                  (num_leaves lines)
+std::string Ensemble::Serialize() const {
+  std::ostringstream out;
+  out.precision(17);
+  out << "ensemble " << trees_.size() << ' ' << base_score_ << '\n';
+  for (const RegressionTree& tree : trees_) {
+    out << "tree " << tree.num_nodes() << ' ' << tree.num_leaves() << '\n';
+    for (const TreeNode& node : tree.nodes()) {
+      out << "node " << node.feature << ' ' << node.threshold << ' '
+          << node.left << ' ' << node.right << '\n';
+    }
+    for (const double value : tree.leaf_values()) {
+      out << "leaf " << value << '\n';
+    }
+  }
+  return out.str();
+}
+
+Result<Ensemble> Ensemble::Deserialize(const std::string& text) {
+  std::istringstream in(text);
+  std::string keyword;
+  size_t num_trees = 0;
+  double base_score = 0.0;
+  if (!(in >> keyword >> num_trees >> base_score) || keyword != "ensemble") {
+    return Status::ParseError("expected 'ensemble <n> <base>' header");
+  }
+  Ensemble ensemble(base_score);
+  for (size_t t = 0; t < num_trees; ++t) {
+    size_t num_nodes = 0;
+    size_t num_leaves = 0;
+    if (!(in >> keyword >> num_nodes >> num_leaves) || keyword != "tree") {
+      return Status::ParseError("expected 'tree <nodes> <leaves>' for tree " +
+                                std::to_string(t));
+    }
+    std::vector<TreeNode> nodes(num_nodes);
+    for (TreeNode& node : nodes) {
+      if (!(in >> keyword >> node.feature >> node.threshold >> node.left >>
+            node.right) ||
+          keyword != "node") {
+        return Status::ParseError("bad node line in tree " + std::to_string(t));
+      }
+    }
+    std::vector<double> leaves(num_leaves);
+    for (double& value : leaves) {
+      if (!(in >> keyword >> value) || keyword != "leaf") {
+        return Status::ParseError("bad leaf line in tree " + std::to_string(t));
+      }
+    }
+    ensemble.AddTree(RegressionTree(std::move(nodes), std::move(leaves)));
+  }
+  return ensemble;
+}
+
+Status Ensemble::SaveToFile(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) return Status::IoError("cannot open '" + path + "' for writing");
+  file << Serialize();
+  if (!file) return Status::IoError("write to '" + path + "' failed");
+  return Status::Ok();
+}
+
+Result<Ensemble> Ensemble::LoadFromFile(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return Status::IoError("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return Deserialize(buffer.str());
+}
+
+}  // namespace dnlr::gbdt

@@ -1,0 +1,100 @@
+#include "gbdt/objective.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+#include "metrics/metrics.h"
+
+namespace dnlr::gbdt {
+
+void LambdaRankObjective::ComputeGradients(const data::Dataset& dataset,
+                                           std::span<const double> scores,
+                                           std::span<double> gradients,
+                                           std::span<double> hessians) {
+  DNLR_CHECK_EQ(scores.size(), dataset.num_docs());
+  std::fill(gradients.begin(), gradients.end(), 0.0);
+  std::fill(hessians.begin(), hessians.end(), 0.0);
+
+  std::vector<uint32_t> order;
+  std::vector<uint32_t> rank_of;
+  for (uint32_t q = 0; q < dataset.num_queries(); ++q) {
+    const uint32_t begin = dataset.QueryBegin(q);
+    const uint32_t size = dataset.QuerySize(q);
+
+    const double inv_idcg =
+        [&] {
+          const double idcg = metrics::IdealDcg(
+              std::span<const float>(dataset.labels().data() + begin, size),
+              truncation_);
+          return idcg > 0.0 ? 1.0 / idcg : 0.0;
+        }();
+    if (inv_idcg == 0.0) continue;  // no relevant docs: nothing to learn
+
+    // Rank documents by current score within the query.
+    order.resize(size);
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+      return scores[begin + a] > scores[begin + b];
+    });
+    rank_of.resize(size);
+    for (uint32_t r = 0; r < size; ++r) rank_of[order[r]] = r;
+
+    for (uint32_t i = 0; i < size; ++i) {
+      const float label_i = dataset.Label(begin + i);
+      for (uint32_t j = i + 1; j < size; ++j) {
+        const float label_j = dataset.Label(begin + j);
+        if (label_i == label_j) continue;
+        // Truncation: only pairs touching the metric's top-k earn credit.
+        if (rank_of[i] >= truncation_ && rank_of[j] >= truncation_) continue;
+
+        const bool i_better = label_i > label_j;
+        const uint32_t hi = i_better ? i : j;
+        const uint32_t lo = i_better ? j : i;
+
+        const double gain_delta =
+            std::fabs(std::exp2(static_cast<double>(dataset.Label(begin + hi))) -
+                      std::exp2(static_cast<double>(dataset.Label(begin + lo))));
+        const double disc_hi = 1.0 / std::log2(rank_of[hi] + 2.0);
+        const double disc_lo = 1.0 / std::log2(rank_of[lo] + 2.0);
+        const double delta_ndcg =
+            gain_delta * std::fabs(disc_hi - disc_lo) * inv_idcg;
+
+        const double score_diff = scores[begin + hi] - scores[begin + lo];
+        const double rho = 1.0 / (1.0 + std::exp(sigma_ * score_diff));
+
+        const double lambda = sigma_ * rho * delta_ndcg;
+        const double weight =
+            sigma_ * sigma_ * rho * (1.0 - rho) * delta_ndcg;
+
+        // Loss decreases when s_hi grows: gradient of hi is negative.
+        gradients[begin + hi] -= lambda;
+        gradients[begin + lo] += lambda;
+        hessians[begin + hi] += weight;
+        hessians[begin + lo] += weight;
+      }
+    }
+  }
+}
+
+void RegressionObjective::ComputeGradients(const data::Dataset& dataset,
+                                           std::span<const double> scores,
+                                           std::span<double> gradients,
+                                           std::span<double> hessians) {
+  DNLR_CHECK_EQ(scores.size(), dataset.num_docs());
+  if (!targets_.empty()) DNLR_CHECK_EQ(targets_.size(), dataset.num_docs());
+  for (uint32_t d = 0; d < dataset.num_docs(); ++d) {
+    gradients[d] = scores[d] - Target(dataset, d);
+    hessians[d] = 1.0;
+  }
+}
+
+double RegressionObjective::InitScore(const data::Dataset& dataset) const {
+  if (dataset.num_docs() == 0) return 0.0;
+  double sum = 0.0;
+  for (uint32_t d = 0; d < dataset.num_docs(); ++d) sum += Target(dataset, d);
+  return sum / dataset.num_docs();
+}
+
+}  // namespace dnlr::gbdt

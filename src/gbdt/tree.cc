@@ -1,0 +1,78 @@
+#include "gbdt/tree.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace dnlr::gbdt {
+
+uint32_t RegressionTree::ExitLeaf(const float* row) const {
+  if (nodes_.empty()) return 0;
+  int32_t current = 0;
+  while (true) {
+    const TreeNode& node = nodes_[current];
+    const int32_t next =
+        row[node.feature] <= node.threshold ? node.left : node.right;
+    if (TreeNode::IsLeaf(next)) return TreeNode::DecodeLeaf(next);
+    current = next;
+  }
+}
+
+uint32_t RegressionTree::CountVisitedNodes(const float* row) const {
+  if (nodes_.empty()) return 0;
+  uint32_t visited = 0;
+  int32_t current = 0;
+  while (true) {
+    const TreeNode& node = nodes_[current];
+    ++visited;
+    const int32_t next =
+        row[node.feature] <= node.threshold ? node.left : node.right;
+    if (TreeNode::IsLeaf(next)) return visited;
+    current = next;
+  }
+}
+
+void RegressionTree::NormalizeLeafOrder() {
+  if (nodes_.empty()) {
+    DNLR_CHECK_LE(leaf_values_.size(), 1u);
+    return;
+  }
+  // In-order DFS assigning new leaf indices left to right, rewriting the
+  // leaf encodings as it goes.
+  std::vector<double> new_values(leaf_values_.size());
+  uint32_t next_leaf = 0;
+  std::function<void(int32_t&)> renumber = [&](int32_t& child) {
+    if (TreeNode::IsLeaf(child)) {
+      const uint32_t old_leaf = TreeNode::DecodeLeaf(child);
+      DNLR_CHECK_LT(old_leaf, leaf_values_.size());
+      new_values[next_leaf] = leaf_values_[old_leaf];
+      child = TreeNode::EncodeLeaf(next_leaf);
+      ++next_leaf;
+      return;
+    }
+    DNLR_CHECK_LT(static_cast<size_t>(child), nodes_.size());
+    renumber(nodes_[child].left);
+    renumber(nodes_[child].right);
+  };
+  int32_t root = 0;
+  renumber(root);
+  DNLR_CHECK_EQ(next_leaf, leaf_values_.size());
+  leaf_values_ = std::move(new_values);
+}
+
+uint32_t RegressionTree::Depth() const {
+  if (nodes_.empty()) return 0;
+  uint32_t max_depth = 0;
+  std::function<void(int32_t, uint32_t)> visit = [&](int32_t child,
+                                                     uint32_t depth) {
+    if (TreeNode::IsLeaf(child)) {
+      max_depth = std::max(max_depth, depth);
+      return;
+    }
+    visit(nodes_[child].left, depth + 1);
+    visit(nodes_[child].right, depth + 1);
+  };
+  visit(0, 0);
+  return max_depth;
+}
+
+}  // namespace dnlr::gbdt

@@ -1,0 +1,66 @@
+#include "gbdt/tuner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "metrics/metrics.h"
+
+namespace dnlr::gbdt {
+
+TunerResult TuneLambdaMart(const data::Dataset& train,
+                           const data::Dataset& valid,
+                           const TunerConfig& config) {
+  DNLR_CHECK_GT(config.trials, 0u);
+  Rng rng(config.seed);
+  TunerResult result;
+
+  for (uint32_t trial = 0; trial < config.trials; ++trial) {
+    BoosterConfig candidate;
+    candidate.num_trees = config.num_trees;
+    candidate.num_leaves = config.num_leaves;
+    // Log-uniform over rates, uniform over counts — HyperOpt's usual priors
+    // for these knobs.
+    candidate.learning_rate =
+        std::exp(rng.Uniform(std::log(config.learning_rate_min),
+                             std::log(config.learning_rate_max)));
+    candidate.min_docs_per_leaf =
+        config.min_docs_min +
+        static_cast<uint32_t>(
+            rng.Below(config.min_docs_max - config.min_docs_min + 1));
+    candidate.lambda_l2 = std::exp(
+        rng.Uniform(std::log(config.lambda_l2_min), std::log(config.lambda_l2_max)));
+    candidate.min_sum_hessian_per_leaf = std::exp(rng.Uniform(
+        std::log(config.min_hessian_min), std::log(config.min_hessian_max)));
+    candidate.early_stopping_rounds = 4;
+    candidate.eval_period = 25;
+    candidate.eval_ndcg_cutoff = config.ndcg_cutoff;
+
+    Booster booster(candidate);
+    const Ensemble model = booster.TrainLambdaMart(train, &valid);
+    TunerTrial evaluated;
+    evaluated.config = candidate;
+    evaluated.trees_used = model.num_trees();
+    evaluated.valid_ndcg = metrics::MeanNdcg(
+        valid, model.ScoreDataset(valid), config.ndcg_cutoff);
+    if (config.verbose) {
+      std::fprintf(stderr,
+                   "[tuner] trial %u: lr %.3f min_docs %u l2 %.2f -> "
+                   "NDCG@%u %.4f (%u trees)\n",
+                   trial, candidate.learning_rate, candidate.min_docs_per_leaf,
+                   candidate.lambda_l2, config.ndcg_cutoff,
+                   evaluated.valid_ndcg, evaluated.trees_used);
+    }
+    result.trials.push_back(evaluated);
+  }
+
+  std::stable_sort(result.trials.begin(), result.trials.end(),
+                   [](const TunerTrial& a, const TunerTrial& b) {
+                     return a.valid_ndcg > b.valid_ndcg;
+                   });
+  return result;
+}
+
+}  // namespace dnlr::gbdt

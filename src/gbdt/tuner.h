@@ -1,0 +1,57 @@
+#ifndef DNLR_GBDT_TUNER_H_
+#define DNLR_GBDT_TUNER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "gbdt/booster.h"
+
+namespace dnlr::gbdt {
+
+/// Random-search hyper-parameter tuner for LambdaMART, playing the role of
+/// the HyperOpt library the paper uses (Section 6.1): samples the same knobs
+/// the paper tunes — learning rate, min docs per leaf, min hessian per leaf
+/// (plus L2) — trains each candidate with early stopping, and keeps the
+/// configuration with the best validation NDCG@10.
+struct TunerConfig {
+  /// Number of random configurations to evaluate.
+  uint32_t trials = 8;
+  /// Fixed structural parameters of every candidate.
+  uint32_t num_trees = 300;
+  uint32_t num_leaves = 64;
+  /// Search ranges (log-uniform for rates, uniform for counts).
+  double learning_rate_min = 0.02;
+  double learning_rate_max = 0.3;
+  uint32_t min_docs_min = 10;
+  uint32_t min_docs_max = 100;
+  double lambda_l2_min = 0.1;
+  double lambda_l2_max = 20.0;
+  double min_hessian_min = 1e-4;
+  double min_hessian_max = 1e-1;
+  uint32_t ndcg_cutoff = 10;
+  uint64_t seed = 31337;
+  bool verbose = false;
+};
+
+/// One evaluated trial.
+struct TunerTrial {
+  BoosterConfig config;
+  double valid_ndcg = 0.0;
+  uint32_t trees_used = 0;
+};
+
+/// Result: all trials plus the winner (trials sorted best-first).
+struct TunerResult {
+  std::vector<TunerTrial> trials;
+  const TunerTrial& best() const { return trials.front(); }
+};
+
+/// Runs the random search. Deterministic in config.seed.
+TunerResult TuneLambdaMart(const data::Dataset& train,
+                           const data::Dataset& valid,
+                           const TunerConfig& config);
+
+}  // namespace dnlr::gbdt
+
+#endif  // DNLR_GBDT_TUNER_H_

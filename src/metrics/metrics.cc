@@ -1,0 +1,202 @@
+#include "metrics/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/rng.h"
+
+namespace dnlr::metrics {
+namespace {
+
+double Gain(float label) { return std::exp2(static_cast<double>(label)) - 1.0; }
+
+double Discount(size_t rank) { return 1.0 / std::log2(static_cast<double>(rank) + 2.0); }
+
+}  // namespace
+
+std::vector<uint32_t> RankByScore(std::span<const float> scores) {
+  std::vector<uint32_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return scores[a] > scores[b];
+  });
+  return order;
+}
+
+double Dcg(std::span<const float> labels, std::span<const float> scores,
+           uint32_t k) {
+  DNLR_CHECK_EQ(labels.size(), scores.size());
+  const std::vector<uint32_t> order = RankByScore(scores);
+  const size_t cutoff = k == 0 ? order.size() : std::min<size_t>(k, order.size());
+  double dcg = 0.0;
+  for (size_t rank = 0; rank < cutoff; ++rank) {
+    dcg += Gain(labels[order[rank]]) * Discount(rank);
+  }
+  return dcg;
+}
+
+double IdealDcg(std::span<const float> labels, uint32_t k) {
+  std::vector<float> sorted(labels.begin(), labels.end());
+  std::sort(sorted.begin(), sorted.end(), std::greater<float>());
+  const size_t cutoff = k == 0 ? sorted.size() : std::min<size_t>(k, sorted.size());
+  double dcg = 0.0;
+  for (size_t rank = 0; rank < cutoff; ++rank) {
+    dcg += Gain(sorted[rank]) * Discount(rank);
+  }
+  return dcg;
+}
+
+double Ndcg(std::span<const float> labels, std::span<const float> scores,
+            uint32_t k) {
+  const double ideal = IdealDcg(labels, k);
+  if (ideal <= 0.0) return -1.0;
+  return Dcg(labels, scores, k) / ideal;
+}
+
+double AveragePrecision(std::span<const float> labels,
+                        std::span<const float> scores) {
+  DNLR_CHECK_EQ(labels.size(), scores.size());
+  const std::vector<uint32_t> order = RankByScore(scores);
+  uint32_t relevant_so_far = 0;
+  double precision_sum = 0.0;
+  for (size_t rank = 0; rank < order.size(); ++rank) {
+    if (labels[order[rank]] >= 1.0f) {
+      ++relevant_so_far;
+      precision_sum += static_cast<double>(relevant_so_far) /
+                       static_cast<double>(rank + 1);
+    }
+  }
+  if (relevant_so_far == 0) return -1.0;
+  return precision_sum / relevant_so_far;
+}
+
+std::vector<double> PerQueryNdcg(const data::Dataset& dataset,
+                                 std::span<const float> scores, uint32_t k) {
+  DNLR_CHECK_EQ(scores.size(), dataset.num_docs());
+  std::vector<double> values(dataset.num_queries());
+  for (uint32_t q = 0; q < dataset.num_queries(); ++q) {
+    const uint32_t begin = dataset.QueryBegin(q);
+    const uint32_t size = dataset.QuerySize(q);
+    values[q] = Ndcg(
+        std::span<const float>(dataset.labels().data() + begin, size),
+        scores.subspan(begin, size), k);
+  }
+  return values;
+}
+
+std::vector<double> PerQueryMap(const data::Dataset& dataset,
+                                std::span<const float> scores) {
+  DNLR_CHECK_EQ(scores.size(), dataset.num_docs());
+  std::vector<double> values(dataset.num_queries());
+  for (uint32_t q = 0; q < dataset.num_queries(); ++q) {
+    const uint32_t begin = dataset.QueryBegin(q);
+    const uint32_t size = dataset.QuerySize(q);
+    values[q] = AveragePrecision(
+        std::span<const float>(dataset.labels().data() + begin, size),
+        scores.subspan(begin, size));
+  }
+  return values;
+}
+
+double MeanOverValidQueries(std::span<const double> per_query) {
+  double sum = 0.0;
+  size_t count = 0;
+  for (const double value : per_query) {
+    if (value >= 0.0) {
+      sum += value;
+      ++count;
+    }
+  }
+  return count > 0 ? sum / count : 0.0;
+}
+
+double MeanNdcg(const data::Dataset& dataset, std::span<const float> scores,
+                uint32_t k) {
+  const std::vector<double> per_query = PerQueryNdcg(dataset, scores, k);
+  return MeanOverValidQueries(per_query);
+}
+
+double MeanAp(const data::Dataset& dataset, std::span<const float> scores) {
+  const std::vector<double> per_query = PerQueryMap(dataset, scores);
+  return MeanOverValidQueries(per_query);
+}
+
+double Err(std::span<const float> labels, std::span<const float> scores,
+           uint32_t k, float max_grade) {
+  DNLR_CHECK_EQ(labels.size(), scores.size());
+  DNLR_CHECK_GT(max_grade, 0.0f);
+  bool any_relevant = false;
+  for (const float label : labels) any_relevant |= label > 0.0f;
+  if (!any_relevant) return -1.0;
+
+  const std::vector<uint32_t> order = RankByScore(scores);
+  const size_t cutoff = k == 0 ? order.size() : std::min<size_t>(k, order.size());
+  const double denom = std::exp2(static_cast<double>(max_grade));
+  double err = 0.0;
+  double not_satisfied = 1.0;
+  for (size_t rank = 0; rank < cutoff; ++rank) {
+    const double satisfaction =
+        (std::exp2(static_cast<double>(labels[order[rank]])) - 1.0) / denom;
+    err += not_satisfied * satisfaction / static_cast<double>(rank + 1);
+    not_satisfied *= 1.0 - satisfaction;
+  }
+  return err;
+}
+
+std::vector<double> PerQueryErr(const data::Dataset& dataset,
+                                std::span<const float> scores, uint32_t k) {
+  DNLR_CHECK_EQ(scores.size(), dataset.num_docs());
+  const float max_grade = std::max(1.0f, dataset.MaxLabel());
+  std::vector<double> values(dataset.num_queries());
+  for (uint32_t q = 0; q < dataset.num_queries(); ++q) {
+    const uint32_t begin = dataset.QueryBegin(q);
+    const uint32_t size = dataset.QuerySize(q);
+    values[q] =
+        Err(std::span<const float>(dataset.labels().data() + begin, size),
+            scores.subspan(begin, size), k, max_grade);
+  }
+  return values;
+}
+
+double MeanErr(const data::Dataset& dataset, std::span<const float> scores,
+               uint32_t k) {
+  const std::vector<double> per_query = PerQueryErr(dataset, scores, k);
+  return MeanOverValidQueries(per_query);
+}
+
+double FisherRandomizationPValue(std::span<const double> per_query_a,
+                                 std::span<const double> per_query_b,
+                                 int permutations, uint64_t seed) {
+  DNLR_CHECK_EQ(per_query_a.size(), per_query_b.size());
+  std::vector<double> diffs;
+  diffs.reserve(per_query_a.size());
+  for (size_t q = 0; q < per_query_a.size(); ++q) {
+    if (per_query_a[q] >= 0.0 && per_query_b[q] >= 0.0) {
+      diffs.push_back(per_query_a[q] - per_query_b[q]);
+    }
+  }
+  if (diffs.empty()) return 1.0;
+
+  const double observed =
+      std::fabs(std::accumulate(diffs.begin(), diffs.end(), 0.0) /
+                static_cast<double>(diffs.size()));
+
+  Rng rng(seed);
+  int at_least_as_extreme = 0;
+  for (int p = 0; p < permutations; ++p) {
+    double sum = 0.0;
+    for (const double diff : diffs) {
+      // Randomly swap the two systems' values for this query: the paired
+      // difference flips sign with probability 1/2.
+      sum += (rng.Next() & 1) ? diff : -diff;
+    }
+    const double permuted = std::fabs(sum / static_cast<double>(diffs.size()));
+    if (permuted >= observed - 1e-15) ++at_least_as_extreme;
+  }
+  // Add-one smoothing keeps the p-value strictly positive, the standard
+  // Monte-Carlo permutation-test estimator.
+  return (at_least_as_extreme + 1.0) / (permutations + 1.0);
+}
+
+}  // namespace dnlr::metrics

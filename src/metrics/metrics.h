@@ -1,0 +1,83 @@
+#ifndef DNLR_METRICS_METRICS_H_
+#define DNLR_METRICS_METRICS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace dnlr::metrics {
+
+/// Indices of `scores` sorted by descending score; ties broken by ascending
+/// index so rankings are deterministic.
+std::vector<uint32_t> RankByScore(std::span<const float> scores);
+
+/// DCG at cutoff `k` (k == 0 means no cutoff) of documents ranked by
+/// `scores`, with the exponential gain (2^label - 1) / log2-position
+/// discount of Jarvelin & Kekalainen — the definition used by all LETOR
+/// evaluation tools.
+double Dcg(std::span<const float> labels, std::span<const float> scores,
+           uint32_t k);
+
+/// The maximum attainable DCG@k for `labels` (documents sorted by label).
+double IdealDcg(std::span<const float> labels, uint32_t k);
+
+/// NDCG@k for one query. Queries whose ideal DCG is zero (no relevant
+/// documents) return -1 as a sentinel; aggregate functions skip them, the
+/// convention of the LightGBM/QuickRank evaluators the paper relies on.
+double Ndcg(std::span<const float> labels, std::span<const float> scores,
+            uint32_t k);
+
+/// Average precision for one query. Binary relevance is label >= 1 (the
+/// LETOR convention for graded judgments). Queries with no relevant
+/// documents return -1 (skipped in aggregates).
+double AveragePrecision(std::span<const float> labels,
+                        std::span<const float> scores);
+
+/// Per-query metric values over a dataset, given one score per document.
+/// Unjudgeable queries carry the -1 sentinel so two models' vectors stay
+/// aligned for the paired significance test.
+std::vector<double> PerQueryNdcg(const data::Dataset& dataset,
+                                 std::span<const float> scores, uint32_t k);
+std::vector<double> PerQueryMap(const data::Dataset& dataset,
+                                std::span<const float> scores);
+
+/// Mean over the valid (non-sentinel) entries of a per-query vector.
+double MeanOverValidQueries(std::span<const double> per_query);
+
+/// Mean NDCG@k over a dataset (k == 0: no cutoff).
+double MeanNdcg(const data::Dataset& dataset, std::span<const float> scores,
+                uint32_t k);
+
+/// Mean average precision over a dataset.
+double MeanAp(const data::Dataset& dataset, std::span<const float> scores);
+
+/// Expected Reciprocal Rank at cutoff `k` (k == 0: no cutoff) for one query
+/// (Chapelle et al.): a cascade user model where a document with grade g
+/// satisfies the user with probability (2^g - 1) / 2^g_max. Complements
+/// NDCG in LtR evaluations; queries with no relevant documents return the
+/// -1 sentinel. `max_grade` is the dataset's top grade (4 for MSLR/Istella).
+double Err(std::span<const float> labels, std::span<const float> scores,
+           uint32_t k, float max_grade = 4.0f);
+
+/// Per-query ERR over a dataset.
+std::vector<double> PerQueryErr(const data::Dataset& dataset,
+                                std::span<const float> scores, uint32_t k);
+
+/// Mean ERR@k over a dataset (sentinel queries skipped).
+double MeanErr(const data::Dataset& dataset, std::span<const float> scores,
+               uint32_t k);
+
+/// Fisher randomization (permutation) test on paired per-query metric
+/// values, the significance test used throughout the paper (p < 0.05).
+/// Returns the two-sided p-value for the null hypothesis that systems A and
+/// B are exchangeable. Queries where either side carries the -1 sentinel are
+/// excluded.
+double FisherRandomizationPValue(std::span<const double> per_query_a,
+                                 std::span<const double> per_query_b,
+                                 int permutations = 10000, uint64_t seed = 7);
+
+}  // namespace dnlr::metrics
+
+#endif  // DNLR_METRICS_METRICS_H_

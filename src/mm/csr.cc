@@ -1,0 +1,71 @@
+#include "mm/csr.h"
+
+#include <cmath>
+
+namespace dnlr::mm {
+
+CsrMatrix CsrMatrix::FromDense(const Matrix& dense, float epsilon) {
+  CsrMatrix csr;
+  csr.rows_ = dense.rows();
+  csr.cols_ = dense.cols();
+  csr.row_offsets_.reserve(csr.rows_ + 1);
+  csr.row_offsets_.push_back(0);
+  for (uint32_t r = 0; r < dense.rows(); ++r) {
+    const float* row = dense.Row(r);
+    for (uint32_t c = 0; c < dense.cols(); ++c) {
+      if (std::fabs(row[c]) > epsilon) {
+        csr.col_index_.push_back(c);
+        csr.values_.push_back(row[c]);
+      }
+    }
+    csr.row_offsets_.push_back(static_cast<uint32_t>(csr.values_.size()));
+  }
+  return csr;
+}
+
+CsrMatrix::CsrMatrix(uint32_t rows, uint32_t cols,
+                     std::vector<uint32_t> row_offsets,
+                     std::vector<uint32_t> col_index,
+                     std::vector<float> values)
+    : rows_(rows),
+      cols_(cols),
+      row_offsets_(std::move(row_offsets)),
+      col_index_(std::move(col_index)),
+      values_(std::move(values)) {
+  DNLR_CHECK_EQ(row_offsets_.size(), rows_ + 1);
+  DNLR_CHECK_EQ(col_index_.size(), values_.size());
+  DNLR_CHECK_EQ(row_offsets_.front(), 0u);
+  DNLR_CHECK_EQ(row_offsets_.back(), values_.size());
+  for (uint32_t r = 0; r < rows_; ++r) {
+    DNLR_CHECK_LE(row_offsets_[r], row_offsets_[r + 1]);
+  }
+  for (const uint32_t c : col_index_) DNLR_CHECK_LT(c, cols_);
+}
+
+uint32_t CsrMatrix::NumActiveRows() const {
+  uint32_t active = 0;
+  for (uint32_t r = 0; r < rows_; ++r) {
+    active += row_offsets_[r + 1] > row_offsets_[r];
+  }
+  return active;
+}
+
+uint32_t CsrMatrix::NumActiveCols() const {
+  std::vector<bool> seen(cols_, false);
+  for (const uint32_t c : col_index_) seen[c] = true;
+  uint32_t active = 0;
+  for (const bool bit : seen) active += bit;
+  return active;
+}
+
+Matrix CsrMatrix::ToDense() const {
+  Matrix dense(rows_, cols_);
+  for (uint32_t r = 0; r < rows_; ++r) {
+    for (uint32_t i = row_offsets_[r]; i < row_offsets_[r + 1]; ++i) {
+      dense.At(r, col_index_[i]) = values_[i];
+    }
+  }
+  return dense;
+}
+
+}  // namespace dnlr::mm

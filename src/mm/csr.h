@@ -1,0 +1,61 @@
+#ifndef DNLR_MM_CSR_H_
+#define DNLR_MM_CSR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "mm/matrix.h"
+
+namespace dnlr::mm {
+
+/// Compressed Sparse Row matrix (Section 4.3, Figure 7): `values` holds the
+/// non-zeros, `col_index[i]` their column, and row r's entries occupy
+/// [row_offsets[r], row_offsets[r+1]).
+class CsrMatrix {
+ public:
+  CsrMatrix() : rows_(0), cols_(0) {}
+
+  /// Compresses a dense matrix; entries with |value| <= `epsilon` are
+  /// treated as zero (pruned weights are exactly zero, so the default 0
+  /// keeps everything else).
+  static CsrMatrix FromDense(const Matrix& dense, float epsilon = 0.0f);
+
+  /// Builds directly from CSR arrays (sizes validated).
+  CsrMatrix(uint32_t rows, uint32_t cols, std::vector<uint32_t> row_offsets,
+            std::vector<uint32_t> col_index, std::vector<float> values);
+
+  uint32_t rows() const { return rows_; }
+  uint32_t cols() const { return cols_; }
+  uint32_t nnz() const { return static_cast<uint32_t>(values_.size()); }
+
+  const std::vector<uint32_t>& row_offsets() const { return row_offsets_; }
+  const std::vector<uint32_t>& col_index() const { return col_index_; }
+  const std::vector<float>& values() const { return values_; }
+
+  /// Fraction of zero entries.
+  double Sparsity() const {
+    const double total = static_cast<double>(rows_) * cols_;
+    return total > 0 ? 1.0 - nnz() / total : 0.0;
+  }
+
+  /// Number of rows with at least one non-zero (|a_r| in the sparse time
+  /// predictor, Equation 5).
+  uint32_t NumActiveRows() const;
+
+  /// Number of columns with at least one non-zero (|a_c| in Equation 5).
+  uint32_t NumActiveCols() const;
+
+  /// Expands back to dense (test helper).
+  Matrix ToDense() const;
+
+ private:
+  uint32_t rows_;
+  uint32_t cols_;
+  std::vector<uint32_t> row_offsets_;  // size rows_ + 1
+  std::vector<uint32_t> col_index_;    // size nnz
+  std::vector<float> values_;          // size nnz
+};
+
+}  // namespace dnlr::mm
+
+#endif  // DNLR_MM_CSR_H_

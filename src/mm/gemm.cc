@@ -1,0 +1,250 @@
+#include "mm/gemm.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/aligned.h"
+#include "common/timer.h"
+
+#if defined(__AVX2__) && defined(__FMA__)
+#define DNLR_GEMM_SIMD 1
+#include <immintrin.h>
+#endif
+
+namespace dnlr::mm {
+namespace {
+
+/// Packs the A block A[row0:row0+mb, col0:col0+kb] into `packed`, arranged
+/// as ceil(mb/mr) row-panels; within a panel, entries are stored p-major
+/// (mr consecutive A values per k step), exactly the order the micro-kernel
+/// broadcasts them in. Rows beyond the block are zero padded.
+void PackA(const Matrix& a, uint32_t row0, uint32_t mb, uint32_t col0,
+           uint32_t kb, uint32_t mr, float* packed) {
+  for (uint32_t ir = 0; ir < mb; ir += mr) {
+    const uint32_t rows = std::min(mr, mb - ir);
+    for (uint32_t p = 0; p < kb; ++p) {
+      for (uint32_t r = 0; r < mr; ++r) {
+        *packed++ =
+            r < rows ? a.At(row0 + ir + r, col0 + p) : 0.0f;
+      }
+    }
+  }
+}
+
+/// Packs the B panel B[row0:row0+kb, col0:col0+nb] into `packed`, arranged
+/// as ceil(nb/nr) column-panels; within a panel, nr consecutive B values per
+/// k step (row-major micro-panels). Columns beyond the panel are zero
+/// padded.
+void PackB(const Matrix& b, uint32_t row0, uint32_t kb, uint32_t col0,
+           uint32_t nb, uint32_t nr, float* packed) {
+  for (uint32_t jr = 0; jr < nb; jr += nr) {
+    const uint32_t cols = std::min(nr, nb - jr);
+    for (uint32_t p = 0; p < kb; ++p) {
+      const float* row = b.Row(row0 + p) + col0 + jr;
+      for (uint32_t c = 0; c < nr; ++c) {
+        *packed++ = c < cols ? row[c] : 0.0f;
+      }
+    }
+  }
+}
+
+/// Generic micro-kernel: accumulates an mr x nr rank-kb update into the
+/// local tile buffer `acc` (row-major mr x nr).
+void MicroKernelScalar(uint32_t kb, uint32_t mr, uint32_t nr,
+                       const float* a_panel, const float* b_panel,
+                       float* acc) {
+  for (uint32_t p = 0; p < kb; ++p) {
+    const float* a_col = a_panel + static_cast<size_t>(p) * mr;
+    const float* b_row = b_panel + static_cast<size_t>(p) * nr;
+    for (uint32_t r = 0; r < mr; ++r) {
+      const float a_val = a_col[r];
+      float* acc_row = acc + static_cast<size_t>(r) * nr;
+      for (uint32_t c = 0; c < nr; ++c) acc_row[c] += a_val * b_row[c];
+    }
+  }
+}
+
+#ifdef DNLR_GEMM_SIMD
+/// AVX2+FMA micro-kernel for mr = 6, nr = 16: the 6x16 C tile lives in 12
+/// ymm accumulators; each k step is one broadcast per row and two FMAs,
+/// the register-blocked rank-1 update of Figure 3 in the paper.
+void MicroKernel6x16Avx2(uint32_t kb, const float* a_panel,
+                         const float* b_panel, float* acc) {
+  __m256 c00 = _mm256_setzero_ps(), c01 = _mm256_setzero_ps();
+  __m256 c10 = _mm256_setzero_ps(), c11 = _mm256_setzero_ps();
+  __m256 c20 = _mm256_setzero_ps(), c21 = _mm256_setzero_ps();
+  __m256 c30 = _mm256_setzero_ps(), c31 = _mm256_setzero_ps();
+  __m256 c40 = _mm256_setzero_ps(), c41 = _mm256_setzero_ps();
+  __m256 c50 = _mm256_setzero_ps(), c51 = _mm256_setzero_ps();
+  for (uint32_t p = 0; p < kb; ++p) {
+    const __m256 b0 = _mm256_loadu_ps(b_panel);
+    const __m256 b1 = _mm256_loadu_ps(b_panel + 8);
+    b_panel += 16;
+    __m256 a;
+    a = _mm256_broadcast_ss(a_panel + 0);
+    c00 = _mm256_fmadd_ps(a, b0, c00);
+    c01 = _mm256_fmadd_ps(a, b1, c01);
+    a = _mm256_broadcast_ss(a_panel + 1);
+    c10 = _mm256_fmadd_ps(a, b0, c10);
+    c11 = _mm256_fmadd_ps(a, b1, c11);
+    a = _mm256_broadcast_ss(a_panel + 2);
+    c20 = _mm256_fmadd_ps(a, b0, c20);
+    c21 = _mm256_fmadd_ps(a, b1, c21);
+    a = _mm256_broadcast_ss(a_panel + 3);
+    c30 = _mm256_fmadd_ps(a, b0, c30);
+    c31 = _mm256_fmadd_ps(a, b1, c31);
+    a = _mm256_broadcast_ss(a_panel + 4);
+    c40 = _mm256_fmadd_ps(a, b0, c40);
+    c41 = _mm256_fmadd_ps(a, b1, c41);
+    a = _mm256_broadcast_ss(a_panel + 5);
+    c50 = _mm256_fmadd_ps(a, b0, c50);
+    c51 = _mm256_fmadd_ps(a, b1, c51);
+    a_panel += 6;
+  }
+  _mm256_storeu_ps(acc + 0, c00);
+  _mm256_storeu_ps(acc + 8, c01);
+  _mm256_storeu_ps(acc + 16, c10);
+  _mm256_storeu_ps(acc + 24, c11);
+  _mm256_storeu_ps(acc + 32, c20);
+  _mm256_storeu_ps(acc + 40, c21);
+  _mm256_storeu_ps(acc + 48, c30);
+  _mm256_storeu_ps(acc + 56, c31);
+  _mm256_storeu_ps(acc + 64, c40);
+  _mm256_storeu_ps(acc + 72, c41);
+  _mm256_storeu_ps(acc + 80, c50);
+  _mm256_storeu_ps(acc + 88, c51);
+}
+#endif  // DNLR_GEMM_SIMD
+
+}  // namespace
+
+uint32_t RoundUp(uint32_t a, uint32_t b) {
+  DNLR_CHECK_GT(b, 0u);
+  return (a + b - 1) / b * b;
+}
+
+GemmParams GemmParams::TailoredTo(uint32_t m, uint32_t n, uint32_t k) const {
+  GemmParams tailored = *this;
+  // The oneDNN small-shape refinement quoted in the paper:
+  //   m_c = rnd_up(min(max(m, m_r), m_c), m_r), and similarly for n_c / k_c.
+  tailored.mc = RoundUp(std::min(std::max(m, mr), mc), mr);
+  tailored.nc = RoundUp(std::min(std::max(n, nr), nc), nr);
+  tailored.kc = std::min(std::max(k, 1u), kc);
+  return tailored;
+}
+
+void GemmWithParams(const Matrix& a, const Matrix& b, Matrix* c,
+                    const GemmParams& raw_params) {
+  const uint32_t m = a.rows();
+  const uint32_t k = a.cols();
+  const uint32_t n = b.cols();
+  DNLR_CHECK_EQ(b.rows(), k);
+  DNLR_CHECK_EQ(c->rows(), m);
+  DNLR_CHECK_EQ(c->cols(), n);
+
+  const GemmParams params = raw_params.TailoredTo(m, n, k);
+  const uint32_t mr = params.mr;
+  const uint32_t nr = params.nr;
+
+  c->Fill(0.0f);
+  if (m == 0 || n == 0 || k == 0) return;
+
+#ifdef DNLR_GEMM_SIMD
+  const bool use_simd = (mr == 6 && nr == 16);
+#else
+  const bool use_simd = false;
+#endif
+
+  AlignedBuffer packed_a(static_cast<size_t>(RoundUp(params.mc, mr)) *
+                         params.kc);
+  AlignedBuffer packed_b(static_cast<size_t>(params.kc) *
+                         RoundUp(params.nc, nr));
+  AlignedBuffer tile(static_cast<size_t>(mr) * nr);
+
+  for (uint32_t jc = 0; jc < n; jc += params.nc) {
+    const uint32_t nb = std::min(params.nc, n - jc);
+    for (uint32_t pc = 0; pc < k; pc += params.kc) {
+      const uint32_t kb = std::min(params.kc, k - pc);
+      PackB(b, pc, kb, jc, nb, nr, packed_b.data());
+      for (uint32_t ic = 0; ic < m; ic += params.mc) {
+        const uint32_t mb = std::min(params.mc, m - ic);
+        PackA(a, ic, mb, pc, kb, mr, packed_a.data());
+        // Macro-kernel: stream micro-panels of the packed blocks.
+        for (uint32_t jr = 0; jr < nb; jr += nr) {
+          const uint32_t cols = std::min(nr, nb - jr);
+          const float* b_panel =
+              packed_b.data() + static_cast<size_t>(jr / nr) * kb * nr;
+          for (uint32_t ir = 0; ir < mb; ir += mr) {
+            const uint32_t rows = std::min(mr, mb - ir);
+            const float* a_panel =
+                packed_a.data() + static_cast<size_t>(ir / mr) * kb * mr;
+#ifdef DNLR_GEMM_SIMD
+            if (use_simd) {
+              MicroKernel6x16Avx2(kb, a_panel, b_panel, tile.data());
+            } else {
+              std::memset(tile.data(), 0, sizeof(float) * mr * nr);
+              MicroKernelScalar(kb, mr, nr, a_panel, b_panel, tile.data());
+            }
+#else
+            std::memset(tile.data(), 0, sizeof(float) * mr * nr);
+            MicroKernelScalar(kb, mr, nr, a_panel, b_panel, tile.data());
+#endif
+            // Accumulate the valid part of the tile into C.
+            for (uint32_t r = 0; r < rows; ++r) {
+              float* c_row = c->Row(ic + ir + r) + jc + jr;
+              const float* tile_row = tile.data() + static_cast<size_t>(r) * nr;
+              for (uint32_t col = 0; col < cols; ++col) {
+                c_row[col] += tile_row[col];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void Gemm(const Matrix& a, const Matrix& b, Matrix* c) {
+  GemmWithParams(a, b, c, GemmParams());
+}
+
+void GemmReference(const Matrix& a, const Matrix& b, Matrix* c) {
+  const uint32_t m = a.rows();
+  const uint32_t k = a.cols();
+  const uint32_t n = b.cols();
+  DNLR_CHECK_EQ(b.rows(), k);
+  DNLR_CHECK_EQ(c->rows(), m);
+  DNLR_CHECK_EQ(c->cols(), n);
+  c->Fill(0.0f);
+  for (uint32_t i = 0; i < m; ++i) {
+    for (uint32_t p = 0; p < k; ++p) {
+      const float a_val = a.At(i, p);
+      const float* b_row = b.Row(p);
+      float* c_row = c->Row(i);
+      for (uint32_t j = 0; j < n; ++j) c_row[j] += a_val * b_row[j];
+    }
+  }
+}
+
+bool GemmHasSimd() {
+#ifdef DNLR_GEMM_SIMD
+  return true;
+#else
+  return false;
+#endif
+}
+
+double MeasureGemmGflops(uint32_t m, uint32_t k, uint32_t n, int repeats,
+                         uint64_t seed) {
+  Rng rng(seed);
+  Matrix a(m, k);
+  Matrix b(k, n);
+  Matrix c(m, n);
+  a.FillUniform(rng);
+  b.FillUniform(rng);
+  const double micros = TimeMicros([&] { Gemm(a, b, &c); }, repeats);
+  const double flops = 2.0 * m * n * k;
+  return flops / (micros * 1e-6) / 1e9;
+}
+
+}  // namespace dnlr::mm

@@ -1,0 +1,54 @@
+#ifndef DNLR_MM_GEMM_H_
+#define DNLR_MM_GEMM_H_
+
+#include <cstdint>
+
+#include "mm/matrix.h"
+
+namespace dnlr::mm {
+
+/// Blocking parameters of the Goto algorithm (Section 4.1 of the paper).
+/// The macro-kernel streams an MC x KC packed block of A (L2-resident)
+/// against a KC x NC packed panel of B (L3-resident); the micro-kernel
+/// computes an MR x NR tile of C held entirely in vector registers.
+struct GemmParams {
+  uint32_t mc = 72;    // rows of the packed A block (multiple of mr)
+  uint32_t kc = 256;   // shared dimension slice
+  uint32_t nc = 4080;  // columns of the packed B panel (multiple of nr)
+  uint32_t mr = 6;     // micro-tile rows (register blocking)
+  uint32_t nr = 16;    // micro-tile cols (two AVX2 vectors of 8 floats)
+
+  /// oneDNN-style tailoring for small shapes (the rnd_up logic quoted in
+  /// Section 4.2): clamps each blocking parameter to the actual problem
+  /// size, rounded up to the micro-kernel granularity, so tiny matrices do
+  /// not pay full-size packing overhead.
+  GemmParams TailoredTo(uint32_t m, uint32_t n, uint32_t k) const;
+};
+
+/// rnd_up(a, b): smallest multiple of b that is >= a (paper Section 4.2).
+uint32_t RoundUp(uint32_t a, uint32_t b);
+
+/// C = A * B with the blocked Goto algorithm. A is m x k, B is k x n, C is
+/// m x n, all row-major. C is overwritten.
+void Gemm(const Matrix& a, const Matrix& b, Matrix* c);
+
+/// C = A * B with explicit blocking parameters (for the parameter-tuning
+/// ablation; `params` is tailored internally to the problem shape).
+void GemmWithParams(const Matrix& a, const Matrix& b, Matrix* c,
+                    const GemmParams& params);
+
+/// Reference triple-loop GEMM (ablation baseline and test oracle).
+void GemmReference(const Matrix& a, const Matrix& b, Matrix* c);
+
+/// Whether the AVX2+FMA micro-kernel is compiled in.
+bool GemmHasSimd();
+
+/// Measured GFLOPS of C = A*B at the given shape: runs the multiplication
+/// `repeats` times and reports 2*m*n*k / best_time. Used to build the dense
+/// time predictor's calibration table (Figures 4-6).
+double MeasureGemmGflops(uint32_t m, uint32_t k, uint32_t n, int repeats = 3,
+                         uint64_t seed = 99);
+
+}  // namespace dnlr::mm
+
+#endif  // DNLR_MM_GEMM_H_

@@ -1,0 +1,38 @@
+#include "mm/matrix.h"
+
+#include <cmath>
+
+namespace dnlr::mm {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<float>> values) {
+  rows_ = static_cast<uint32_t>(values.size());
+  cols_ = rows_ > 0 ? static_cast<uint32_t>(values.begin()->size()) : 0;
+  storage_.Resize(static_cast<size_t>(rows_) * cols_);
+  uint32_t r = 0;
+  for (const auto& row : values) {
+    DNLR_CHECK_EQ(row.size(), cols_) << "ragged initializer";
+    uint32_t c = 0;
+    for (const float value : row) At(r, c++) = value;
+    ++r;
+  }
+}
+
+float Matrix::MaxAbsDiff(const Matrix& other) const {
+  DNLR_CHECK_EQ(rows_, other.rows_);
+  DNLR_CHECK_EQ(cols_, other.cols_);
+  float max_diff = 0.0f;
+  for (size_t i = 0; i < size(); ++i) {
+    max_diff = std::max(max_diff, std::fabs(data()[i] - other.data()[i]));
+  }
+  return max_diff;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix out(cols_, rows_);
+  for (uint32_t r = 0; r < rows_; ++r) {
+    for (uint32_t c = 0; c < cols_; ++c) out.At(c, r) = At(r, c);
+  }
+  return out;
+}
+
+}  // namespace dnlr::mm

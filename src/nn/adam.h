@@ -1,0 +1,39 @@
+#ifndef DNLR_NN_ADAM_H_
+#define DNLR_NN_ADAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace dnlr::nn {
+
+/// Adam optimizer configuration (paper: lr = 0.001, no weight decay; the
+/// learning rate is multiplied by `gamma` at the epochs in `gamma_epochs`).
+struct AdamConfig {
+  double learning_rate = 1e-3;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double epsilon = 1e-8;
+  double weight_decay = 0.0;
+};
+
+/// Adam state for one flat parameter array (a weight matrix or a bias
+/// vector).
+class AdamState {
+ public:
+  explicit AdamState(size_t size) : m_(size, 0.0f), v_(size, 0.0f) {}
+
+  /// Applies one Adam step to `params` given `grads`, at the given step
+  /// count (1-based) and effective learning rate.
+  void Step(const AdamConfig& config, double lr, uint64_t step, float* params,
+            const float* grads, size_t size);
+
+ private:
+  std::vector<float> m_;
+  std::vector<float> v_;
+};
+
+}  // namespace dnlr::nn
+
+#endif  // DNLR_NN_ADAM_H_

@@ -1,0 +1,79 @@
+#include "nn/distill.h"
+
+#include <algorithm>
+
+namespace dnlr::nn {
+
+DistillationSampler::DistillationSampler(const data::Dataset& raw_train,
+                                         const gbdt::Ensemble& teacher,
+                                         const data::ZNormalizer& normalizer,
+                                         bool augment, uint64_t seed)
+    : raw_train_(&raw_train),
+      teacher_(&teacher),
+      normalizer_(&normalizer),
+      augment_(augment),
+      rng_(seed) {
+  DNLR_CHECK_GT(raw_train.num_docs(), 0u);
+  DNLR_CHECK_EQ(normalizer.num_features(), raw_train.num_features());
+
+  teacher_scores_ = teacher.ScoreDataset(raw_train);
+
+  // Per-feature midpoint lists: teacher split points plus the training
+  // min/max, sorted, then replaced by adjacent midpoints.
+  const uint32_t num_features = raw_train.num_features();
+  midpoints_.resize(num_features);
+  const std::vector<std::vector<float>> splits =
+      teacher.SplitPointsPerFeature(num_features);
+  const std::vector<float> mins = raw_train.FeatureMin();
+  const std::vector<float> maxs = raw_train.FeatureMax();
+  for (uint32_t f = 0; f < num_features; ++f) {
+    std::vector<float> points = splits[f];
+    points.push_back(mins[f]);
+    points.push_back(maxs[f]);
+    std::sort(points.begin(), points.end());
+    points.erase(std::unique(points.begin(), points.end()), points.end());
+    std::vector<float>& mids = midpoints_[f];
+    if (points.size() < 2) {
+      // Constant / never-split feature: the single value is its own list.
+      mids.assign(1, points.empty() ? 0.0f : points[0]);
+      continue;
+    }
+    mids.reserve(points.size() - 1);
+    for (size_t i = 0; i + 1 < points.size(); ++i) {
+      mids.push_back(0.5f * (points[i] + points[i + 1]));
+    }
+  }
+  scratch_raw_.resize(num_features);
+}
+
+void DistillationSampler::SampleBatch(uint32_t batch, mm::Matrix* inputs,
+                                      std::vector<float>* targets) {
+  const uint32_t num_features = raw_train_->num_features();
+  if (inputs->rows() != batch || inputs->cols() != num_features) {
+    *inputs = mm::Matrix(batch, num_features);
+  }
+  targets->resize(batch);
+
+  // With augmentation, every other sample is synthetic (half the batch, as
+  // in the paper); without it, all samples are real documents.
+  for (uint32_t b = 0; b < batch; ++b) {
+    const bool synthetic = augment_ && (b % 2 == 1);
+    float* row = inputs->Row(b);
+    if (synthetic) {
+      for (uint32_t f = 0; f < num_features; ++f) {
+        const std::vector<float>& mids = midpoints_[f];
+        scratch_raw_[f] = mids[rng_.Below(mids.size())];
+      }
+      (*targets)[b] = static_cast<float>(teacher_->Score(scratch_raw_.data()));
+      std::copy(scratch_raw_.begin(), scratch_raw_.end(), row);
+    } else {
+      const auto doc = static_cast<uint32_t>(rng_.Below(raw_train_->num_docs()));
+      const float* raw = raw_train_->Row(doc);
+      std::copy(raw, raw + num_features, row);
+      (*targets)[b] = teacher_scores_[doc];
+    }
+    normalizer_->Apply(row);
+  }
+}
+
+}  // namespace dnlr::nn

@@ -1,0 +1,53 @@
+#ifndef DNLR_NN_DISTILL_H_
+#define DNLR_NN_DISTILL_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "data/normalize.h"
+#include "gbdt/ensemble.h"
+#include "mm/matrix.h"
+
+namespace dnlr::nn {
+
+/// Training-batch source for knowledge distillation in the Cohen et al.
+/// style (paper Section 3): targets are the teacher ensemble's scores, and
+/// half of every batch is synthetic — each feature drawn independently from
+/// the midpoints of the teacher's split points (augmented with the feature's
+/// training min/max) so the student sees the whole feature space the teacher
+/// partitions, not just the training documents. Inputs are Z-normalized;
+/// teacher scoring happens on the raw (unnormalized) vectors.
+class DistillationSampler {
+ public:
+  DistillationSampler(const data::Dataset& raw_train,
+                      const gbdt::Ensemble& teacher,
+                      const data::ZNormalizer& normalizer, bool augment,
+                      uint64_t seed);
+
+  /// Fills `inputs` (batch x num_features, normalized) and `targets`
+  /// (teacher scores), resizing as needed.
+  void SampleBatch(uint32_t batch, mm::Matrix* inputs,
+                   std::vector<float>* targets);
+
+  /// Midpoint list of one feature (exposed for tests).
+  const std::vector<float>& Midpoints(uint32_t feature) const {
+    return midpoints_[feature];
+  }
+
+  bool augment() const { return augment_; }
+
+ private:
+  const data::Dataset* raw_train_;
+  const gbdt::Ensemble* teacher_;
+  const data::ZNormalizer* normalizer_;
+  bool augment_;
+  Rng rng_;
+  std::vector<float> teacher_scores_;           // per training document
+  std::vector<std::vector<float>> midpoints_;   // per feature
+  std::vector<float> scratch_raw_;              // one raw feature vector
+};
+
+}  // namespace dnlr::nn
+
+#endif  // DNLR_NN_DISTILL_H_

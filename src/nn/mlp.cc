@@ -1,0 +1,148 @@
+#include "nn/mlp.h"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+namespace dnlr::nn {
+
+Mlp::Mlp(const predict::Architecture& arch, uint64_t seed) : arch_(arch) {
+  DNLR_CHECK_GT(arch.input_dim, 0u);
+  DNLR_CHECK(!arch.hidden.empty());
+  Rng rng(seed);
+  for (const auto& [out, in] : arch.LayerShapes()) {
+    LinearLayer layer;
+    layer.weight = mm::Matrix(out, in);
+    // He initialization: suited to ReLU-family activations.
+    const float stddev = std::sqrt(2.0f / static_cast<float>(in));
+    layer.weight.FillNormal(rng, 0.0f, stddev);
+    layer.bias.assign(out, 0.0f);
+    layers_.push_back(std::move(layer));
+  }
+}
+
+std::vector<float> Mlp::Forward(const mm::Matrix& input) const {
+  DNLR_CHECK_EQ(input.cols(), arch_.input_dim);
+  const uint32_t batch = input.rows();
+  mm::Matrix current = input;
+  for (uint32_t l = 0; l < num_layers(); ++l) {
+    const LinearLayer& layer = layers_[l];
+    mm::Matrix next(batch, layer.out_dim());
+    for (uint32_t b = 0; b < batch; ++b) {
+      const float* x = current.Row(b);
+      float* y = next.Row(b);
+      for (uint32_t o = 0; o < layer.out_dim(); ++o) {
+        const float* w = layer.weight.Row(o);
+        float sum = layer.bias[o];
+        for (uint32_t i = 0; i < layer.in_dim(); ++i) sum += w[i] * x[i];
+        y[o] = (l + 1 < num_layers()) ? Relu6(sum) : sum;
+      }
+    }
+    current = std::move(next);
+  }
+  std::vector<float> scores(batch);
+  for (uint32_t b = 0; b < batch; ++b) scores[b] = current.At(b, 0);
+  return scores;
+}
+
+float Mlp::ForwardOne(const float* features) const {
+  mm::Matrix input(1, arch_.input_dim);
+  for (uint32_t f = 0; f < arch_.input_dim; ++f) input.At(0, f) = features[f];
+  return Forward(input)[0];
+}
+
+size_t Mlp::NumWeights() const {
+  size_t count = 0;
+  for (const LinearLayer& layer : layers_) count += layer.weight.size();
+  return count;
+}
+
+double Mlp::WeightSparsity() const {
+  size_t zeros = 0;
+  size_t total = 0;
+  for (const LinearLayer& layer : layers_) {
+    total += layer.weight.size();
+    for (size_t i = 0; i < layer.weight.size(); ++i) {
+      zeros += layer.weight.data()[i] == 0.0f;
+    }
+  }
+  return total > 0 ? static_cast<double>(zeros) / total : 0.0;
+}
+
+// Grammar:
+//   mlp <input_dim> <num_hidden> <h1> ... <hd>
+//   layer <out> <in>
+//   <out*in weights> <out biases>
+std::string Mlp::Serialize() const {
+  std::ostringstream out;
+  out.precision(9);
+  out << "mlp " << arch_.input_dim << ' ' << arch_.hidden.size();
+  for (const uint32_t h : arch_.hidden) out << ' ' << h;
+  out << '\n';
+  for (const LinearLayer& layer : layers_) {
+    out << "layer " << layer.out_dim() << ' ' << layer.in_dim() << '\n';
+    for (size_t i = 0; i < layer.weight.size(); ++i) {
+      out << layer.weight.data()[i] << (i + 1 == layer.weight.size() ? '\n' : ' ');
+    }
+    for (size_t i = 0; i < layer.bias.size(); ++i) {
+      out << layer.bias[i] << (i + 1 == layer.bias.size() ? '\n' : ' ');
+    }
+  }
+  return out.str();
+}
+
+Result<Mlp> Mlp::Deserialize(const std::string& text) {
+  std::istringstream in(text);
+  std::string keyword;
+  uint32_t input_dim = 0;
+  size_t num_hidden = 0;
+  if (!(in >> keyword >> input_dim >> num_hidden) || keyword != "mlp") {
+    return Status::ParseError("expected 'mlp <input> <layers> ...' header");
+  }
+  std::vector<uint32_t> hidden(num_hidden);
+  for (uint32_t& h : hidden) {
+    if (!(in >> h)) return Status::ParseError("truncated architecture");
+  }
+  Mlp mlp(predict::Architecture(input_dim, hidden), /*seed=*/0);
+  for (uint32_t l = 0; l < mlp.num_layers(); ++l) {
+    uint32_t out_dim = 0;
+    uint32_t in_dim = 0;
+    if (!(in >> keyword >> out_dim >> in_dim) || keyword != "layer" ||
+        out_dim != mlp.layer(l).out_dim() || in_dim != mlp.layer(l).in_dim()) {
+      return Status::ParseError("bad layer header at layer " +
+                                std::to_string(l));
+    }
+    LinearLayer& layer = mlp.layer(l);
+    for (size_t i = 0; i < layer.weight.size(); ++i) {
+      if (!(in >> layer.weight.data()[i])) {
+        return Status::ParseError("truncated weights at layer " +
+                                  std::to_string(l));
+      }
+    }
+    for (float& b : layer.bias) {
+      if (!(in >> b)) {
+        return Status::ParseError("truncated biases at layer " +
+                                  std::to_string(l));
+      }
+    }
+  }
+  return mlp;
+}
+
+Status Mlp::SaveToFile(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) return Status::IoError("cannot open '" + path + "' for writing");
+  file << Serialize();
+  if (!file) return Status::IoError("write to '" + path + "' failed");
+  return Status::Ok();
+}
+
+Result<Mlp> Mlp::LoadFromFile(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return Status::IoError("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return Deserialize(buffer.str());
+}
+
+}  // namespace dnlr::nn

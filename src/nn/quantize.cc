@@ -1,0 +1,114 @@
+#include "nn/quantize.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace dnlr::nn {
+
+QuantizedMlp::QuantizedMlp(const Mlp& mlp) : input_dim_(mlp.arch().input_dim) {
+  for (uint32_t l = 0; l < mlp.num_layers(); ++l) {
+    const LinearLayer& source = mlp.layer(l);
+    QuantizedLayer layer;
+    layer.out_dim = source.out_dim();
+    layer.in_dim = source.in_dim();
+    layer.bias = source.bias;
+    layer.weights.resize(static_cast<size_t>(layer.out_dim) * layer.in_dim);
+    layer.row_scales.resize(layer.out_dim);
+    for (uint32_t o = 0; o < layer.out_dim; ++o) {
+      const float* row = source.weight.Row(o);
+      float max_abs = 0.0f;
+      for (uint32_t i = 0; i < layer.in_dim; ++i) {
+        max_abs = std::max(max_abs, std::fabs(row[i]));
+      }
+      const float scale = max_abs > 0.0f ? max_abs / 127.0f : 1.0f;
+      layer.row_scales[o] = scale;
+      int8_t* q_row =
+          layer.weights.data() + static_cast<size_t>(o) * layer.in_dim;
+      for (uint32_t i = 0; i < layer.in_dim; ++i) {
+        const float q = std::round(row[i] / scale);
+        q_row[i] = static_cast<int8_t>(std::clamp(q, -127.0f, 127.0f));
+      }
+    }
+    layers_.push_back(std::move(layer));
+  }
+}
+
+size_t QuantizedMlp::WeightBytes() const {
+  size_t bytes = 0;
+  for (const QuantizedLayer& layer : layers_) {
+    bytes += layer.weights.size() * sizeof(int8_t);
+    bytes += layer.row_scales.size() * sizeof(float);
+  }
+  return bytes;
+}
+
+size_t QuantizedMlp::FloatWeightBytes() const {
+  size_t bytes = 0;
+  for (const QuantizedLayer& layer : layers_) {
+    bytes += static_cast<size_t>(layer.out_dim) * layer.in_dim * sizeof(float);
+  }
+  return bytes;
+}
+
+float QuantizedMlp::ForwardOne(const float* features) const {
+  std::vector<float> current(features, features + input_dim_);
+  std::vector<float> next;
+  for (uint32_t l = 0; l < num_layers(); ++l) {
+    const QuantizedLayer& layer = layers_[l];
+    next.assign(layer.out_dim, 0.0f);
+    for (uint32_t o = 0; o < layer.out_dim; ++o) {
+      const int8_t* q_row =
+          layer.weights.data() + static_cast<size_t>(o) * layer.in_dim;
+      float sum = 0.0f;
+      for (uint32_t i = 0; i < layer.in_dim; ++i) {
+        sum += static_cast<float>(q_row[i]) * current[i];
+      }
+      sum = sum * layer.row_scales[o] + layer.bias[o];
+      next[o] = (l + 1 < num_layers()) ? Relu6(sum) : sum;
+    }
+    current.swap(next);
+  }
+  return current[0];
+}
+
+float QuantizedMlp::MaxReconstructionError(const Mlp& original,
+                                           uint32_t i) const {
+  DNLR_CHECK_LT(i, num_layers());
+  const QuantizedLayer& layer = layers_[i];
+  const mm::Matrix& weight = original.layer(i).weight;
+  float max_error = 0.0f;
+  for (uint32_t o = 0; o < layer.out_dim; ++o) {
+    for (uint32_t c = 0; c < layer.in_dim; ++c) {
+      const float reconstructed =
+          static_cast<float>(
+              layer.weights[static_cast<size_t>(o) * layer.in_dim + c]) *
+          layer.row_scales[o];
+      max_error = std::max(max_error,
+                           std::fabs(reconstructed - weight.At(o, c)));
+    }
+  }
+  return max_error;
+}
+
+QuantizedNeuralScorer::QuantizedNeuralScorer(
+    const Mlp& mlp, const data::ZNormalizer* normalizer)
+    : model_(mlp), normalizer_(normalizer) {
+  if (normalizer_ != nullptr) {
+    DNLR_CHECK_EQ(normalizer_->num_features(), model_.input_dim());
+  }
+}
+
+void QuantizedNeuralScorer::Score(const float* docs, uint32_t count,
+                                  uint32_t stride, float* out) const {
+  std::vector<float> row(model_.input_dim());
+  for (uint32_t d = 0; d < count; ++d) {
+    const float* source = docs + static_cast<size_t>(d) * stride;
+    std::copy(source, source + model_.input_dim(), row.begin());
+    if (normalizer_ != nullptr) normalizer_->Apply(row.data());
+    out[d] = model_.ForwardOne(row.data());
+  }
+}
+
+}  // namespace dnlr::nn

@@ -1,0 +1,78 @@
+#ifndef DNLR_NN_QUANTIZE_H_
+#define DNLR_NN_QUANTIZE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/normalize.h"
+#include "forest/scorer.h"
+#include "nn/mlp.h"
+
+namespace dnlr::nn {
+
+/// Post-training int8 weight quantization — the first of the paper's listed
+/// future-work compression directions ("we intend to apply different
+/// compression methods such as quantization").
+///
+/// Weights of each layer are quantized symmetrically per output row:
+/// q = round(w / scale), scale = max|w| / 127, stored as int8 (4x smaller
+/// than float). Biases and activations stay float; the forward pass
+/// dequantizes on the fly (weight-only quantization, the standard
+/// CPU-inference recipe when memory footprint is the target).
+struct QuantizedLayer {
+  std::vector<int8_t> weights;  // row-major out x in
+  std::vector<float> row_scales;  // per output row
+  std::vector<float> bias;
+  uint32_t out_dim = 0;
+  uint32_t in_dim = 0;
+};
+
+/// An int8-weight copy of an MLP.
+class QuantizedMlp {
+ public:
+  /// Quantizes all layers of `mlp`.
+  explicit QuantizedMlp(const Mlp& mlp);
+
+  uint32_t num_layers() const {
+    return static_cast<uint32_t>(layers_.size());
+  }
+  const QuantizedLayer& layer(uint32_t i) const { return layers_[i]; }
+  uint32_t input_dim() const { return input_dim_; }
+
+  /// Bytes of weight storage (int8 + per-row scales), vs the float model.
+  size_t WeightBytes() const;
+  size_t FloatWeightBytes() const;
+
+  /// Reference forward pass for one document (dequantize-and-accumulate).
+  float ForwardOne(const float* features) const;
+
+  /// Worst-case element-wise weight reconstruction error of layer `i`.
+  float MaxReconstructionError(const Mlp& original, uint32_t i) const;
+
+ private:
+  std::vector<QuantizedLayer> layers_;
+  uint32_t input_dim_ = 0;
+};
+
+/// Document scorer over a quantized model (batched, dequantizing row by
+/// row). Slower per FLOP than the float GEMM engine but 4x smaller — the
+/// memory-footprint end of the compression trade-off.
+class QuantizedNeuralScorer : public forest::DocumentScorer {
+ public:
+  QuantizedNeuralScorer(const Mlp& mlp, const data::ZNormalizer* normalizer);
+
+  std::string_view name() const override { return "neural-int8"; }
+
+  void Score(const float* docs, uint32_t count, uint32_t stride,
+             float* out) const override;
+
+  const QuantizedMlp& model() const { return model_; }
+
+ private:
+  QuantizedMlp model_;
+  const data::ZNormalizer* normalizer_;
+};
+
+}  // namespace dnlr::nn
+
+#endif  // DNLR_NN_QUANTIZE_H_

@@ -1,0 +1,96 @@
+#include "nn/scorer.h"
+
+#include <algorithm>
+
+#include "mm/sdmm.h"
+
+namespace dnlr::nn {
+
+NeuralScorer::NeuralScorer(const Mlp& mlp, const data::ZNormalizer* normalizer,
+                           NeuralScorerConfig config)
+    : normalizer_(normalizer),
+      config_(config),
+      input_dim_(mlp.arch().input_dim) {
+  DNLR_CHECK_GT(config_.batch_size, 0u);
+  if (normalizer_ != nullptr) {
+    DNLR_CHECK_EQ(normalizer_->num_features(), input_dim_);
+  }
+  for (uint32_t l = 0; l < mlp.num_layers(); ++l) {
+    weights_.push_back(mlp.layer(l).weight);
+    biases_.push_back(mlp.layer(l).bias);
+  }
+}
+
+void NeuralScorer::BiasActivate(const std::vector<float>& bias, bool activate,
+                                mm::Matrix* z) {
+  for (uint32_t o = 0; o < z->rows(); ++o) {
+    float* row = z->Row(o);
+    const float b = bias[o];
+    if (activate) {
+      for (uint32_t j = 0; j < z->cols(); ++j) row[j] = Relu6(row[j] + b);
+    } else {
+      for (uint32_t j = 0; j < z->cols(); ++j) row[j] += b;
+    }
+  }
+}
+
+void NeuralScorer::ForwardColumns(const mm::Matrix& input_columns,
+                                  float* out) const {
+  const uint32_t batch = input_columns.cols();
+  mm::Matrix current = input_columns;
+  for (size_t l = 0; l < weights_.size(); ++l) {
+    mm::Matrix next(weights_[l].rows(), batch);
+    mm::Gemm(weights_[l], current, &next);
+    BiasActivate(biases_[l], /*activate=*/l + 1 < weights_.size(), &next);
+    current = std::move(next);
+  }
+  // Final layer has a single output row: the scores.
+  const float* scores = current.Row(0);
+  std::copy(scores, scores + batch, out);
+}
+
+void NeuralScorer::Score(const float* docs, uint32_t count, uint32_t stride,
+                         float* out) const {
+  std::vector<float> normalized(input_dim_);
+  for (uint32_t start = 0; start < count; start += config_.batch_size) {
+    const uint32_t batch = std::min(config_.batch_size, count - start);
+    // Pack documents as columns of B (features x batch), normalizing on the
+    // way in.
+    mm::Matrix columns(input_dim_, batch);
+    for (uint32_t b = 0; b < batch; ++b) {
+      const float* row = docs + static_cast<size_t>(start + b) * stride;
+      std::copy(row, row + input_dim_, normalized.begin());
+      if (normalizer_ != nullptr) normalizer_->Apply(normalized.data());
+      for (uint32_t f = 0; f < input_dim_; ++f) {
+        columns.At(f, b) = normalized[f];
+      }
+    }
+    ForwardColumns(columns, out + start);
+  }
+}
+
+HybridNeuralScorer::HybridNeuralScorer(const Mlp& mlp,
+                                       const data::ZNormalizer* normalizer,
+                                       NeuralScorerConfig config)
+    : NeuralScorer(mlp, normalizer, config),
+      first_layer_(mm::CsrMatrix::FromDense(mlp.layer(0).weight)) {}
+
+void HybridNeuralScorer::ForwardColumns(const mm::Matrix& input_columns,
+                                        float* out) const {
+  const uint32_t batch = input_columns.cols();
+  // First layer: sparse weights x dense input columns.
+  mm::Matrix current(first_layer_.rows(), batch);
+  mm::Sdmm(first_layer_, input_columns, &current);
+  BiasActivate(biases_[0], /*activate=*/weights_.size() > 1, &current);
+  // Remaining layers: dense.
+  for (size_t l = 1; l < weights_.size(); ++l) {
+    mm::Matrix next(weights_[l].rows(), batch);
+    mm::Gemm(weights_[l], current, &next);
+    BiasActivate(biases_[l], /*activate=*/l + 1 < weights_.size(), &next);
+    current = std::move(next);
+  }
+  const float* scores = current.Row(0);
+  std::copy(scores, scores + batch, out);
+}
+
+}  // namespace dnlr::nn

@@ -1,0 +1,79 @@
+#ifndef DNLR_NN_SCORER_H_
+#define DNLR_NN_SCORER_H_
+
+#include <vector>
+
+#include "data/normalize.h"
+#include "forest/scorer.h"
+#include "mm/csr.h"
+#include "mm/gemm.h"
+#include "nn/mlp.h"
+
+namespace dnlr::nn {
+
+/// Batching configuration of the neural scoring engines. The paper scores
+/// in batches (n is the GEMM's N dimension); 64 is its sparse sweet spot.
+struct NeuralScorerConfig {
+  uint32_t batch_size = 64;
+};
+
+/// Optimized dense neural inference on CPU: documents are Z-normalized and
+/// packed as columns of B (features x batch); each layer is one blocked
+/// GEMM C = W * B followed by bias + ReLU6. This is the C++ engine the
+/// paper benchmarks against QuickScorer (Section 6.1 uses oneDNN's sgemm;
+/// ours is the Goto-algorithm GEMM from mm/).
+class NeuralScorer : public forest::DocumentScorer {
+ public:
+  /// Copies the model weights. `normalizer` may be null when inputs are
+  /// already normalized; it is captured by pointer and must outlive the
+  /// scorer.
+  NeuralScorer(const Mlp& mlp, const data::ZNormalizer* normalizer,
+               NeuralScorerConfig config = NeuralScorerConfig());
+
+  std::string_view name() const override { return "neural-dense"; }
+
+  void Score(const float* docs, uint32_t count, uint32_t stride,
+             float* out) const override;
+
+ protected:
+  /// Scores one batch already packed column-major (features x batch).
+  /// Overridden by the hybrid scorer to run the first layer sparse.
+  virtual void ForwardColumns(const mm::Matrix& input_columns,
+                              float* out) const;
+
+  /// Applies bias and (optionally) ReLU6 row-wise to a (out x batch) matrix.
+  static void BiasActivate(const std::vector<float>& bias, bool activate,
+                           mm::Matrix* z);
+
+  std::vector<mm::Matrix> weights_;          // per layer, out x in
+  std::vector<std::vector<float>> biases_;   // per layer
+  const data::ZNormalizer* normalizer_;
+  NeuralScorerConfig config_;
+  uint32_t input_dim_;
+};
+
+/// The paper's hybrid engine: the (heavily pruned) first layer runs as
+/// sparse-dense multiplication over its CSR weights; all remaining layers
+/// run dense. This is the configuration that outperforms QuickScorer
+/// (Table 8, Figures 12-13).
+class HybridNeuralScorer : public NeuralScorer {
+ public:
+  HybridNeuralScorer(const Mlp& mlp, const data::ZNormalizer* normalizer,
+                     NeuralScorerConfig config = NeuralScorerConfig());
+
+  std::string_view name() const override { return "neural-hybrid-sparse"; }
+
+  /// Sparsity of the first layer actually exploited by the engine.
+  double first_layer_sparsity() const { return first_layer_.Sparsity(); }
+
+ protected:
+  void ForwardColumns(const mm::Matrix& input_columns,
+                      float* out) const override;
+
+ private:
+  mm::CsrMatrix first_layer_;
+};
+
+}  // namespace dnlr::nn
+
+#endif  // DNLR_NN_SCORER_H_

@@ -1,0 +1,252 @@
+#include "nn/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "mm/gemm.h"
+#include "nn/distill.h"
+
+namespace dnlr::nn {
+namespace {
+
+/// Per-layer forward caches for one batch.
+struct ForwardCache {
+  std::vector<mm::Matrix> pre_activations;  // Z_l, batch x out_l
+  std::vector<mm::Matrix> activations;      // A_l, batch x out_l (A_0 = input)
+  mm::Matrix dropout_mask;                  // batch x out_1, scaled keep mask
+};
+
+/// Forward pass with caches. Applies inverted dropout after the first hidden
+/// activation when `dropout_rng` is non-null.
+void ForwardTrain(const Mlp& mlp, const mm::Matrix& input, double dropout,
+                  Rng* dropout_rng, ForwardCache* cache) {
+  const uint32_t batch = input.rows();
+  cache->pre_activations.clear();
+  cache->activations.clear();
+  cache->activations.push_back(input);
+
+  for (uint32_t l = 0; l < mlp.num_layers(); ++l) {
+    const LinearLayer& layer = mlp.layer(l);
+    // Z = A_prev * W^T + b.
+    mm::Matrix w_t = layer.weight.Transposed();
+    mm::Matrix z(batch, layer.out_dim());
+    mm::Gemm(cache->activations.back(), w_t, &z);
+    for (uint32_t b = 0; b < batch; ++b) {
+      float* row = z.Row(b);
+      for (uint32_t o = 0; o < layer.out_dim(); ++o) row[o] += layer.bias[o];
+    }
+    cache->pre_activations.push_back(z);
+
+    mm::Matrix a = z;
+    const bool last = l + 1 == mlp.num_layers();
+    if (!last) {
+      for (size_t i = 0; i < a.size(); ++i) a.data()[i] = Relu6(a.data()[i]);
+      if (l == 0 && dropout > 0.0 && dropout_rng != nullptr) {
+        // Inverted dropout: surviving units scaled by 1/(1-p) so inference
+        // needs no rescaling.
+        cache->dropout_mask = mm::Matrix(batch, layer.out_dim());
+        const float scale = static_cast<float>(1.0 / (1.0 - dropout));
+        for (size_t i = 0; i < a.size(); ++i) {
+          const float keep = dropout_rng->Uniform() >= dropout ? scale : 0.0f;
+          cache->dropout_mask.data()[i] = keep;
+          a.data()[i] *= keep;
+        }
+      }
+    }
+    cache->activations.push_back(std::move(a));
+  }
+}
+
+void ApplyMasksToWeights(Mlp* mlp, const WeightMasks& masks) {
+  DNLR_CHECK_EQ(masks.size(), mlp->num_layers());
+  for (uint32_t l = 0; l < mlp->num_layers(); ++l) {
+    mm::Matrix& weight = mlp->layer(l).weight;
+    const mm::Matrix& mask = masks[l];
+    DNLR_CHECK_EQ(mask.rows(), weight.rows());
+    DNLR_CHECK_EQ(mask.cols(), weight.cols());
+    for (size_t i = 0; i < weight.size(); ++i) {
+      weight.data()[i] *= mask.data()[i];
+    }
+  }
+}
+
+}  // namespace
+
+double Trainer::TrainWithSampler(Mlp* mlp, const BatchSampler& sampler,
+                                 uint32_t num_docs, const WeightMasks* masks) {
+  const uint32_t batch = std::max(1u, config_.batch_size);
+  const uint32_t steps_per_epoch =
+      config_.steps_per_epoch > 0
+          ? config_.steps_per_epoch
+          : std::max(1u, (num_docs + batch - 1) / batch);
+
+  // Optimizer state per layer (weights and biases separately).
+  std::vector<AdamState> weight_states;
+  std::vector<AdamState> bias_states;
+  for (uint32_t l = 0; l < mlp->num_layers(); ++l) {
+    weight_states.emplace_back(mlp->layer(l).weight.size());
+    bias_states.emplace_back(mlp->layer(l).bias.size());
+  }
+
+  if (masks != nullptr) ApplyMasksToWeights(mlp, *masks);
+
+  Rng dropout_rng(config_.seed ^ 0xD120D120ull);
+  mm::Matrix inputs;
+  std::vector<float> targets;
+  ForwardCache cache;
+  std::vector<mm::Matrix> weight_grads(mlp->num_layers());
+  std::vector<std::vector<float>> bias_grads(mlp->num_layers());
+
+  double lr = config_.adam.learning_rate;
+  uint64_t global_step = 0;
+  double last_epoch_mse = 0.0;
+
+  for (uint32_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    if (std::find(config_.gamma_epochs.begin(), config_.gamma_epochs.end(),
+                  epoch) != config_.gamma_epochs.end()) {
+      lr *= config_.lr_gamma;
+    }
+    double epoch_loss = 0.0;
+    for (uint32_t step = 0; step < steps_per_epoch; ++step) {
+      sampler(batch, &inputs, &targets);
+      const bool use_dropout = config_.dropout > 0.0;
+      ForwardTrain(*mlp, inputs, config_.dropout,
+                   use_dropout ? &dropout_rng : nullptr, &cache);
+
+      // dL/dZ_last for MSE = 2 (pred - target) / batch.
+      const uint32_t actual_batch = inputs.rows();
+      mm::Matrix delta(actual_batch, 1);
+      double loss = 0.0;
+      const mm::Matrix& output = cache.activations.back();
+      for (uint32_t b = 0; b < actual_batch; ++b) {
+        const double err = output.At(b, 0) - targets[b];
+        loss += err * err;
+        delta.At(b, 0) = static_cast<float>(2.0 * err / actual_batch);
+      }
+      epoch_loss += loss / actual_batch;
+
+      // Backward pass.
+      for (int32_t l = static_cast<int32_t>(mlp->num_layers()) - 1; l >= 0;
+           --l) {
+        const LinearLayer& layer = mlp->layer(l);
+        const mm::Matrix& a_prev = cache.activations[l];
+
+        // dW = delta^T * A_prev; db = column sums of delta.
+        mm::Matrix delta_t = delta.Transposed();
+        weight_grads[l] = mm::Matrix(layer.out_dim(), layer.in_dim());
+        mm::Gemm(delta_t, a_prev, &weight_grads[l]);
+        bias_grads[l].assign(layer.out_dim(), 0.0f);
+        for (uint32_t b = 0; b < actual_batch; ++b) {
+          const float* row = delta.Row(b);
+          for (uint32_t o = 0; o < layer.out_dim(); ++o) {
+            bias_grads[l][o] += row[o];
+          }
+        }
+
+        if (l > 0) {
+          // dA_prev = delta * W, then through dropout and ReLU6.
+          mm::Matrix d_prev(actual_batch, layer.in_dim());
+          mm::Gemm(delta, layer.weight, &d_prev);
+          if (l == 1 && cache.dropout_mask.size() > 0) {
+            for (size_t i = 0; i < d_prev.size(); ++i) {
+              d_prev.data()[i] *= cache.dropout_mask.data()[i];
+            }
+          }
+          const mm::Matrix& z_prev = cache.pre_activations[l - 1];
+          for (size_t i = 0; i < d_prev.size(); ++i) {
+            d_prev.data()[i] *= Relu6Grad(z_prev.data()[i]);
+          }
+          delta = std::move(d_prev);
+        }
+      }
+
+      // Mask gradients of frozen weights, then step.
+      ++global_step;
+      for (uint32_t l = 0; l < mlp->num_layers(); ++l) {
+        LinearLayer& layer = mlp->layer(l);
+        if (masks != nullptr) {
+          const mm::Matrix& mask = (*masks)[l];
+          for (size_t i = 0; i < mask.size(); ++i) {
+            weight_grads[l].data()[i] *= mask.data()[i];
+          }
+        }
+        weight_states[l].Step(config_.adam, lr, global_step,
+                              layer.weight.data(), weight_grads[l].data(),
+                              layer.weight.size());
+        bias_states[l].Step(config_.adam, lr, global_step, layer.bias.data(),
+                            bias_grads[l].data(), layer.bias.size());
+      }
+      if (masks != nullptr) ApplyMasksToWeights(mlp, *masks);
+    }
+    last_epoch_mse = epoch_loss / steps_per_epoch;
+    if (config_.verbose) {
+      std::fprintf(stderr, "[trainer] epoch %u lr %.2e mse %.6f\n", epoch, lr,
+                   last_epoch_mse);
+    }
+  }
+  return last_epoch_mse;
+}
+
+double Trainer::TrainDistillation(Mlp* mlp, const data::Dataset& raw_train,
+                                  const gbdt::Ensemble& teacher,
+                                  const data::ZNormalizer& normalizer,
+                                  const WeightMasks* masks) {
+  DistillationSampler sampler(raw_train, teacher, normalizer, config_.augment,
+                              config_.seed);
+  return TrainWithSampler(
+      mlp,
+      [&sampler](uint32_t batch, mm::Matrix* inputs,
+                 std::vector<float>* targets) {
+        sampler.SampleBatch(batch, inputs, targets);
+      },
+      raw_train.num_docs(), masks);
+}
+
+double Trainer::TrainOnLabels(Mlp* mlp, const data::Dataset& raw_train,
+                              const data::ZNormalizer& normalizer,
+                              const WeightMasks* masks) {
+  Rng rng(config_.seed);
+  const uint32_t num_features = raw_train.num_features();
+  return TrainWithSampler(
+      mlp,
+      [&](uint32_t batch, mm::Matrix* inputs, std::vector<float>* targets) {
+        if (inputs->rows() != batch || inputs->cols() != num_features) {
+          *inputs = mm::Matrix(batch, num_features);
+        }
+        targets->resize(batch);
+        for (uint32_t b = 0; b < batch; ++b) {
+          const auto doc = static_cast<uint32_t>(rng.Below(raw_train.num_docs()));
+          float* row = inputs->Row(b);
+          const float* raw = raw_train.Row(doc);
+          std::copy(raw, raw + num_features, row);
+          normalizer.Apply(row);
+          (*targets)[b] = raw_train.Label(doc);
+        }
+      },
+      raw_train.num_docs(), masks);
+}
+
+std::vector<float> ScoreDatasetWithMlp(const Mlp& mlp,
+                                       const data::Dataset& dataset,
+                                       const data::ZNormalizer* normalizer,
+                                       uint32_t batch) {
+  std::vector<float> scores(dataset.num_docs());
+  const uint32_t num_features = dataset.num_features();
+  for (uint32_t start = 0; start < dataset.num_docs(); start += batch) {
+    const uint32_t count = std::min(batch, dataset.num_docs() - start);
+    mm::Matrix inputs(count, num_features);
+    for (uint32_t b = 0; b < count; ++b) {
+      float* row = inputs.Row(b);
+      const float* raw = dataset.Row(start + b);
+      std::copy(raw, raw + num_features, row);
+      if (normalizer != nullptr) normalizer->Apply(row);
+    }
+    const std::vector<float> batch_scores = mlp.Forward(inputs);
+    std::copy(batch_scores.begin(), batch_scores.end(),
+              scores.begin() + start);
+  }
+  return scores;
+}
+
+}  // namespace dnlr::nn

@@ -1,0 +1,47 @@
+#include "predict/architecture.h"
+
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace dnlr::predict {
+
+std::string Architecture::ToString() const {
+  std::ostringstream out;
+  for (size_t i = 0; i < hidden.size(); ++i) {
+    if (i > 0) out << 'x';
+    out << hidden[i];
+  }
+  return out.str();
+}
+
+Result<Architecture> Architecture::Parse(const std::string& text,
+                                         uint32_t input_dim) {
+  // Normalize the Unicode multiplication sign (U+00D7, "×") to 'x'.
+  std::string normalized;
+  normalized.reserve(text.size());
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (i + 1 < text.size() && static_cast<unsigned char>(text[i]) == 0xC3 &&
+        static_cast<unsigned char>(text[i + 1]) == 0x97) {
+      normalized.push_back('x');
+      ++i;
+    } else {
+      normalized.push_back(text[i]);
+    }
+  }
+  Architecture arch(input_dim, {});
+  for (const std::string_view piece : SplitAndSkipEmpty(normalized, 'x')) {
+    uint32_t width = 0;
+    if (!ParseUint32(StripWhitespace(piece), &width) || width == 0) {
+      return Status::ParseError("bad layer width '" + std::string(piece) +
+                                "' in architecture '" + text + "'");
+    }
+    arch.hidden.push_back(width);
+  }
+  if (arch.hidden.empty()) {
+    return Status::ParseError("empty architecture '" + text + "'");
+  }
+  return arch;
+}
+
+}  // namespace dnlr::predict

@@ -1,0 +1,66 @@
+#ifndef DNLR_PREDICT_ARCHITECTURE_H_
+#define DNLR_PREDICT_ARCHITECTURE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dnlr::predict {
+
+/// Shape of a feed-forward ranking network. The paper writes architectures
+/// as hidden-layer widths, e.g. "400x200x200x100": the input dimension is
+/// the dataset's feature count and the output is always a single score
+/// neuron.
+struct Architecture {
+  uint32_t input_dim = 0;
+  std::vector<uint32_t> hidden;  // l_1 ... l_d
+  uint32_t output_dim = 1;
+
+  Architecture() = default;
+  Architecture(uint32_t input, std::vector<uint32_t> hidden_dims,
+               uint32_t output = 1)
+      : input_dim(input), hidden(std::move(hidden_dims)), output_dim(output) {}
+
+  /// Weight-matrix shapes (rows = layer output, cols = layer input) of every
+  /// layer including the final scoring layer, in forward order.
+  std::vector<std::pair<uint32_t, uint32_t>> LayerShapes() const {
+    std::vector<std::pair<uint32_t, uint32_t>> shapes;
+    uint32_t in = input_dim;
+    for (const uint32_t width : hidden) {
+      shapes.emplace_back(width, in);
+      in = width;
+    }
+    shapes.emplace_back(output_dim, in);
+    return shapes;
+  }
+
+  /// Number of trainable layers (hidden + output).
+  uint32_t NumLayers() const {
+    return static_cast<uint32_t>(hidden.size()) + 1;
+  }
+
+  /// Total multiply count per document: f*l1 + sum l_i*l_{i-1} + l_d
+  /// (Equation 3's dominant term).
+  uint64_t MultiplyCount() const {
+    uint64_t count = 0;
+    for (const auto& [rows, cols] : LayerShapes()) {
+      count += static_cast<uint64_t>(rows) * cols;
+    }
+    return count;
+  }
+
+  /// Paper-style notation, e.g. "400x200x200x100".
+  std::string ToString() const;
+
+  /// Parses "400x200x200x100" (also accepts the Unicode multiplication sign
+  /// separator used in the paper tables).
+  static Result<Architecture> Parse(const std::string& text,
+                                    uint32_t input_dim);
+};
+
+}  // namespace dnlr::predict
+
+#endif  // DNLR_PREDICT_ARCHITECTURE_H_

@@ -1,0 +1,153 @@
+#include "predict/sparse_predictor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+#include "mm/sdmm.h"
+
+namespace dnlr::predict {
+namespace {
+
+/// A_c: m x k with one non-zero (value 1) per row, all in column 0.
+mm::CsrMatrix OneColumnMatrix(uint32_t m, uint32_t k) {
+  std::vector<uint32_t> offsets(m + 1);
+  std::vector<uint32_t> cols(m, 0);
+  std::vector<float> vals(m, 1.0f);
+  for (uint32_t r = 0; r <= m; ++r) offsets[r] = r;
+  return mm::CsrMatrix(m, k, std::move(offsets), std::move(cols),
+                       std::move(vals));
+}
+
+/// A_rd: m x k permutation-like matrix: one non-zero per row AND per column
+/// (requires m == k), so every row of B is touched exactly once.
+mm::CsrMatrix PermutationMatrix(uint32_t m) {
+  std::vector<uint32_t> offsets(m + 1);
+  std::vector<uint32_t> cols(m);
+  std::vector<float> vals(m, 1.0f);
+  for (uint32_t r = 0; r < m; ++r) {
+    offsets[r] = r;
+    // A fixed stride pattern decorrelates row order from column order while
+    // staying a permutation (m odd/even safe because stride and m are
+    // coprime only when gcd = 1; fall back to identity then).
+    cols[r] = (r * 7 % m);
+  }
+  offsets[m] = m;
+  // Ensure it is a permutation; if the stride collides, use the identity.
+  std::vector<bool> seen(m, false);
+  bool is_permutation = true;
+  for (const uint32_t c : cols) {
+    if (seen[c]) {
+      is_permutation = false;
+      break;
+    }
+    seen[c] = true;
+  }
+  if (!is_permutation) {
+    for (uint32_t r = 0; r < m; ++r) cols[r] = r;
+  }
+  return mm::CsrMatrix(m, m, std::move(offsets), std::move(cols),
+                       std::move(vals));
+}
+
+/// A_2c: m x k with two non-zeros per row, in columns 0 and 1.
+mm::CsrMatrix TwoColumnMatrix(uint32_t m, uint32_t k) {
+  DNLR_CHECK_GE(k, 2u);
+  std::vector<uint32_t> offsets(m + 1);
+  std::vector<uint32_t> cols(2 * m);
+  std::vector<float> vals(2 * m, 1.0f);
+  for (uint32_t r = 0; r < m; ++r) {
+    offsets[r] = 2 * r;
+    cols[2 * r] = 0;
+    cols[2 * r + 1] = 1;
+  }
+  offsets[m] = 2 * m;
+  return mm::CsrMatrix(m, k, std::move(offsets), std::move(cols),
+                       std::move(vals));
+}
+
+}  // namespace
+
+SparseTimePredictor::SparseTimePredictor(double la, double lb, double lc)
+    : la_(la), lb_(lb), lc_(lc) {
+  DNLR_CHECK_GT(la_, 0.0);
+  DNLR_CHECK_GT(lb_, 0.0);
+  DNLR_CHECK_GT(lc_, 0.0);
+}
+
+SparseTimePredictor SparseTimePredictor::Calibrate(
+    const SparseCalibrationConfig& config) {
+  double la_sum = 0.0;
+  double lb_sum = 0.0;
+  int samples = 0;
+  for (const uint32_t size : config.sizes) {
+    const mm::CsrMatrix a_c = OneColumnMatrix(size, size);
+    const mm::CsrMatrix a_rd = PermutationMatrix(size);
+    const mm::CsrMatrix a_2c = TwoColumnMatrix(size, size);
+    for (const uint32_t n : config.batch_sizes) {
+      const double t_c = mm::MeasureSdmmMicros(a_c, n, config.repeats);
+      const double t_rd = mm::MeasureSdmmMicros(a_rd, n, config.repeats);
+      const double t_2c = mm::MeasureSdmmMicros(a_2c, n, config.repeats);
+      // T(A_rd) - T(A_c) = (k - 1) * L_b.
+      const double lb = (t_rd - t_c) / (size - 1);
+      // T(A_2c) - T(A_c) = nnz * L_a + L_b with nnz = size.
+      const double la = (t_2c - t_c - lb) / size;
+      // Normalize per batch column (L_b, L_c and the FMA part of L_a all
+      // scale with N in the paper's regime).
+      la_sum += std::max(la, 1e-7) / n;
+      lb_sum += std::max(lb, 1e-7) / n;
+      ++samples;
+    }
+  }
+  DNLR_CHECK_GT(samples, 0);
+  const double la = la_sum / samples;
+  const double lb = lb_sum / samples;
+  // The paper verifies empirically that storing + loading C costs twice a
+  // B-row load: L_c = 2 L_b.
+  return SparseTimePredictor(la, lb, 2.0 * lb);
+}
+
+double SparseTimePredictor::PredictMicros(uint32_t active_rows, uint32_t nnz,
+                                          uint32_t active_cols,
+                                          uint32_t n) const {
+  return n * (active_rows * lc_ + nnz * la_ + active_cols * lb_);
+}
+
+double SparseTimePredictor::PredictMicros(const mm::CsrMatrix& a,
+                                          uint32_t n) const {
+  return PredictMicros(a.NumActiveRows(), a.nnz(), a.NumActiveCols(), n);
+}
+
+double SparseTimePredictor::PredictMicrosWorstCase(uint32_t m, uint32_t k,
+                                                   double sparsity,
+                                                   uint32_t n) const {
+  DNLR_CHECK_GE(sparsity, 0.0);
+  DNLR_CHECK_LE(sparsity, 1.0);
+  const auto nnz = static_cast<uint32_t>(
+      std::llround((1.0 - sparsity) * static_cast<double>(m) * k));
+  return PredictMicros(m, nnz, k, n);
+}
+
+std::string SparseTimePredictor::Serialize() const {
+  std::ostringstream out;
+  out.precision(17);
+  out << "sparse_predictor " << la_ << ' ' << lb_ << ' ' << lc_ << '\n';
+  return out.str();
+}
+
+Result<SparseTimePredictor> SparseTimePredictor::Deserialize(
+    const std::string& text) {
+  std::istringstream in(text);
+  std::string keyword;
+  double la = 0.0;
+  double lb = 0.0;
+  double lc = 0.0;
+  if (!(in >> keyword >> la >> lb >> lc) || keyword != "sparse_predictor" ||
+      la <= 0.0 || lb <= 0.0 || lc <= 0.0) {
+    return Status::ParseError("bad sparse predictor serialization");
+  }
+  return SparseTimePredictor(la, lb, lc);
+}
+
+}  // namespace dnlr::predict

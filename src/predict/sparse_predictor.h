@@ -1,0 +1,73 @@
+#ifndef DNLR_PREDICT_SPARSE_PREDICTOR_H_
+#define DNLR_PREDICT_SPARSE_PREDICTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "mm/csr.h"
+
+namespace dnlr::predict {
+
+/// Shapes used to infer the cost coefficients; the paper sets M = K in
+/// {200, 300, 400, 500} and N in {16, 32, 64} (batch sizes >= 128 break the
+/// "B stays cached" assumption and are excluded).
+struct SparseCalibrationConfig {
+  std::vector<uint32_t> sizes{200, 300, 400, 500};
+  std::vector<uint32_t> batch_sizes{16, 32, 64};
+  int repeats = 9;
+};
+
+/// The sparse-dense multiplication time predictor of Section 4.4,
+/// Equation 5:
+///
+///   T = |a_r| * L_c + nnz * L_a + |a_c| * L_b
+///
+/// where |a_r| / |a_c| are the active rows / columns of the sparse matrix,
+/// L_c is the cost of loading + storing a C row, L_a the cost of one
+/// broadcast-FMA update, and L_b the cost of loading a B row the first time
+/// a column becomes active. Coefficients are inferred by the paper's
+/// difference construction: a one-column matrix A_c, a permutation matrix
+/// A_rd (same nnz, every column active), and a two-column matrix A_2c
+/// isolate L_b and L_a; L_c = 2 L_b is verified empirically. Stored
+/// coefficients are normalized per batch column.
+class SparseTimePredictor {
+ public:
+  /// Builds from known per-column coefficients (microseconds per batch
+  /// column).
+  SparseTimePredictor(double la, double lb, double lc);
+
+  /// Runs the A_c / A_rd / A_2c measurement procedure on this machine.
+  static SparseTimePredictor Calibrate(
+      const SparseCalibrationConfig& config = SparseCalibrationConfig());
+
+  /// Predicted microseconds of C = A*B from the structure of A and batch n.
+  double PredictMicros(uint32_t active_rows, uint32_t nnz,
+                       uint32_t active_cols, uint32_t n) const;
+
+  /// Same, reading the structure from an actual CSR matrix.
+  double PredictMicros(const mm::CsrMatrix& a, uint32_t n) const;
+
+  /// Worst-case prediction for an m x k matrix at the given sparsity:
+  /// every row and column assumed active (the assumption behind Figure 11).
+  double PredictMicrosWorstCase(uint32_t m, uint32_t k, double sparsity,
+                                uint32_t n) const;
+
+  double la() const { return la_; }
+  double lb() const { return lb_; }
+  double lc() const { return lc_; }
+
+  std::string Serialize() const;
+  static Result<SparseTimePredictor> Deserialize(const std::string& text);
+
+ private:
+  // Per-batch-column costs in microseconds.
+  double la_;
+  double lb_;
+  double lc_;
+};
+
+}  // namespace dnlr::predict
+
+#endif  // DNLR_PREDICT_SPARSE_PREDICTOR_H_

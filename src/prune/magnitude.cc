@@ -1,0 +1,90 @@
+#include "prune/magnitude.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+
+namespace dnlr::prune {
+
+nn::WeightMasks MakeDenseMasks(const nn::Mlp& mlp) {
+  nn::WeightMasks masks;
+  for (uint32_t l = 0; l < mlp.num_layers(); ++l) {
+    mm::Matrix mask(mlp.layer(l).weight.rows(), mlp.layer(l).weight.cols());
+    mask.Fill(1.0f);
+    masks.push_back(std::move(mask));
+  }
+  return masks;
+}
+
+void LevelPruneLayer(nn::Mlp* mlp, uint32_t layer, double target_sparsity,
+                     nn::WeightMasks* masks) {
+  DNLR_CHECK_LT(layer, mlp->num_layers());
+  DNLR_CHECK_GE(target_sparsity, 0.0);
+  DNLR_CHECK_LE(target_sparsity, 1.0);
+  mm::Matrix& weight = mlp->layer(layer).weight;
+  mm::Matrix& mask = (*masks)[layer];
+
+  const size_t total = weight.size();
+  const auto target_zeros = static_cast<size_t>(target_sparsity * total);
+
+  // Rank all entries by |w|; masked (already-zero) entries sort first, so
+  // they are re-pruned for free and the mask only ever shrinks.
+  std::vector<std::pair<float, size_t>> magnitude(total);
+  for (size_t i = 0; i < total; ++i) {
+    const float w = mask.data()[i] != 0.0f ? weight.data()[i] : 0.0f;
+    magnitude[i] = {std::fabs(w), i};
+  }
+  if (target_zeros == 0) return;
+  std::nth_element(magnitude.begin(), magnitude.begin() + (target_zeros - 1),
+                   magnitude.end());
+  for (size_t rank = 0; rank < target_zeros; ++rank) {
+    const size_t i = magnitude[rank].second;
+    weight.data()[i] = 0.0f;
+    mask.data()[i] = 0.0f;
+  }
+}
+
+float LayerWeightStddev(const nn::Mlp& mlp, uint32_t layer,
+                        const nn::WeightMasks& masks) {
+  const mm::Matrix& weight = mlp.layer(layer).weight;
+  const mm::Matrix& mask = masks[layer];
+  double sum = 0.0;
+  double sq = 0.0;
+  size_t count = 0;
+  for (size_t i = 0; i < weight.size(); ++i) {
+    if (mask.data()[i] == 0.0f) continue;
+    const double w = weight.data()[i];
+    sum += w;
+    sq += w * w;
+    ++count;
+  }
+  if (count == 0) return 0.0f;
+  const double mean = sum / count;
+  const double var = std::max(0.0, sq / count - mean * mean);
+  return static_cast<float>(std::sqrt(var));
+}
+
+float ThresholdPruneLayer(nn::Mlp* mlp, uint32_t layer, double sensitivity,
+                          nn::WeightMasks* masks) {
+  DNLR_CHECK_LT(layer, mlp->num_layers());
+  DNLR_CHECK_GT(sensitivity, 0.0);
+  const float threshold = static_cast<float>(
+      sensitivity * LayerWeightStddev(*mlp, layer, *masks));
+  mm::Matrix& weight = mlp->layer(layer).weight;
+  mm::Matrix& mask = (*masks)[layer];
+  for (size_t i = 0; i < weight.size(); ++i) {
+    if (mask.data()[i] != 0.0f && std::fabs(weight.data()[i]) < threshold) {
+      weight.data()[i] = 0.0f;
+      mask.data()[i] = 0.0f;
+    }
+  }
+  return threshold;
+}
+
+double LayerSparsity(const nn::Mlp& mlp, uint32_t layer) {
+  return mlp.layer(layer).weight.Sparsity();
+}
+
+}  // namespace dnlr::prune

@@ -1,0 +1,39 @@
+#ifndef DNLR_PRUNE_MAGNITUDE_H_
+#define DNLR_PRUNE_MAGNITUDE_H_
+
+#include <cstdint>
+
+#include "nn/mlp.h"
+#include "nn/trainer.h"
+
+namespace dnlr::prune {
+
+/// All-ones masks matching the model's layer shapes (nothing pruned).
+nn::WeightMasks MakeDenseMasks(const nn::Mlp& mlp);
+
+/// Element-wise magnitude "level" pruning (Section 2.3): zeroes the
+/// smallest-|w| fraction of `layer`'s weights so its sparsity reaches
+/// `target_sparsity`, respecting already-masked entries. Updates the model
+/// weights and the mask in place.
+void LevelPruneLayer(nn::Mlp* mlp, uint32_t layer, double target_sparsity,
+                     nn::WeightMasks* masks);
+
+/// Threshold-based magnitude pruning (Han et al. / the Distiller variant the
+/// paper adopts): zeroes weights with |w| < sensitivity * sigma, where sigma
+/// is the standard deviation of the layer's surviving weights. Returns the
+/// threshold used. With the threshold held fixed across fine-tuning rounds,
+/// re-application prunes progressively more as surviving weights shrink
+/// toward the distribution's center.
+float ThresholdPruneLayer(nn::Mlp* mlp, uint32_t layer, double sensitivity,
+                          nn::WeightMasks* masks);
+
+/// Standard deviation of the unmasked weights of one layer.
+float LayerWeightStddev(const nn::Mlp& mlp, uint32_t layer,
+                        const nn::WeightMasks& masks);
+
+/// Fraction of exactly-zero weights in one layer.
+double LayerSparsity(const nn::Mlp& mlp, uint32_t layer);
+
+}  // namespace dnlr::prune
+
+#endif  // DNLR_PRUNE_MAGNITUDE_H_

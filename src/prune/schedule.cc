@@ -1,0 +1,87 @@
+#include "prune/schedule.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "prune/magnitude.h"
+
+namespace dnlr::prune {
+
+double GradualSparsity(double target, uint32_t round, uint32_t rounds) {
+  DNLR_CHECK_GT(rounds, 0u);
+  const double progress =
+      static_cast<double>(std::min(round + 1, rounds)) / rounds;
+  // s_t = s_f * (1 - (1 - t)^3): fast early pruning, gentle near the target.
+  return target * (1.0 - std::pow(1.0 - progress, 3.0));
+}
+
+nn::WeightMasks IterativePrune(nn::Mlp* mlp, const data::Dataset& raw_train,
+                               const gbdt::Ensemble& teacher,
+                               const data::ZNormalizer& normalizer,
+                               const PruneScheduleConfig& config) {
+  nn::WeightMasks masks = MakeDenseMasks(*mlp);
+
+  std::vector<uint32_t> layers;
+  if (config.layer == kAllHiddenLayers) {
+    // Every layer except the final scoring layer (pruning a 1 x h output
+    // layer saves nothing and destabilizes the score scale).
+    for (uint32_t l = 0; l + 1 < mlp->num_layers(); ++l) layers.push_back(l);
+  } else {
+    DNLR_CHECK_LT(config.layer, mlp->num_layers());
+    layers.push_back(config.layer);
+  }
+
+  // The Distiller-style fixed threshold: computed once on the dense weights.
+  std::vector<float> thresholds(mlp->num_layers(), 0.0f);
+  if (config.threshold_sensitivity > 0.0) {
+    for (const uint32_t l : layers) {
+      thresholds[l] = static_cast<float>(config.threshold_sensitivity *
+                                         LayerWeightStddev(*mlp, l, masks));
+    }
+  }
+
+  nn::TrainConfig round_config = config.train;
+  round_config.epochs = 1;
+  round_config.gamma_epochs.clear();  // LR schedule handled across rounds
+
+  for (uint32_t round = 0; round < config.prune_rounds; ++round) {
+    for (const uint32_t l : layers) {
+      if (config.threshold_sensitivity > 0.0) {
+        // Re-apply the fixed threshold: fine-tuning pulls surviving weights
+        // toward zero, so each round prunes a little more.
+        mm::Matrix& weight = mlp->layer(l).weight;
+        mm::Matrix& mask = masks[l];
+        for (size_t i = 0; i < weight.size(); ++i) {
+          if (mask.data()[i] != 0.0f &&
+              std::fabs(weight.data()[i]) < thresholds[l]) {
+            weight.data()[i] = 0.0f;
+            mask.data()[i] = 0.0f;
+          }
+        }
+      } else {
+        LevelPruneLayer(mlp, l,
+                        GradualSparsity(config.target_sparsity, round,
+                                        config.prune_rounds),
+                        &masks);
+      }
+    }
+    // One epoch of masked fine-tuning per round.
+    round_config.seed = config.train.seed + round + 1;
+    nn::Trainer trainer(round_config);
+    trainer.TrainDistillation(mlp, raw_train, teacher, normalizer, &masks);
+  }
+
+  if (config.finetune_epochs > 0) {
+    nn::TrainConfig finetune_config = config.train;
+    finetune_config.epochs = config.finetune_epochs;
+    finetune_config.seed = config.train.seed + config.prune_rounds + 1;
+    // Fine-tune at a reduced learning rate, as the paper's gamma schedule
+    // does by the time pruning ends.
+    finetune_config.adam.learning_rate *= 0.1;
+    nn::Trainer trainer(finetune_config);
+    trainer.TrainDistillation(mlp, raw_train, teacher, normalizer, &masks);
+  }
+  return masks;
+}
+
+}  // namespace dnlr::prune

@@ -1,0 +1,54 @@
+#ifndef DNLR_PRUNE_SCHEDULE_H_
+#define DNLR_PRUNE_SCHEDULE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/normalize.h"
+#include "gbdt/ensemble.h"
+#include "nn/mlp.h"
+#include "nn/trainer.h"
+
+namespace dnlr::prune {
+
+/// Sentinel: prune every layer except the final scoring layer.
+inline constexpr uint32_t kAllHiddenLayers = 0xFFFFFFFF;
+
+/// Iterative prune / fine-tune schedule in the Han et al. / Distiller style
+/// the paper adopts (Section 5.2 and Table 9): E_p rounds that each prune a
+/// little further and fine-tune one epoch on the distillation objective,
+/// followed by E_ft epochs of pure fine-tuning on the surviving weights.
+struct PruneScheduleConfig {
+  /// Which layer to prune; the paper's recipe prunes only the first layer
+  /// (efficiency-oriented early-layers pruning).
+  uint32_t layer = 0;
+  /// Final sparsity for the gradual level-pruning ramp. Ignored when
+  /// `threshold_sensitivity` > 0.
+  double target_sparsity = 0.95;
+  /// If > 0, use threshold-based pruning with this sensitivity (threshold =
+  /// s * sigma, computed once at the start and held fixed, the Distiller
+  /// behaviour).
+  double threshold_sensitivity = 0.0;
+  /// Rounds of prune + 1-epoch fine-tune (E_p).
+  uint32_t prune_rounds = 8;
+  /// Epochs of pure fine-tuning afterwards (E_ft).
+  uint32_t finetune_epochs = 4;
+  /// Per-round training settings; its `epochs` field is overridden.
+  nn::TrainConfig train;
+};
+
+/// Runs the schedule, distilling from `teacher` while pruning. The model is
+/// modified in place; the returned masks pin the pruned weights at zero.
+nn::WeightMasks IterativePrune(nn::Mlp* mlp, const data::Dataset& raw_train,
+                               const gbdt::Ensemble& teacher,
+                               const data::ZNormalizer& normalizer,
+                               const PruneScheduleConfig& config);
+
+/// The gradual sparsity ramp used by the level-pruning schedule: cubic
+/// "automated gradual pruning" from 0 to `target` over `rounds` rounds.
+double GradualSparsity(double target, uint32_t round, uint32_t rounds);
+
+}  // namespace dnlr::prune
+
+#endif  // DNLR_PRUNE_SCHEDULE_H_

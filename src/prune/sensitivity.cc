@@ -1,0 +1,44 @@
+#include "prune/sensitivity.h"
+
+#include "metrics/metrics.h"
+#include "prune/magnitude.h"
+
+namespace dnlr::prune {
+
+SensitivityResult AnalyzeSensitivity(const nn::Mlp& model,
+                                     const data::Dataset& raw_train,
+                                     const data::Dataset& valid,
+                                     const gbdt::Ensemble& teacher,
+                                     const data::ZNormalizer& normalizer,
+                                     const SensitivityConfig& config) {
+  SensitivityResult result;
+  result.sparsity_levels = config.sparsity_levels;
+
+  const auto evaluate = [&](const nn::Mlp& probe) {
+    const std::vector<float> scores =
+        nn::ScoreDatasetWithMlp(probe, valid, &normalizer);
+    return metrics::MeanNdcg(valid, scores, config.ndcg_cutoff);
+  };
+  result.dense_ndcg = evaluate(model);
+
+  // Final scoring layer excluded: pruning a 1 x h matrix is meaningless for
+  // efficiency and the paper's figure stops at the last hidden layer.
+  const uint32_t probed_layers = model.num_layers() - 1;
+  result.ndcg.resize(probed_layers);
+  for (uint32_t layer = 0; layer < probed_layers; ++layer) {
+    for (const double sparsity : config.sparsity_levels) {
+      nn::Mlp probe = model;
+      nn::WeightMasks masks = MakeDenseMasks(probe);
+      LevelPruneLayer(&probe, layer, sparsity, &masks);
+      if (config.dynamic) {
+        nn::Trainer trainer(config.finetune);
+        trainer.TrainDistillation(&probe, raw_train, teacher, normalizer,
+                                  &masks);
+      }
+      result.ndcg[layer].push_back(evaluate(probe));
+    }
+  }
+  return result;
+}
+
+}  // namespace dnlr::prune

@@ -1,0 +1,50 @@
+#ifndef DNLR_PRUNE_SENSITIVITY_H_
+#define DNLR_PRUNE_SENSITIVITY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/normalize.h"
+#include "gbdt/ensemble.h"
+#include "nn/mlp.h"
+#include "nn/trainer.h"
+
+namespace dnlr::prune {
+
+/// Configuration of the per-layer sensitivity analysis (Section 5.2,
+/// Figure 10): prune one layer at a time to increasing sparsity and measure
+/// validation NDCG@10. The static variant measures immediately; the dynamic
+/// variant fine-tunes the pruned model first (and is what reveals the
+/// first-layer regularization effect).
+struct SensitivityConfig {
+  std::vector<double> sparsity_levels{0.5, 0.7, 0.8, 0.9, 0.95, 0.99};
+  /// Fine-tune after each pruning when true (dynamic analysis).
+  bool dynamic = false;
+  /// Fine-tuning settings for the dynamic analysis.
+  nn::TrainConfig finetune;
+  uint32_t ndcg_cutoff = 10;
+};
+
+/// ndcg[layer][level] = validation NDCG@cutoff with only `layer` pruned to
+/// sparsity_levels[level]. Row `num_layers()` is absent: the final scoring
+/// layer is excluded, as in the paper's figure.
+struct SensitivityResult {
+  std::vector<double> sparsity_levels;
+  std::vector<std::vector<double>> ndcg;
+  /// Unpruned model's validation NDCG for reference.
+  double dense_ndcg = 0.0;
+};
+
+/// Runs the analysis. The input model is not modified (each probe works on
+/// a copy).
+SensitivityResult AnalyzeSensitivity(const nn::Mlp& model,
+                                     const data::Dataset& raw_train,
+                                     const data::Dataset& valid,
+                                     const gbdt::Ensemble& teacher,
+                                     const data::ZNormalizer& normalizer,
+                                     const SensitivityConfig& config);
+
+}  // namespace dnlr::prune
+
+#endif  // DNLR_PRUNE_SENSITIVITY_H_

@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/aligned.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+
+namespace dnlr {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status status = Status::ParseError("bad token");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kParseError);
+  EXPECT_EQ(status.ToString(), "PARSE_ERROR: bad token");
+}
+
+TEST(StatusTest, CodeNamesAreDistinct) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kIoError), "IO_ERROR");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotFound), "NOT_FOUND");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result = Status::NotFound("missing");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+Status FailsThenPropagates() {
+  DNLR_RETURN_IF_ERROR(Status::IoError("disk on fire"));
+  return Status::Ok();
+}
+
+TEST(ResultTest, ReturnIfErrorMacro) {
+  EXPECT_EQ(FailsThenPropagates().code(), StatusCode::kIoError);
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.Next() == b.Next();
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRangeRespected) {
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(RngTest, NormalMomentsApproximatelyStandard) {
+  Rng rng(5);
+  const int n = 20000;
+  double sum = 0.0;
+  double sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal();
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(RngTest, BelowStaysBelow) {
+  Rng rng(6);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.Below(17), 17u);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(8);
+  std::vector<int> items{1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> shuffled = items;
+  rng.Shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, items);
+}
+
+TEST(AlignedBufferTest, AlignmentAndZeroInit) {
+  AlignedBuffer buffer(100);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(buffer.data()) % kSimdAlignment, 0u);
+  for (size_t i = 0; i < 100; ++i) EXPECT_FLOAT_EQ(buffer[i], 0.0f);
+}
+
+TEST(AlignedBufferTest, CopyAndMove) {
+  AlignedBuffer buffer(8);
+  buffer[3] = 42.0f;
+  AlignedBuffer copy = buffer;
+  EXPECT_FLOAT_EQ(copy[3], 42.0f);
+  AlignedBuffer moved = std::move(buffer);
+  EXPECT_FLOAT_EQ(moved[3], 42.0f);
+  EXPECT_TRUE(buffer.empty());  // NOLINT(bugprone-use-after-move)
+}
+
+TEST(StringUtilTest, SplitSkipsEmptyPieces) {
+  const auto pieces = SplitAndSkipEmpty("a  b   c", ' ');
+  ASSERT_EQ(pieces.size(), 3u);
+  EXPECT_EQ(pieces[0], "a");
+  EXPECT_EQ(pieces[2], "c");
+}
+
+TEST(StringUtilTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  hello\t\n "), "hello");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace("   "), "");
+}
+
+TEST(StringUtilTest, ParseUint32) {
+  uint32_t value = 0;
+  EXPECT_TRUE(ParseUint32("123", &value));
+  EXPECT_EQ(value, 123u);
+  EXPECT_FALSE(ParseUint32("12x", &value));
+  EXPECT_FALSE(ParseUint32("", &value));
+  EXPECT_FALSE(ParseUint32("-1", &value));
+}
+
+TEST(StringUtilTest, ParseFloat) {
+  float value = 0.0f;
+  EXPECT_TRUE(ParseFloat("3.5", &value));
+  EXPECT_FLOAT_EQ(value, 3.5f);
+  EXPECT_TRUE(ParseFloat("-1e-3", &value));
+  EXPECT_FLOAT_EQ(value, -1e-3f);
+  EXPECT_FALSE(ParseFloat("abc", &value));
+  EXPECT_FALSE(ParseFloat("1.0junk", &value));
+}
+
+TEST(StringUtilTest, FormatFixed) {
+  EXPECT_EQ(FormatFixed(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatFixed(2.0, 1), "2.0");
+}
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  Timer timer;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += std::sqrt(static_cast<double>(i));
+  EXPECT_GT(timer.ElapsedMicros(), 0.0);
+  EXPECT_GT(sink, 0.0);
+}
+
+TEST(TimerTest, TimeMicrosRunsFunction) {
+  int calls = 0;
+  const double us = TimeMicros([&] { ++calls; }, 3);
+  EXPECT_GE(us, 0.0);
+  EXPECT_EQ(calls, 4);  // warm-up + 3 repeats
+}
+
+}  // namespace
+}  // namespace dnlr

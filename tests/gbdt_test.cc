@@ -1,0 +1,405 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "data/synthetic.h"
+#include "gbdt/binning.h"
+#include "gbdt/booster.h"
+#include "gbdt/ensemble.h"
+#include "gbdt/objective.h"
+#include "gbdt/tree.h"
+#include "metrics/metrics.h"
+
+namespace dnlr::gbdt {
+namespace {
+
+using data::Dataset;
+using data::GenerateSynthetic;
+using data::SyntheticConfig;
+
+RegressionTree HandBuiltTree() {
+  // Structure:
+  //        n0 (f0 <= 1.0)
+  //       /              \
+  //   leaf(10)        n1 (f1 <= 2.0)
+  //                   /            \
+  //               leaf(20)      leaf(30)
+  std::vector<TreeNode> nodes(2);
+  nodes[0] = {0, 1.0f, TreeNode::EncodeLeaf(0), 1};
+  nodes[1] = {1, 2.0f, TreeNode::EncodeLeaf(1), TreeNode::EncodeLeaf(2)};
+  return RegressionTree(std::move(nodes), {10.0, 20.0, 30.0});
+}
+
+TEST(TreeTest, ScoreFollowsDecisions) {
+  RegressionTree tree = HandBuiltTree();
+  const float left[2] = {0.5f, 0.0f};
+  const float mid[2] = {2.0f, 1.5f};
+  const float right[2] = {2.0f, 3.0f};
+  EXPECT_DOUBLE_EQ(tree.Score(left), 10.0);
+  EXPECT_DOUBLE_EQ(tree.Score(mid), 20.0);
+  EXPECT_DOUBLE_EQ(tree.Score(right), 30.0);
+}
+
+TEST(TreeTest, TieGoesLeft) {
+  RegressionTree tree = HandBuiltTree();
+  const float tie[2] = {1.0f, 0.0f};  // x == threshold -> left
+  EXPECT_DOUBLE_EQ(tree.Score(tie), 10.0);
+}
+
+TEST(TreeTest, ExitLeafMatchesScore) {
+  RegressionTree tree = HandBuiltTree();
+  const float mid[2] = {2.0f, 1.5f};
+  EXPECT_EQ(tree.ExitLeaf(mid), 1u);
+}
+
+TEST(TreeTest, DepthAndCounts) {
+  RegressionTree tree = HandBuiltTree();
+  EXPECT_EQ(tree.num_nodes(), 2u);
+  EXPECT_EQ(tree.num_leaves(), 3u);
+  EXPECT_EQ(tree.Depth(), 2u);
+}
+
+TEST(TreeTest, CountVisitedNodes) {
+  RegressionTree tree = HandBuiltTree();
+  const float left[2] = {0.5f, 0.0f};
+  const float right[2] = {2.0f, 3.0f};
+  EXPECT_EQ(tree.CountVisitedNodes(left), 1u);
+  EXPECT_EQ(tree.CountVisitedNodes(right), 2u);
+}
+
+TEST(TreeTest, NormalizeLeafOrderPreservesSemantics) {
+  // Build a tree whose leaves are numbered out of order, then normalize.
+  std::vector<TreeNode> nodes(2);
+  nodes[0] = {0, 1.0f, TreeNode::EncodeLeaf(2), 1};
+  nodes[1] = {1, 2.0f, TreeNode::EncodeLeaf(0), TreeNode::EncodeLeaf(1)};
+  RegressionTree tree(std::move(nodes), {20.0, 30.0, 10.0});
+  const float left[2] = {0.5f, 0.0f};
+  const float mid[2] = {2.0f, 1.5f};
+  const double before_left = tree.Score(left);
+  const double before_mid = tree.Score(mid);
+  tree.NormalizeLeafOrder();
+  EXPECT_DOUBLE_EQ(tree.Score(left), before_left);
+  EXPECT_DOUBLE_EQ(tree.Score(mid), before_mid);
+  // Leaf 0 is now the leftmost leaf.
+  EXPECT_EQ(tree.ExitLeaf(left), 0u);
+}
+
+TEST(BinningTest, DistinctValuesGetMidpointBoundaries) {
+  Dataset dataset(1);
+  dataset.BeginQuery(1);
+  for (const float v : {1.0f, 2.0f, 4.0f}) {
+    dataset.AddDocument(std::vector<float>{v}, 0.0f);
+  }
+  FeatureBinner binner(dataset, 16);
+  EXPECT_EQ(binner.NumBins(0), 3u);
+  EXPECT_FLOAT_EQ(binner.UpperBound(0, 0), 1.5f);
+  EXPECT_FLOAT_EQ(binner.UpperBound(0, 1), 3.0f);
+  EXPECT_EQ(binner.BinOf(0, 1.0f), 0);
+  EXPECT_EQ(binner.BinOf(0, 1.5f), 0);  // boundary value goes left
+  EXPECT_EQ(binner.BinOf(0, 2.0f), 1);
+  EXPECT_EQ(binner.BinOf(0, 100.0f), 2);
+}
+
+TEST(BinningTest, ConstantFeatureSingleBin) {
+  Dataset dataset(1);
+  dataset.BeginQuery(1);
+  dataset.AddDocument(std::vector<float>{3.0f}, 0.0f);
+  dataset.AddDocument(std::vector<float>{3.0f}, 1.0f);
+  FeatureBinner binner(dataset, 16);
+  EXPECT_EQ(binner.NumBins(0), 1u);
+  EXPECT_EQ(binner.BinOf(0, -100.0f), 0);
+  EXPECT_EQ(binner.BinOf(0, 100.0f), 0);
+}
+
+TEST(BinningTest, ManyValuesCappedAtMaxBins) {
+  Dataset dataset(1);
+  dataset.BeginQuery(1);
+  for (int i = 0; i < 1000; ++i) {
+    dataset.AddDocument(std::vector<float>{static_cast<float>(i)}, 0.0f);
+  }
+  FeatureBinner binner(dataset, 32);
+  EXPECT_LE(binner.NumBins(0), 32u);
+  EXPECT_GE(binner.NumBins(0), 30u);
+}
+
+TEST(BinningTest, BinDatasetColumnMajorLayout) {
+  Dataset dataset(2);
+  dataset.BeginQuery(1);
+  dataset.AddDocument(std::vector<float>{1.0f, 10.0f}, 0.0f);
+  dataset.AddDocument(std::vector<float>{2.0f, 20.0f}, 0.0f);
+  FeatureBinner binner(dataset, 8);
+  const auto bins = binner.BinDataset(dataset);
+  ASSERT_EQ(bins.size(), 4u);
+  EXPECT_EQ(bins[0], binner.BinOf(0, 1.0f));
+  EXPECT_EQ(bins[1], binner.BinOf(0, 2.0f));
+  EXPECT_EQ(bins[2], binner.BinOf(1, 10.0f));
+  EXPECT_EQ(bins[3], binner.BinOf(1, 20.0f));
+}
+
+TEST(BinningTest, MonotonicBinAssignment) {
+  SyntheticConfig config;
+  config.num_queries = 20;
+  config.num_features = 5;
+  Dataset dataset = GenerateSynthetic(config);
+  FeatureBinner binner(dataset, 64);
+  for (uint32_t f = 0; f < 5; ++f) {
+    // Bin index must be monotone in the raw value.
+    float prev_value = -1e30f;
+    for (float v = -10.0f; v < 10.0f; v += 0.37f) {
+      EXPECT_GE(binner.BinOf(f, v), binner.BinOf(f, prev_value));
+      prev_value = v;
+    }
+  }
+}
+
+TEST(ObjectiveTest, RegressionGradients) {
+  Dataset dataset(1);
+  dataset.BeginQuery(1);
+  dataset.AddDocument(std::vector<float>{0.0f}, 2.0f);
+  dataset.AddDocument(std::vector<float>{0.0f}, 0.0f);
+  RegressionObjective objective;
+  std::vector<double> scores{1.0, 1.0};
+  std::vector<double> grads(2);
+  std::vector<double> hess(2);
+  objective.ComputeGradients(dataset, scores, grads, hess);
+  EXPECT_DOUBLE_EQ(grads[0], -1.0);  // score below target
+  EXPECT_DOUBLE_EQ(grads[1], 1.0);   // score above target
+  EXPECT_DOUBLE_EQ(hess[0], 1.0);
+  EXPECT_DOUBLE_EQ(objective.InitScore(dataset), 1.0);
+}
+
+TEST(ObjectiveTest, RegressionCustomTargets) {
+  Dataset dataset(1);
+  dataset.BeginQuery(1);
+  dataset.AddDocument(std::vector<float>{0.0f}, 0.0f);
+  RegressionObjective objective(std::vector<float>{5.0f});
+  std::vector<double> scores{0.0};
+  std::vector<double> grads(1);
+  std::vector<double> hess(1);
+  objective.ComputeGradients(dataset, scores, grads, hess);
+  EXPECT_DOUBLE_EQ(grads[0], -5.0);
+  EXPECT_DOUBLE_EQ(objective.InitScore(dataset), 5.0);
+}
+
+TEST(ObjectiveTest, LambdaRankPushesRelevantUp) {
+  Dataset dataset(1);
+  dataset.BeginQuery(1);
+  dataset.AddDocument(std::vector<float>{0.0f}, 3.0f);  // relevant
+  dataset.AddDocument(std::vector<float>{0.0f}, 0.0f);  // irrelevant
+  LambdaRankObjective objective;
+  // Model currently ranks the irrelevant one higher.
+  std::vector<double> scores{0.0, 1.0};
+  std::vector<double> grads(2);
+  std::vector<double> hess(2);
+  objective.ComputeGradients(dataset, scores, grads, hess);
+  EXPECT_LT(grads[0], 0.0);  // negative gradient -> score should grow
+  EXPECT_GT(grads[1], 0.0);
+  EXPECT_GT(hess[0], 0.0);
+  EXPECT_GT(hess[1], 0.0);
+  // Gradients are equal and opposite for a single pair.
+  EXPECT_NEAR(grads[0], -grads[1], 1e-12);
+}
+
+TEST(ObjectiveTest, LambdaRankZeroForUniformLabels) {
+  Dataset dataset(1);
+  dataset.BeginQuery(1);
+  dataset.AddDocument(std::vector<float>{0.0f}, 1.0f);
+  dataset.AddDocument(std::vector<float>{0.0f}, 1.0f);
+  LambdaRankObjective objective;
+  std::vector<double> scores{0.4, 0.6};
+  std::vector<double> grads(2);
+  std::vector<double> hess(2);
+  objective.ComputeGradients(dataset, scores, grads, hess);
+  EXPECT_DOUBLE_EQ(grads[0], 0.0);
+  EXPECT_DOUBLE_EQ(grads[1], 0.0);
+}
+
+TEST(EnsembleTest, ScoreSumsTreesAndBase) {
+  Ensemble ensemble(0.5);
+  ensemble.AddTree(HandBuiltTree());
+  ensemble.AddTree(HandBuiltTree());
+  const float left[2] = {0.5f, 0.0f};
+  EXPECT_DOUBLE_EQ(ensemble.Score(left), 20.5);
+  EXPECT_EQ(ensemble.MaxLeaves(), 3u);
+  EXPECT_EQ(ensemble.TotalNodes(), 4u);
+}
+
+TEST(EnsembleTest, TruncateKeepsPrefix) {
+  Ensemble ensemble(0.0);
+  ensemble.AddTree(HandBuiltTree());
+  ensemble.AddTree(HandBuiltTree());
+  ensemble.Truncate(1);
+  EXPECT_EQ(ensemble.num_trees(), 1u);
+  const float left[2] = {0.5f, 0.0f};
+  EXPECT_DOUBLE_EQ(ensemble.Score(left), 10.0);
+}
+
+TEST(EnsembleTest, SplitPointsPerFeature) {
+  Ensemble ensemble(0.0);
+  ensemble.AddTree(HandBuiltTree());
+  ensemble.AddTree(HandBuiltTree());  // duplicate thresholds deduplicated
+  const auto points = ensemble.SplitPointsPerFeature(3);
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_EQ(points[0], std::vector<float>{1.0f});
+  EXPECT_EQ(points[1], std::vector<float>{2.0f});
+  EXPECT_TRUE(points[2].empty());
+}
+
+TEST(EnsembleTest, SerializeRoundTrip) {
+  Ensemble ensemble(0.25);
+  ensemble.AddTree(HandBuiltTree());
+  auto parsed = Ensemble::Deserialize(ensemble.Serialize());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->num_trees(), 1u);
+  EXPECT_DOUBLE_EQ(parsed->base_score(), 0.25);
+  const float mid[2] = {2.0f, 1.5f};
+  EXPECT_DOUBLE_EQ(parsed->Score(mid), ensemble.Score(mid));
+}
+
+TEST(EnsembleTest, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(Ensemble::Deserialize("not a model").ok());
+  EXPECT_FALSE(Ensemble::Deserialize("ensemble 1 0\ntree 1 2\nnode x").ok());
+}
+
+TEST(EnsembleTest, FileRoundTrip) {
+  Ensemble ensemble(0.0);
+  ensemble.AddTree(HandBuiltTree());
+  const std::string path = ::testing::TempDir() + "/ensemble.txt";
+  ASSERT_TRUE(ensemble.SaveToFile(path).ok());
+  auto loaded = Ensemble::LoadFromFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_trees(), 1u);
+}
+
+class BoosterTrainingTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SyntheticConfig config;
+    config.num_queries = 120;
+    config.min_docs_per_query = 20;
+    config.max_docs_per_query = 40;
+    config.num_features = 25;
+    config.seed = 77;
+    splits_ = new data::DatasetSplits(data::GenerateSyntheticSplits(config));
+  }
+  static void TearDownTestSuite() {
+    delete splits_;
+    splits_ = nullptr;
+  }
+  static data::DatasetSplits* splits_;
+};
+
+data::DatasetSplits* BoosterTrainingTest::splits_ = nullptr;
+
+TEST_F(BoosterTrainingTest, LambdaMartBeatsRandomByLargeMargin) {
+  BoosterConfig config;
+  config.num_trees = 60;
+  config.num_leaves = 16;
+  config.learning_rate = 0.15;
+  Booster booster(config);
+  Ensemble model = booster.TrainLambdaMart(splits_->train, &splits_->valid);
+  const auto scores = model.ScoreDataset(splits_->test);
+  const double ndcg = metrics::MeanNdcg(splits_->test, scores, 10);
+  // Random scoring sits near the all-ties baseline; a trained model must be
+  // far above it.
+  std::vector<float> zeros(splits_->test.num_docs(), 0.0f);
+  const double baseline = metrics::MeanNdcg(splits_->test, zeros, 10);
+  EXPECT_GT(ndcg, baseline + 0.1)
+      << "trained " << ndcg << " vs baseline " << baseline;
+}
+
+TEST_F(BoosterTrainingTest, MoreTreesDoNotHurtTraining) {
+  BoosterConfig config;
+  config.num_trees = 10;
+  config.num_leaves = 16;
+  Booster small(config);
+  config.num_trees = 40;
+  Booster large(config);
+  Ensemble small_model = small.TrainLambdaMart(splits_->train, nullptr);
+  Ensemble large_model = large.TrainLambdaMart(splits_->train, nullptr);
+  const double small_ndcg = metrics::MeanNdcg(
+      splits_->train, small_model.ScoreDataset(splits_->train), 10);
+  const double large_ndcg = metrics::MeanNdcg(
+      splits_->train, large_model.ScoreDataset(splits_->train), 10);
+  EXPECT_GE(large_ndcg, small_ndcg - 1e-6);
+}
+
+TEST_F(BoosterTrainingTest, RespectsLeafBudget) {
+  BoosterConfig config;
+  config.num_trees = 5;
+  config.num_leaves = 8;
+  Booster booster(config);
+  Ensemble model = booster.TrainLambdaMart(splits_->train, nullptr);
+  EXPECT_EQ(model.num_trees(), 5u);
+  for (uint32_t t = 0; t < model.num_trees(); ++t) {
+    EXPECT_LE(model.tree(t).num_leaves(), 8u);
+    EXPECT_GE(model.tree(t).num_leaves(), 2u);
+  }
+}
+
+TEST_F(BoosterTrainingTest, EarlyStoppingTruncates) {
+  BoosterConfig config;
+  config.num_trees = 200;
+  config.num_leaves = 8;
+  config.learning_rate = 0.3;
+  config.early_stopping_rounds = 2;
+  config.eval_period = 10;
+  Booster booster(config);
+  Ensemble model = booster.TrainLambdaMart(splits_->train, &splits_->valid);
+  // With aggressive learning rate on a small dataset, validation NDCG
+  // plateaus well before 200 trees.
+  EXPECT_LT(model.num_trees(), 200u);
+  EXPECT_GT(model.num_trees(), 0u);
+}
+
+TEST_F(BoosterTrainingTest, RegressionObjectiveLearnsLabels) {
+  BoosterConfig config;
+  config.num_trees = 40;
+  config.num_leaves = 16;
+  config.learning_rate = 0.2;
+  Booster booster(config);
+  Ensemble model = booster.TrainRegression(splits_->train, nullptr);
+  const auto scores = model.ScoreDataset(splits_->train);
+  double mse = 0.0;
+  double var = 0.0;
+  double mean = 0.0;
+  for (uint32_t d = 0; d < splits_->train.num_docs(); ++d) {
+    mean += splits_->train.Label(d);
+  }
+  mean /= splits_->train.num_docs();
+  for (uint32_t d = 0; d < splits_->train.num_docs(); ++d) {
+    const double err = scores[d] - splits_->train.Label(d);
+    mse += err * err;
+    const double dev = splits_->train.Label(d) - mean;
+    var += dev * dev;
+  }
+  EXPECT_LT(mse, 0.7 * var) << "regression failed to explain variance";
+}
+
+TEST_F(BoosterTrainingTest, LeavesOrderedForQuickScorer) {
+  BoosterConfig config;
+  config.num_trees = 3;
+  config.num_leaves = 16;
+  Booster booster(config);
+  Ensemble model = booster.TrainLambdaMart(splits_->train, nullptr);
+  // In-order traversal of each tree must visit leaves 0, 1, 2, ...
+  for (uint32_t t = 0; t < model.num_trees(); ++t) {
+    const RegressionTree& tree = model.tree(t);
+    uint32_t expected = 0;
+    std::function<void(int32_t)> visit = [&](int32_t child) {
+      if (TreeNode::IsLeaf(child)) {
+        EXPECT_EQ(TreeNode::DecodeLeaf(child), expected++);
+        return;
+      }
+      visit(tree.node(child).left);
+      visit(tree.node(child).right);
+    };
+    if (tree.num_nodes() > 0) visit(0);
+    EXPECT_EQ(expected, tree.num_leaves());
+  }
+}
+
+}  // namespace
+}  // namespace dnlr::gbdt

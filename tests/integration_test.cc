@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "core/timing.h"
+#include "data/letor_io.h"
+#include "data/synthetic.h"
+#include "forest/quickscorer.h"
+#include "forest/vectorized_quickscorer.h"
+#include "gbdt/booster.h"
+#include "metrics/metrics.h"
+#include "nn/scorer.h"
+#include "nn/trainer.h"
+
+namespace dnlr {
+namespace {
+
+/// Cross-module integration: the full paper story at miniature scale.
+class IntegrationFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data::SyntheticConfig config;
+    config.num_queries = 120;
+    config.min_docs_per_query = 15;
+    config.max_docs_per_query = 30;
+    config.num_features = 24;
+    config.seed = 99;
+    splits_ = new data::DatasetSplits(data::GenerateSyntheticSplits(config));
+  }
+  static void TearDownTestSuite() {
+    delete splits_;
+    splits_ = nullptr;
+  }
+  static data::DatasetSplits* splits_;
+};
+
+data::DatasetSplits* IntegrationFixture::splits_ = nullptr;
+
+TEST_F(IntegrationFixture, LetorRoundTripPreservesModelScores) {
+  // Serialize the dataset to LETOR, re-read it, and verify a trained model
+  // scores both identically: the I/O path is faithful end to end.
+  gbdt::BoosterConfig config;
+  config.num_trees = 10;
+  config.num_leaves = 8;
+  gbdt::Booster booster(config);
+  const gbdt::Ensemble model =
+      booster.TrainLambdaMart(splits_->train, nullptr);
+
+  auto reparsed = data::ParseLetor(data::ToLetorString(splits_->test),
+                                   splits_->test.num_features());
+  ASSERT_TRUE(reparsed.ok());
+  const auto original_scores = model.ScoreDataset(splits_->test);
+  const auto reparsed_scores = model.ScoreDataset(*reparsed);
+  const double original_ndcg =
+      metrics::MeanNdcg(splits_->test, original_scores, 10);
+  const double reparsed_ndcg =
+      metrics::MeanNdcg(*reparsed, reparsed_scores, 10);
+  EXPECT_NEAR(original_ndcg, reparsed_ndcg, 1e-3);
+}
+
+TEST_F(IntegrationFixture, BiggerForestRanksAtLeastAsWellAndScoresSlower) {
+  gbdt::BoosterConfig config;
+  config.num_trees = 15;
+  config.num_leaves = 16;
+  config.learning_rate = 0.15;
+  gbdt::Booster small_booster(config);
+  config.num_trees = 90;
+  gbdt::Booster large_booster(config);
+  const gbdt::Ensemble small =
+      small_booster.TrainLambdaMart(splits_->train, nullptr);
+  const gbdt::Ensemble large =
+      large_booster.TrainLambdaMart(splits_->train, nullptr);
+
+  const double small_ndcg = metrics::MeanNdcg(
+      splits_->test, small.ScoreDataset(splits_->test), 10);
+  const double large_ndcg = metrics::MeanNdcg(
+      splits_->test, large.ScoreDataset(splits_->test), 10);
+  EXPECT_GE(large_ndcg, small_ndcg - 0.02);
+
+  // A 6x larger forest must be measurably slower under QuickScorer
+  // (scoring time scales with the ensemble size, Section 5.1).
+  forest::QuickScorer small_qs(small, splits_->test.num_features());
+  forest::QuickScorer large_qs(large, splits_->test.num_features());
+  const double small_us =
+      core::MeasureScorerMicrosPerDoc(small_qs, splits_->test, 3);
+  const double large_us =
+      core::MeasureScorerMicrosPerDoc(large_qs, splits_->test, 3);
+  EXPECT_GT(large_us, small_us * 1.5)
+      << "small " << small_us << "us large " << large_us << "us";
+}
+
+TEST_F(IntegrationFixture, AllScorersAgreeOnRanking) {
+  gbdt::BoosterConfig config;
+  config.num_trees = 25;
+  config.num_leaves = 16;
+  gbdt::Booster booster(config);
+  const gbdt::Ensemble model =
+      booster.TrainLambdaMart(splits_->train, nullptr);
+
+  const forest::NaiveTraversalScorer naive(model);
+  const forest::QuickScorer qs(model, splits_->test.num_features());
+  const forest::VectorizedQuickScorer vqs(model, splits_->test.num_features());
+  const forest::BlockwiseQuickScorer bwqs(model, splits_->test.num_features(),
+                                          4096);
+
+  const auto naive_ndcg = metrics::MeanNdcg(
+      splits_->test, naive.ScoreDataset(splits_->test), 10);
+  for (const forest::DocumentScorer* scorer :
+       {static_cast<const forest::DocumentScorer*>(&qs),
+        static_cast<const forest::DocumentScorer*>(&vqs),
+        static_cast<const forest::DocumentScorer*>(&bwqs)}) {
+    const double ndcg = metrics::MeanNdcg(
+        splits_->test, scorer->ScoreDataset(splits_->test), 10);
+    EXPECT_NEAR(ndcg, naive_ndcg, 1e-6) << scorer->name();
+  }
+}
+
+TEST_F(IntegrationFixture, DistilledStudentBeatsLabelRegression) {
+  // The core claim of Section 3: distilling the teacher's scores beats
+  // regressing directly onto graded labels.
+  gbdt::BoosterConfig teacher_config;
+  teacher_config.num_trees = 60;
+  teacher_config.num_leaves = 16;
+  teacher_config.learning_rate = 0.15;
+  gbdt::Booster booster(teacher_config);
+  const gbdt::Ensemble teacher =
+      booster.TrainLambdaMart(splits_->train, &splits_->valid);
+
+  data::ZNormalizer normalizer;
+  normalizer.Fit(splits_->train);
+
+  nn::TrainConfig train;
+  train.epochs = 25;
+  train.batch_size = 128;
+  train.adam.learning_rate = 2e-3;
+  train.gamma_epochs = {18};
+  train.seed = 7;
+
+  const predict::Architecture arch(splits_->train.num_features(), {48, 24});
+
+  nn::Mlp distilled(arch, 7);
+  nn::Trainer(train).TrainDistillation(&distilled, splits_->train, teacher,
+                                       normalizer);
+  nn::Mlp regressed(arch, 7);
+  nn::Trainer(train).TrainOnLabels(&regressed, splits_->train, normalizer);
+
+  const double distilled_ndcg = metrics::MeanNdcg(
+      splits_->test,
+      nn::ScoreDatasetWithMlp(distilled, splits_->test, &normalizer), 10);
+  const double regressed_ndcg = metrics::MeanNdcg(
+      splits_->test,
+      nn::ScoreDatasetWithMlp(regressed, splits_->test, &normalizer), 10);
+  EXPECT_GE(distilled_ndcg, regressed_ndcg - 0.01)
+      << "distilled " << distilled_ndcg << " regressed " << regressed_ndcg;
+}
+
+}  // namespace
+}  // namespace dnlr

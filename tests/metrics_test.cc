@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "metrics/metrics.h"
+
+namespace dnlr::metrics {
+namespace {
+
+TEST(RankTest, DescendingWithStableTies) {
+  const std::vector<float> scores{1.0f, 3.0f, 3.0f, 0.5f};
+  const auto order = RankByScore(scores);
+  EXPECT_EQ(order, (std::vector<uint32_t>{1, 2, 0, 3}));
+}
+
+TEST(DcgTest, HandComputedExample) {
+  // Ranking by score puts labels in order [3, 2, 0].
+  const std::vector<float> labels{2.0f, 3.0f, 0.0f};
+  const std::vector<float> scores{0.5f, 0.9f, 0.1f};
+  const double expected = (std::exp2(3.0) - 1.0) / std::log2(2.0) +
+                          (std::exp2(2.0) - 1.0) / std::log2(3.0) +
+                          0.0 / std::log2(4.0);
+  EXPECT_NEAR(Dcg(labels, scores, 0), expected, 1e-12);
+}
+
+TEST(DcgTest, CutoffLimitsPositions) {
+  const std::vector<float> labels{1.0f, 1.0f, 1.0f};
+  const std::vector<float> scores{3.0f, 2.0f, 1.0f};
+  EXPECT_LT(Dcg(labels, scores, 1), Dcg(labels, scores, 3));
+}
+
+TEST(NdcgTest, PerfectRankingIsOne) {
+  const std::vector<float> labels{0.0f, 1.0f, 2.0f, 4.0f};
+  const std::vector<float> scores{0.0f, 1.0f, 2.0f, 4.0f};
+  EXPECT_NEAR(Ndcg(labels, scores, 10), 1.0, 1e-12);
+}
+
+TEST(NdcgTest, WorstRankingBelowOne) {
+  const std::vector<float> labels{0.0f, 0.0f, 4.0f};
+  const std::vector<float> scores{3.0f, 2.0f, 1.0f};
+  const double ndcg = Ndcg(labels, scores, 10);
+  EXPECT_GT(ndcg, 0.0);
+  EXPECT_LT(ndcg, 0.6);
+}
+
+TEST(NdcgTest, AllZeroLabelsGiveSentinel) {
+  const std::vector<float> labels{0.0f, 0.0f};
+  const std::vector<float> scores{1.0f, 2.0f};
+  EXPECT_DOUBLE_EQ(Ndcg(labels, scores, 10), -1.0);
+}
+
+TEST(NdcgTest, InvariantToScoreMonotoneTransform) {
+  Rng rng(11);
+  std::vector<float> labels(20);
+  std::vector<float> scores(20);
+  for (int i = 0; i < 20; ++i) {
+    labels[i] = static_cast<float>(rng.Below(5));
+    scores[i] = static_cast<float>(rng.Normal());
+  }
+  std::vector<float> transformed(20);
+  for (int i = 0; i < 20; ++i) transformed[i] = 2.0f * scores[i] + 7.0f;
+  EXPECT_DOUBLE_EQ(Ndcg(labels, scores, 10),
+                   Ndcg(labels, transformed, 10));
+}
+
+TEST(MapTest, PerfectRankingIsOne) {
+  const std::vector<float> labels{2.0f, 1.0f, 0.0f};
+  const std::vector<float> scores{3.0f, 2.0f, 1.0f};
+  EXPECT_NEAR(AveragePrecision(labels, scores), 1.0, 1e-12);
+}
+
+TEST(MapTest, KnownValue) {
+  // Relevant docs at ranks 2 and 4 -> AP = (1/2 + 2/4) / 2 = 0.5.
+  const std::vector<float> labels{0.0f, 1.0f, 0.0f, 1.0f};
+  const std::vector<float> scores{4.0f, 3.0f, 2.0f, 1.0f};
+  EXPECT_NEAR(AveragePrecision(labels, scores), 0.5, 1e-12);
+}
+
+TEST(MapTest, NoRelevantGivesSentinel) {
+  const std::vector<float> labels{0.0f, 0.0f};
+  const std::vector<float> scores{1.0f, 2.0f};
+  EXPECT_DOUBLE_EQ(AveragePrecision(labels, scores), -1.0);
+}
+
+data::Dataset TwoQueryDataset() {
+  data::Dataset dataset(1);
+  dataset.BeginQuery(1);
+  dataset.AddDocument(std::vector<float>{0.0f}, 2.0f);
+  dataset.AddDocument(std::vector<float>{0.0f}, 0.0f);
+  dataset.BeginQuery(2);
+  dataset.AddDocument(std::vector<float>{0.0f}, 0.0f);
+  dataset.AddDocument(std::vector<float>{0.0f}, 1.0f);
+  return dataset;
+}
+
+TEST(AggregateTest, MeanNdcgAveragesQueries) {
+  data::Dataset dataset = TwoQueryDataset();
+  // Query 1 ranked perfectly, query 2 ranked worst.
+  const std::vector<float> scores{2.0f, 1.0f, 2.0f, 1.0f};
+  const auto per_query = PerQueryNdcg(dataset, scores, 10);
+  ASSERT_EQ(per_query.size(), 2u);
+  EXPECT_NEAR(per_query[0], 1.0, 1e-12);
+  EXPECT_LT(per_query[1], 1.0);
+  EXPECT_NEAR(MeanNdcg(dataset, scores, 10),
+              (per_query[0] + per_query[1]) / 2.0, 1e-12);
+}
+
+TEST(AggregateTest, SentinelQueriesSkipped) {
+  data::Dataset dataset(1);
+  dataset.BeginQuery(1);
+  dataset.AddDocument(std::vector<float>{0.0f}, 0.0f);  // unjudgeable
+  dataset.BeginQuery(2);
+  dataset.AddDocument(std::vector<float>{0.0f}, 1.0f);
+  const std::vector<float> scores{0.0f, 0.0f};
+  EXPECT_NEAR(MeanNdcg(dataset, scores, 10), 1.0, 1e-12);
+  EXPECT_NEAR(MeanAp(dataset, scores), 1.0, 1e-12);
+}
+
+TEST(AggregateTest, MeanOverValidQueriesEmptyIsZero) {
+  const std::vector<double> values{-1.0, -1.0};
+  EXPECT_DOUBLE_EQ(MeanOverValidQueries(values), 0.0);
+}
+
+TEST(ErrTest, SingleMaxGradeDocAtTopGivesHalfIshMass) {
+  // One grade-4 doc ranked first: ERR = (2^4 - 1) / 2^4 = 0.9375.
+  const std::vector<float> labels{4.0f, 0.0f};
+  const std::vector<float> scores{2.0f, 1.0f};
+  EXPECT_NEAR(Err(labels, scores, 10), 15.0 / 16.0, 1e-12);
+}
+
+TEST(ErrTest, LowerRankDiscounted) {
+  const std::vector<float> labels{0.0f, 4.0f};
+  const std::vector<float> scores{2.0f, 1.0f};  // relevant doc at rank 2
+  EXPECT_NEAR(Err(labels, scores, 10), (15.0 / 16.0) / 2.0, 1e-12);
+}
+
+TEST(ErrTest, CascadeStopsAfterSatisfaction) {
+  // Two grade-4 docs: second contributes only through the 1/16 chance the
+  // first did not satisfy.
+  const std::vector<float> labels{4.0f, 4.0f};
+  const std::vector<float> scores{2.0f, 1.0f};
+  const double p = 15.0 / 16.0;
+  EXPECT_NEAR(Err(labels, scores, 10), p + (1.0 - p) * p / 2.0, 1e-12);
+}
+
+TEST(ErrTest, NoRelevantGivesSentinel) {
+  const std::vector<float> labels{0.0f, 0.0f};
+  const std::vector<float> scores{1.0f, 2.0f};
+  EXPECT_DOUBLE_EQ(Err(labels, scores, 10), -1.0);
+}
+
+TEST(ErrTest, CutoffRespected) {
+  const std::vector<float> labels{0.0f, 0.0f, 4.0f};
+  const std::vector<float> scores{3.0f, 2.0f, 1.0f};
+  EXPECT_DOUBLE_EQ(Err(labels, scores, 2), 0.0);
+  EXPECT_GT(Err(labels, scores, 3), 0.0);
+}
+
+TEST(ErrTest, MeanErrAggregates) {
+  data::Dataset dataset = TwoQueryDataset();
+  const std::vector<float> scores{2.0f, 1.0f, 2.0f, 1.0f};
+  const auto per_query = PerQueryErr(dataset, scores, 10);
+  ASSERT_EQ(per_query.size(), 2u);
+  EXPECT_NEAR(MeanErr(dataset, scores, 10),
+              (per_query[0] + per_query[1]) / 2.0, 1e-12);
+}
+
+TEST(FisherTest, IdenticalSystemsNotSignificant) {
+  std::vector<double> a(50, 0.5);
+  EXPECT_GT(FisherRandomizationPValue(a, a, 2000), 0.9);
+}
+
+TEST(FisherTest, ClearlyDifferentSystemsSignificant) {
+  Rng rng(21);
+  std::vector<double> a(200);
+  std::vector<double> b(200);
+  for (int q = 0; q < 200; ++q) {
+    const double base = rng.Uniform(0.3, 0.7);
+    a[q] = base + 0.05 + rng.Normal(0.0, 0.01);
+    b[q] = base;
+  }
+  EXPECT_LT(FisherRandomizationPValue(a, b, 2000), 0.05);
+}
+
+TEST(FisherTest, NoisyEqualSystemsNotSignificant) {
+  Rng rng(22);
+  std::vector<double> a(100);
+  std::vector<double> b(100);
+  for (int q = 0; q < 100; ++q) {
+    const double base = rng.Uniform(0.3, 0.7);
+    a[q] = base + rng.Normal(0.0, 0.05);
+    b[q] = base + rng.Normal(0.0, 0.05);
+  }
+  EXPECT_GT(FisherRandomizationPValue(a, b, 2000), 0.05);
+}
+
+TEST(FisherTest, SentinelPairsExcluded) {
+  std::vector<double> a{0.9, -1.0, 0.8};
+  std::vector<double> b{0.9, 0.5, 0.8};
+  // Only two comparable queries with zero difference -> p = 1.
+  EXPECT_GT(FisherRandomizationPValue(a, b, 500), 0.9);
+}
+
+TEST(FisherTest, SymmetricInArguments) {
+  Rng rng(23);
+  std::vector<double> a(60);
+  std::vector<double> b(60);
+  for (int q = 0; q < 60; ++q) {
+    a[q] = rng.Uniform(0.0, 1.0);
+    b[q] = rng.Uniform(0.0, 1.0);
+  }
+  const double p_ab = FisherRandomizationPValue(a, b, 3000, 5);
+  const double p_ba = FisherRandomizationPValue(b, a, 3000, 5);
+  EXPECT_NEAR(p_ab, p_ba, 0.05);
+}
+
+}  // namespace
+}  // namespace dnlr::metrics

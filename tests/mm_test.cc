@@ -1,0 +1,248 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "common/rng.h"
+#include "mm/csr.h"
+#include "mm/gemm.h"
+#include "mm/matrix.h"
+#include "mm/sdmm.h"
+
+namespace dnlr::mm {
+namespace {
+
+TEST(MatrixTest, InitializerListAndAccessors) {
+  Matrix m({{1.0f, 2.0f, 3.0f}, {4.0f, 5.0f, 6.0f}});
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_FLOAT_EQ(m.At(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(m.At(1, 2), 6.0f);
+  EXPECT_FLOAT_EQ(m.Row(1)[0], 4.0f);
+}
+
+TEST(MatrixTest, ZeroInitialized) {
+  Matrix m(3, 5);
+  for (uint32_t r = 0; r < 3; ++r) {
+    for (uint32_t c = 0; c < 5; ++c) EXPECT_FLOAT_EQ(m.At(r, c), 0.0f);
+  }
+}
+
+TEST(MatrixTest, TransposedRoundTrip) {
+  Rng rng(1);
+  Matrix m(7, 11);
+  m.FillNormal(rng);
+  Matrix tt = m.Transposed().Transposed();
+  EXPECT_FLOAT_EQ(m.MaxAbsDiff(tt), 0.0f);
+}
+
+TEST(MatrixTest, SparsityCountsZeros) {
+  Matrix m({{0.0f, 1.0f}, {0.0f, 0.0f}});
+  EXPECT_DOUBLE_EQ(m.Sparsity(), 0.75);
+}
+
+TEST(GemmTest, RoundUp) {
+  EXPECT_EQ(RoundUp(0, 6), 0u);
+  EXPECT_EQ(RoundUp(1, 6), 6u);
+  EXPECT_EQ(RoundUp(6, 6), 6u);
+  EXPECT_EQ(RoundUp(7, 6), 12u);
+}
+
+TEST(GemmTest, TailoringClampsAndRounds) {
+  GemmParams base;
+  // Small problem: every blocking parameter shrinks to the (rounded)
+  // problem size.
+  GemmParams small = base.TailoredTo(10, 20, 30);
+  EXPECT_EQ(small.mc, RoundUp(10, base.mr));
+  EXPECT_EQ(small.nc, RoundUp(20, base.nr));
+  EXPECT_EQ(small.kc, 30u);
+  // Huge problem: parameters stay at their defaults.
+  GemmParams big = base.TailoredTo(100000, 100000, 100000);
+  EXPECT_EQ(big.mc, base.mc);
+  EXPECT_EQ(big.nc, base.nc);
+  EXPECT_EQ(big.kc, base.kc);
+}
+
+TEST(GemmTest, TinyExactProduct) {
+  Matrix a({{1.0f, 2.0f}, {3.0f, 4.0f}});
+  Matrix b({{5.0f, 6.0f}, {7.0f, 8.0f}});
+  Matrix c(2, 2);
+  Gemm(a, b, &c);
+  EXPECT_FLOAT_EQ(c.At(0, 0), 19.0f);
+  EXPECT_FLOAT_EQ(c.At(0, 1), 22.0f);
+  EXPECT_FLOAT_EQ(c.At(1, 0), 43.0f);
+  EXPECT_FLOAT_EQ(c.At(1, 1), 50.0f);
+}
+
+// Property sweep: the blocked GEMM agrees with the reference triple loop on
+// shapes that exercise every edge case of the micro/macro blocking.
+class GemmShapeTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(GemmShapeTest, MatchesReference) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(static_cast<uint64_t>(m * 73856093 + k * 19349663 + n * 83492791));
+  Matrix a(m, k);
+  Matrix b(k, n);
+  a.FillNormal(rng);
+  b.FillNormal(rng);
+  Matrix c(m, n);
+  Matrix expected(m, n);
+  Gemm(a, b, &c);
+  GemmReference(a, b, &expected);
+  // FMA reassociation changes rounding; tolerance scales with k.
+  const float tol = 1e-4f * std::sqrt(static_cast<float>(k)) + 1e-5f;
+  EXPECT_LE(c.MaxAbsDiff(expected), tol)
+      << "shape " << m << "x" << k << "x" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmShapeTest,
+    ::testing::Values(
+        std::make_tuple(1, 1, 1), std::make_tuple(1, 7, 1),
+        std::make_tuple(6, 16, 16), std::make_tuple(5, 3, 15),
+        std::make_tuple(7, 17, 19), std::make_tuple(12, 32, 32),
+        std::make_tuple(13, 33, 31), std::make_tuple(64, 64, 64),
+        std::make_tuple(100, 136, 64), std::make_tuple(136, 100, 1),
+        std::make_tuple(73, 257, 129),   // crosses kc boundary when kc=256
+        std::make_tuple(200, 50, 1000),  // wide C
+        std::make_tuple(1, 300, 40),     // single-row A
+        std::make_tuple(300, 1, 40)));   // rank-1 update
+
+TEST(GemmTest, CustomMicroTileScalarPath) {
+  // A non-default micro-tile disables the SIMD kernel; results must agree.
+  GemmParams params;
+  params.mr = 4;
+  params.nr = 5;
+  params.mc = 8;
+  params.kc = 16;
+  params.nc = 10;
+  Rng rng(2);
+  Matrix a(33, 47);
+  Matrix b(47, 29);
+  a.FillNormal(rng);
+  b.FillNormal(rng);
+  Matrix c(33, 29);
+  Matrix expected(33, 29);
+  GemmWithParams(a, b, &c, params);
+  GemmReference(a, b, &expected);
+  EXPECT_LE(c.MaxAbsDiff(expected), 1e-3f);
+}
+
+TEST(GemmTest, OverwritesPreviousContents) {
+  Matrix a({{1.0f}});
+  Matrix b({{2.0f}});
+  Matrix c(1, 1);
+  c.Fill(123.0f);
+  Gemm(a, b, &c);
+  EXPECT_FLOAT_EQ(c.At(0, 0), 2.0f);
+}
+
+TEST(GemmTest, MeasureGflopsPositive) {
+  const double gflops = MeasureGemmGflops(64, 64, 64, 2);
+  EXPECT_GT(gflops, 0.01);
+}
+
+TEST(CsrTest, FromDenseRoundTrip) {
+  Matrix dense({{0.0f, 1.5f, 0.0f}, {0.0f, 0.0f, 0.0f}, {-2.0f, 0.0f, 3.0f}});
+  CsrMatrix csr = CsrMatrix::FromDense(dense);
+  EXPECT_EQ(csr.nnz(), 3u);
+  EXPECT_EQ(csr.rows(), 3u);
+  EXPECT_EQ(csr.cols(), 3u);
+  EXPECT_EQ(csr.NumActiveRows(), 2u);
+  EXPECT_EQ(csr.NumActiveCols(), 3u);
+  EXPECT_FLOAT_EQ(csr.ToDense().MaxAbsDiff(dense), 0.0f);
+}
+
+TEST(CsrTest, SparsityFraction) {
+  Matrix dense(10, 10);
+  dense.At(0, 0) = 1.0f;
+  CsrMatrix csr = CsrMatrix::FromDense(dense);
+  EXPECT_DOUBLE_EQ(csr.Sparsity(), 0.99);
+}
+
+TEST(CsrTest, EpsilonThresholding) {
+  Matrix dense({{0.05f, 1.0f}});
+  CsrMatrix csr = CsrMatrix::FromDense(dense, 0.1f);
+  EXPECT_EQ(csr.nnz(), 1u);
+  EXPECT_FLOAT_EQ(csr.values()[0], 1.0f);
+}
+
+TEST(CsrTest, ExplicitConstructionValidates) {
+  CsrMatrix csr(2, 3, {0, 1, 2}, {2, 0}, {5.0f, -1.0f});
+  EXPECT_EQ(csr.nnz(), 2u);
+  EXPECT_FLOAT_EQ(csr.ToDense().At(0, 2), 5.0f);
+  EXPECT_FLOAT_EQ(csr.ToDense().At(1, 0), -1.0f);
+}
+
+// Property sweep for the sparse kernel across shapes, sparsities and batch
+// sizes, including non-multiple-of-8 batches (scalar remainder path).
+class SdmmTest : public ::testing::TestWithParam<std::tuple<int, int, int, double>> {};
+
+TEST_P(SdmmTest, MatchesReference) {
+  const auto [m, k, n, sparsity] = GetParam();
+  Rng rng(static_cast<uint64_t>(m * 31 + k * 37 + n * 41) + 5);
+  Matrix dense(m, k);
+  for (uint32_t r = 0; r < dense.rows(); ++r) {
+    for (uint32_t c = 0; c < dense.cols(); ++c) {
+      if (rng.Uniform() >= sparsity) {
+        dense.At(r, c) = static_cast<float>(rng.Normal());
+      }
+    }
+  }
+  CsrMatrix a = CsrMatrix::FromDense(dense);
+  Matrix b(k, n);
+  b.FillNormal(rng);
+  Matrix c(m, n);
+  Matrix expected(m, n);
+  Sdmm(a, b, &c);
+  SdmmReference(a, b, &expected);
+  EXPECT_LE(c.MaxAbsDiff(expected), 1e-3f)
+      << "shape " << m << "x" << k << "x" << n << " sparsity " << sparsity;
+
+  // And both must agree with the dense product of the expanded matrix.
+  Matrix dense_out(m, n);
+  GemmReference(dense, b, &dense_out);
+  EXPECT_LE(c.MaxAbsDiff(dense_out), 1e-3f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SdmmTest,
+    ::testing::Values(std::make_tuple(1, 1, 1, 0.0),
+                      std::make_tuple(8, 8, 8, 0.5),
+                      std::make_tuple(50, 136, 64, 0.97),
+                      std::make_tuple(100, 136, 16, 0.99),
+                      std::make_tuple(400, 136, 64, 0.996),
+                      std::make_tuple(33, 47, 13, 0.9),   // scalar remainder
+                      std::make_tuple(20, 30, 40, 1.0),   // fully sparse
+                      std::make_tuple(20, 30, 40, 0.0),   // fully dense
+                      std::make_tuple(64, 64, 33, 0.8),
+                      std::make_tuple(10, 200, 7, 0.95)));
+
+TEST(SdmmTest, InactiveRowsProduceZeroRows) {
+  Matrix dense(4, 4);
+  dense.At(1, 2) = 3.0f;  // only row 1 active
+  CsrMatrix a = CsrMatrix::FromDense(dense);
+  Rng rng(9);
+  Matrix b(4, 8);
+  b.FillNormal(rng);
+  Matrix c(4, 8);
+  Sdmm(a, b, &c);
+  for (uint32_t j = 0; j < 8; ++j) {
+    EXPECT_FLOAT_EQ(c.At(0, j), 0.0f);
+    EXPECT_FLOAT_EQ(c.At(2, j), 0.0f);
+    EXPECT_FLOAT_EQ(c.At(3, j), 0.0f);
+    EXPECT_FLOAT_EQ(c.At(1, j), 3.0f * b.At(2, j));
+  }
+}
+
+TEST(SdmmTest, MeasureHelpersReturnPositive) {
+  Matrix dense(32, 32);
+  dense.At(3, 4) = 1.0f;
+  CsrMatrix a = CsrMatrix::FromDense(dense);
+  EXPECT_GT(MeasureSdmmMicros(a, 16, 2), 0.0);
+  EXPECT_GT(MeasureSdmmReferenceMicros(a, 16, 2), 0.0);
+}
+
+}  // namespace
+}  // namespace dnlr::mm

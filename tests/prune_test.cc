@@ -1,0 +1,257 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synthetic.h"
+#include "gbdt/booster.h"
+#include "metrics/metrics.h"
+#include "nn/trainer.h"
+#include "prune/magnitude.h"
+#include "prune/schedule.h"
+#include "prune/sensitivity.h"
+
+namespace dnlr::prune {
+namespace {
+
+using predict::Architecture;
+
+TEST(MagnitudeTest, DenseMasksAllOnes) {
+  nn::Mlp mlp(Architecture(6, {4}), 1);
+  const nn::WeightMasks masks = MakeDenseMasks(mlp);
+  ASSERT_EQ(masks.size(), 2u);
+  for (const mm::Matrix& mask : masks) {
+    for (size_t i = 0; i < mask.size(); ++i) {
+      EXPECT_FLOAT_EQ(mask.data()[i], 1.0f);
+    }
+  }
+}
+
+TEST(MagnitudeTest, LevelPruneHitsTargetAndKeepsLargest) {
+  nn::Mlp mlp(Architecture(10, {10}), 2);
+  nn::WeightMasks masks = MakeDenseMasks(mlp);
+  // Record the largest-magnitude weight; it must survive.
+  const mm::Matrix& w = mlp.layer(0).weight;
+  float max_abs = 0.0f;
+  for (size_t i = 0; i < w.size(); ++i) {
+    max_abs = std::max(max_abs, std::fabs(w.data()[i]));
+  }
+  LevelPruneLayer(&mlp, 0, 0.8, &masks);
+  EXPECT_NEAR(LayerSparsity(mlp, 0), 0.8, 0.02);
+  float surviving_max = 0.0f;
+  for (size_t i = 0; i < w.size(); ++i) {
+    surviving_max = std::max(surviving_max, std::fabs(w.data()[i]));
+  }
+  EXPECT_FLOAT_EQ(surviving_max, max_abs);
+  // Other layers untouched.
+  EXPECT_NEAR(LayerSparsity(mlp, 1), 0.0, 1e-9);
+}
+
+TEST(MagnitudeTest, LevelPruneMonotone) {
+  nn::Mlp mlp(Architecture(12, {12}), 3);
+  nn::WeightMasks masks = MakeDenseMasks(mlp);
+  LevelPruneLayer(&mlp, 0, 0.5, &masks);
+  const mm::Matrix snapshot = masks[0];
+  LevelPruneLayer(&mlp, 0, 0.9, &masks);
+  // A weight masked at 50 % stays masked at 90 %.
+  for (size_t i = 0; i < snapshot.size(); ++i) {
+    if (snapshot.data()[i] == 0.0f) {
+      EXPECT_FLOAT_EQ(masks[0].data()[i], 0.0f);
+    }
+  }
+  EXPECT_NEAR(LayerSparsity(mlp, 0), 0.9, 0.02);
+}
+
+TEST(MagnitudeTest, ThresholdPruneUsesSigma) {
+  nn::Mlp mlp(Architecture(20, {20}), 4);
+  nn::WeightMasks masks = MakeDenseMasks(mlp);
+  const float sigma = LayerWeightStddev(mlp, 0, masks);
+  const float threshold = ThresholdPruneLayer(&mlp, 0, 1.0, &masks);
+  EXPECT_NEAR(threshold, sigma, 1e-5f);
+  // With ~N(0, sigma) weights, |w| < sigma prunes about 68 %.
+  EXPECT_NEAR(LayerSparsity(mlp, 0), 0.68, 0.10);
+  // No surviving weight is below the threshold.
+  const mm::Matrix& w = mlp.layer(0).weight;
+  for (size_t i = 0; i < w.size(); ++i) {
+    if (w.data()[i] != 0.0f) {
+      EXPECT_GE(std::fabs(w.data()[i]), threshold);
+    }
+  }
+}
+
+TEST(ScheduleTest, GradualSparsityRampsToTarget) {
+  EXPECT_NEAR(GradualSparsity(0.9, 7, 8), 0.9, 1e-12);
+  double previous = -1.0;
+  for (uint32_t round = 0; round < 8; ++round) {
+    const double s = GradualSparsity(0.9, round, 8);
+    EXPECT_GT(s, previous);
+    EXPECT_LE(s, 0.9 + 1e-12);
+    previous = s;
+  }
+}
+
+class PruneFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data::SyntheticConfig config;
+    config.num_queries = 80;
+    config.min_docs_per_query = 15;
+    config.max_docs_per_query = 25;
+    config.num_features = 18;
+    config.seed = 66;
+    splits_ = new data::DatasetSplits(data::GenerateSyntheticSplits(config));
+
+    gbdt::BoosterConfig teacher_config;
+    teacher_config.num_trees = 40;
+    teacher_config.num_leaves = 16;
+    teacher_config.learning_rate = 0.15;
+    gbdt::Booster booster(teacher_config);
+    teacher_ = new gbdt::Ensemble(
+        booster.TrainLambdaMart(splits_->train, &splits_->valid));
+
+    normalizer_ = new data::ZNormalizer();
+    normalizer_->Fit(splits_->train);
+
+    nn::TrainConfig train;
+    train.epochs = 15;
+    train.batch_size = 128;
+    train.adam.learning_rate = 2e-3;
+    train.seed = 20;
+    nn::Trainer trainer(train);
+    student_ = new nn::Mlp(
+        Architecture(splits_->train.num_features(), {48, 24}), 20);
+    trainer.TrainDistillation(student_, splits_->train, *teacher_,
+                              *normalizer_);
+  }
+  static void TearDownTestSuite() {
+    delete splits_;
+    delete teacher_;
+    delete normalizer_;
+    delete student_;
+    splits_ = nullptr;
+    teacher_ = nullptr;
+    normalizer_ = nullptr;
+    student_ = nullptr;
+  }
+
+  static double EvalNdcg(const nn::Mlp& model) {
+    const auto scores =
+        nn::ScoreDatasetWithMlp(model, splits_->valid, normalizer_);
+    return metrics::MeanNdcg(splits_->valid, scores, 10);
+  }
+
+  static data::DatasetSplits* splits_;
+  static gbdt::Ensemble* teacher_;
+  static data::ZNormalizer* normalizer_;
+  static nn::Mlp* student_;
+};
+
+data::DatasetSplits* PruneFixture::splits_ = nullptr;
+gbdt::Ensemble* PruneFixture::teacher_ = nullptr;
+data::ZNormalizer* PruneFixture::normalizer_ = nullptr;
+nn::Mlp* PruneFixture::student_ = nullptr;
+
+TEST_F(PruneFixture, IterativeFirstLayerPruneKeepsQuality) {
+  nn::Mlp model = *student_;
+  const double dense_ndcg = EvalNdcg(model);
+
+  PruneScheduleConfig config;
+  config.layer = 0;
+  config.target_sparsity = 0.85;
+  config.prune_rounds = 8;
+  config.finetune_epochs = 6;
+  config.train.epochs = 1;
+  config.train.batch_size = 128;
+  config.train.adam.learning_rate = 1e-3;
+  config.train.seed = 21;
+  const nn::WeightMasks masks =
+      IterativePrune(&model, splits_->train, *teacher_, *normalizer_, config);
+
+  EXPECT_NEAR(LayerSparsity(model, 0), 0.85, 0.03);
+  EXPECT_NEAR(LayerSparsity(model, 1), 0.0, 1e-9);
+  // Masks agree with the zeros in the weights.
+  for (size_t i = 0; i < masks[0].size(); ++i) {
+    if (masks[0].data()[i] == 0.0f) {
+      EXPECT_FLOAT_EQ(model.layer(0).weight.data()[i], 0.0f);
+    }
+  }
+  // Fine-tuned pruned model stays close to (or above: regularization) the
+  // dense model.
+  const double pruned_ndcg = EvalNdcg(model);
+  EXPECT_GT(pruned_ndcg, dense_ndcg - 0.06)
+      << "pruned " << pruned_ndcg << " dense " << dense_ndcg;
+}
+
+TEST_F(PruneFixture, ThresholdSchedulePrunesProgressively) {
+  nn::Mlp model = *student_;
+  PruneScheduleConfig config;
+  config.layer = 0;
+  config.threshold_sensitivity = 0.7;
+  config.prune_rounds = 4;
+  config.finetune_epochs = 1;
+  config.train.epochs = 1;
+  config.train.batch_size = 128;
+  config.train.seed = 22;
+  IterativePrune(&model, splits_->train, *teacher_, *normalizer_, config);
+  // Threshold s = 0.7 prunes at least half of a ~normal layer, and the
+  // fixed-threshold re-application only adds to it.
+  EXPECT_GT(LayerSparsity(model, 0), 0.45);
+}
+
+TEST_F(PruneFixture, AllHiddenLayersMode) {
+  nn::Mlp model = *student_;
+  PruneScheduleConfig config;
+  config.layer = kAllHiddenLayers;
+  config.target_sparsity = 0.6;
+  config.prune_rounds = 3;
+  config.finetune_epochs = 1;
+  config.train.epochs = 1;
+  config.train.batch_size = 128;
+  config.train.seed = 23;
+  IterativePrune(&model, splits_->train, *teacher_, *normalizer_, config);
+  EXPECT_NEAR(LayerSparsity(model, 0), 0.6, 0.05);
+  EXPECT_NEAR(LayerSparsity(model, 1), 0.6, 0.05);
+  // Final scoring layer untouched.
+  EXPECT_NEAR(LayerSparsity(model, 2), 0.0, 1e-9);
+}
+
+TEST_F(PruneFixture, StaticSensitivityDegradesWithSparsity) {
+  SensitivityConfig config;
+  config.sparsity_levels = {0.5, 0.99};
+  config.dynamic = false;
+  const SensitivityResult result = AnalyzeSensitivity(
+      *student_, splits_->train, splits_->valid, *teacher_, *normalizer_,
+      config);
+  ASSERT_EQ(result.ndcg.size(), student_->num_layers() - 1);
+  for (const auto& row : result.ndcg) {
+    ASSERT_EQ(row.size(), 2u);
+    // Pruning 99 % with no retraining cannot beat pruning 50 % by much.
+    EXPECT_LE(row[1], row[0] + 0.02);
+  }
+  EXPECT_GT(result.dense_ndcg, 0.0);
+}
+
+TEST_F(PruneFixture, DynamicSensitivityRecoversQuality) {
+  SensitivityConfig config;
+  config.sparsity_levels = {0.9};
+  config.dynamic = true;
+  config.finetune.epochs = 4;
+  config.finetune.batch_size = 128;
+  config.finetune.adam.learning_rate = 1e-3;
+  config.finetune.seed = 24;
+
+  SensitivityConfig static_config = config;
+  static_config.dynamic = false;
+
+  const SensitivityResult dynamic_result = AnalyzeSensitivity(
+      *student_, splits_->train, splits_->valid, *teacher_, *normalizer_,
+      config);
+  const SensitivityResult static_result = AnalyzeSensitivity(
+      *student_, splits_->train, splits_->valid, *teacher_, *normalizer_,
+      static_config);
+  // Fine-tuning after pruning the first layer must not hurt (the paper even
+  // finds it helps: pruning as regularization).
+  EXPECT_GE(dynamic_result.ndcg[0][0], static_result.ndcg[0][0] - 0.02);
+}
+
+}  // namespace
+}  // namespace dnlr::prune

@@ -1,0 +1,386 @@
+// dnlr command-line tool: train, distill, prune, score and evaluate ranking
+// models on LETOR-format data without writing any C++.
+//
+// Subcommands:
+//   gen           generate a synthetic LETOR file (MSN30K- or Istella-like)
+//   train-forest  train a LambdaMART ensemble (optionally tuned)
+//   distill       distill (and optionally first-layer-prune) a student MLP
+//   score         score a LETOR file with a saved model
+//   evaluate      NDCG@10 / NDCG / MAP of a saved model on a LETOR file
+//   predict-time  estimate an architecture's scoring time analytically
+//
+// Run `dnlr_cli <subcommand>` with no further arguments for usage.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "core/timing.h"
+#include "data/letor_io.h"
+#include "data/synthetic.h"
+#include "forest/quickscorer.h"
+#include "forest/vectorized_quickscorer.h"
+#include "forest/wide_quickscorer.h"
+#include "gbdt/booster.h"
+#include "gbdt/tuner.h"
+#include "metrics/metrics.h"
+#include "nn/scorer.h"
+#include "predict/dense_predictor.h"
+#include "predict/network_time.h"
+#include "predict/sparse_predictor.h"
+
+namespace dnlr::cli {
+namespace {
+
+/// Minimal --flag value parser: every option is "--name value".
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i + 1 < argc; i += 2) {
+      if (std::strncmp(argv[i], "--", 2) != 0) {
+        std::fprintf(stderr, "expected --flag, got '%s'\n", argv[i]);
+        std::exit(2);
+      }
+      values_[argv[i] + 2] = argv[i + 1];
+    }
+  }
+
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    const auto it = values_.find(key);
+    return it != values_.end() ? it->second : fallback;
+  }
+  std::string Require(const std::string& key) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) {
+      std::fprintf(stderr, "missing required --%s\n", key.c_str());
+      std::exit(2);
+    }
+    return it->second;
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    return it != values_.end() ? std::atof(it->second.c_str()) : fallback;
+  }
+  int GetInt(const std::string& key, int fallback) const {
+    const auto it = values_.find(key);
+    return it != values_.end() ? std::atoi(it->second.c_str()) : fallback;
+  }
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+data::Dataset LoadLetorOrDie(const std::string& path) {
+  auto result = data::ReadLetorFile(path);
+  if (!result.ok()) {
+    std::fprintf(stderr, "failed to read %s: %s\n", path.c_str(),
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+int CmdGen(const Args& args) {
+  data::SyntheticConfig config =
+      args.Get("style", "msn") == "istella"
+          ? data::SyntheticConfig::IstellaLike(1.0)
+          : data::SyntheticConfig::MsnLike(1.0);
+  config.num_queries = args.GetInt("queries", 300);
+  if (args.Has("features")) config.num_features = args.GetInt("features", 136);
+  config.seed = args.GetInt("seed", 42);
+  const data::Dataset dataset = data::GenerateSynthetic(config);
+  const std::string out = args.Require("out");
+  const Status status = data::WriteLetorFile(dataset, out);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %u docs / %u queries / %u features to %s\n",
+              dataset.num_docs(), dataset.num_queries(),
+              dataset.num_features(), out.c_str());
+  return 0;
+}
+
+int CmdTrainForest(const Args& args) {
+  const data::Dataset train = LoadLetorOrDie(args.Require("train"));
+  data::Dataset valid;
+  const bool has_valid = args.Has("valid");
+  if (has_valid) valid = LoadLetorOrDie(args.Get("valid", ""));
+
+  gbdt::Ensemble model;
+  if (args.Has("tune")) {
+    if (!has_valid) {
+      std::fprintf(stderr, "--tune requires --valid\n");
+      return 2;
+    }
+    gbdt::TunerConfig tuner;
+    tuner.trials = args.GetInt("tune", 8);
+    tuner.num_trees = args.GetInt("trees", 300);
+    tuner.num_leaves = args.GetInt("leaves", 64);
+    tuner.verbose = true;
+    const gbdt::TunerResult result =
+        gbdt::TuneLambdaMart(train, valid, tuner);
+    std::printf("best trial: lr %.3f min_docs %u l2 %.2f -> NDCG@10 %.4f\n",
+                result.best().config.learning_rate,
+                result.best().config.min_docs_per_leaf,
+                result.best().config.lambda_l2, result.best().valid_ndcg);
+    gbdt::Booster booster(result.best().config);
+    model = booster.TrainLambdaMart(train, &valid);
+  } else {
+    gbdt::BoosterConfig config;
+    config.num_trees = args.GetInt("trees", 300);
+    config.num_leaves = args.GetInt("leaves", 64);
+    config.learning_rate = args.GetDouble("lr", 0.06);
+    config.min_docs_per_leaf = args.GetInt("min-docs", 40);
+    config.lambda_l2 = args.GetDouble("l2", 5.0);
+    if (has_valid) {
+      config.early_stopping_rounds = 5;
+      config.eval_period = 25;
+    }
+    gbdt::Booster booster(config);
+    model = booster.TrainLambdaMart(train, has_valid ? &valid : nullptr);
+  }
+
+  const std::string out = args.Require("out");
+  const Status status = model.SaveToFile(out);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("saved %u trees (max %u leaves) to %s\n", model.num_trees(),
+              model.MaxLeaves(), out.c_str());
+  return 0;
+}
+
+int CmdDistill(const Args& args) {
+  const data::Dataset train = LoadLetorOrDie(args.Require("train"));
+  auto teacher = gbdt::Ensemble::LoadFromFile(args.Require("teacher"));
+  if (!teacher.ok()) {
+    std::fprintf(stderr, "%s\n", teacher.status().ToString().c_str());
+    return 1;
+  }
+  auto arch =
+      predict::Architecture::Parse(args.Require("arch"), train.num_features());
+  if (!arch.ok()) {
+    std::fprintf(stderr, "%s\n", arch.status().ToString().c_str());
+    return 1;
+  }
+
+  core::PipelineConfig config;
+  config.distill.epochs = args.GetInt("epochs", 40);
+  config.distill.batch_size = args.GetInt("batch", 256);
+  config.distill.adam.learning_rate = args.GetDouble("lr", 2e-3);
+  config.distill.gamma_epochs = {
+      static_cast<uint32_t>(config.distill.epochs * 7 / 10),
+      static_cast<uint32_t>(config.distill.epochs * 9 / 10)};
+  config.prune.target_sparsity = args.GetDouble("prune", 0.0);
+  config.prune.train = config.distill;
+  config.prune.train.gamma_epochs.clear();
+  core::Pipeline pipeline(config);
+
+  const core::DistilledModel model =
+      config.prune.target_sparsity > 0.0
+          ? pipeline.DistillAndPrune(*arch, train, *teacher)
+          : pipeline.DistillDense(*arch, train, *teacher);
+
+  const std::string out = args.Require("out");
+  const Status status = model.mlp.SaveToFile(out);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("saved %s student to %s (first layer %.1f%% sparse)\n",
+              arch->ToString().c_str(), out.c_str(),
+              100.0 * model.first_layer_sparsity);
+  return 0;
+}
+
+/// Loads either an ensemble or an MLP and builds the matching scorer.
+/// Returns nullptr on failure. The normalizer is fitted on `data` when an
+/// MLP is loaded (matching how students normalize at deploy time when the
+/// training statistics travel with the index).
+std::unique_ptr<forest::DocumentScorer> MakeScorer(
+    const std::string& model_path, const std::string& engine,
+    const data::Dataset& dataset, data::ZNormalizer* normalizer) {
+  std::ifstream probe(model_path);
+  if (!probe) {
+    std::fprintf(stderr, "cannot open %s\n", model_path.c_str());
+    return nullptr;
+  }
+  std::string first_word;
+  probe >> first_word;
+
+  if (first_word == "ensemble") {
+    auto model = gbdt::Ensemble::LoadFromFile(model_path);
+    if (!model.ok()) {
+      std::fprintf(stderr, "%s\n", model.status().ToString().c_str());
+      return nullptr;
+    }
+    // Keep the model alive alongside the scorer: each Owner wrapper below
+    // adopts the heap ensemble after its scorer base (which copies or
+    // retains it) is constructed.
+    auto* owned = new gbdt::Ensemble(std::move(model).value());
+    if (owned->MaxLeaves() > 64 || engine == "wide") {
+      struct Owner : forest::WideQuickScorer {
+        Owner(gbdt::Ensemble* e, uint32_t f)
+            : forest::WideQuickScorer(*e, f), model(e) {}
+        std::unique_ptr<gbdt::Ensemble> model;
+      };
+      return std::make_unique<Owner>(owned, dataset.num_features());
+    }
+    if (engine == "naive") {
+      struct Owner : forest::NaiveTraversalScorer {
+        explicit Owner(gbdt::Ensemble* e)
+            : forest::NaiveTraversalScorer(*e), model(e) {}
+        std::unique_ptr<gbdt::Ensemble> model;
+      };
+      return std::make_unique<Owner>(owned);
+    }
+    if (engine == "vqs") {
+      struct Owner : forest::VectorizedQuickScorer {
+        Owner(gbdt::Ensemble* e, uint32_t f)
+            : forest::VectorizedQuickScorer(*e, f), model(e) {}
+        std::unique_ptr<gbdt::Ensemble> model;
+      };
+      return std::make_unique<Owner>(owned, dataset.num_features());
+    }
+    struct Owner : forest::QuickScorer {
+      Owner(gbdt::Ensemble* e, uint32_t f)
+          : forest::QuickScorer(*e, f), model(e) {}
+      std::unique_ptr<gbdt::Ensemble> model;
+    };
+    return std::make_unique<Owner>(owned, dataset.num_features());
+  }
+
+  if (first_word == "mlp") {
+    auto model = nn::Mlp::LoadFromFile(model_path);
+    if (!model.ok()) {
+      std::fprintf(stderr, "%s\n", model.status().ToString().c_str());
+      return nullptr;
+    }
+    normalizer->Fit(dataset);
+    if (engine == "hybrid" || model->layer(0).weight.Sparsity() >= 0.5) {
+      return std::make_unique<nn::HybridNeuralScorer>(*model, normalizer);
+    }
+    return std::make_unique<nn::NeuralScorer>(*model, normalizer);
+  }
+
+  std::fprintf(stderr, "unrecognized model file %s (starts with '%s')\n",
+               model_path.c_str(), first_word.c_str());
+  return nullptr;
+}
+
+int CmdScore(const Args& args) {
+  const data::Dataset dataset = LoadLetorOrDie(args.Require("data"));
+  data::ZNormalizer normalizer;
+  const auto scorer = MakeScorer(args.Require("model"),
+                                 args.Get("engine", "auto"), dataset,
+                                 &normalizer);
+  if (scorer == nullptr) return 1;
+
+  const std::vector<float> scores = scorer->ScoreDataset(dataset);
+  const std::string out = args.Get("out", "-");
+  if (out == "-") {
+    for (const float s : scores) std::printf("%.6f\n", s);
+  } else {
+    std::ofstream file(out);
+    for (const float s : scores) file << s << '\n';
+    std::printf("wrote %zu scores to %s with %s\n", scores.size(), out.c_str(),
+                std::string(scorer->name()).c_str());
+  }
+  if (args.Has("time")) {
+    std::printf("scoring time: %.3f us/doc (%s)\n",
+                core::MeasureScorerMicrosPerDoc(*scorer, dataset),
+                std::string(scorer->name()).c_str());
+  }
+  return 0;
+}
+
+int CmdEvaluate(const Args& args) {
+  const data::Dataset dataset = LoadLetorOrDie(args.Require("data"));
+  data::ZNormalizer normalizer;
+  const auto scorer = MakeScorer(args.Require("model"),
+                                 args.Get("engine", "auto"), dataset,
+                                 &normalizer);
+  if (scorer == nullptr) return 1;
+  const std::vector<float> scores = scorer->ScoreDataset(dataset);
+  std::printf("engine   %s\n", std::string(scorer->name()).c_str());
+  std::printf("NDCG@10  %.4f\n", metrics::MeanNdcg(dataset, scores, 10));
+  std::printf("NDCG     %.4f\n", metrics::MeanNdcg(dataset, scores, 0));
+  std::printf("MAP      %.4f\n", metrics::MeanAp(dataset, scores));
+  std::printf("us/doc   %.3f\n",
+              core::MeasureScorerMicrosPerDoc(*scorer, dataset));
+  return 0;
+}
+
+int CmdPredictTime(const Args& args) {
+  const uint32_t features = args.GetInt("features", 136);
+  auto arch = predict::Architecture::Parse(args.Require("arch"), features);
+  if (!arch.ok()) {
+    std::fprintf(stderr, "%s\n", arch.status().ToString().c_str());
+    return 1;
+  }
+  const uint32_t batch = args.GetInt("batch", 64);
+  const double sparsity = args.GetDouble("sparsity", 0.95);
+
+  std::fprintf(stderr, "calibrating predictors (seconds)...\n");
+  predict::DenseCalibrationConfig dense_config;
+  dense_config.m_values = {16, 32, 64, 128, 256, 512, 1024};
+  dense_config.k_values = {16, 32, 64, features, 256, 512};
+  dense_config.n_values = {16, batch, 256};
+  const auto dense = predict::DenseTimePredictor::Calibrate(dense_config);
+  const auto sparse = predict::SparseTimePredictor::Calibrate();
+
+  const auto estimate =
+      predict::EstimateHybridTime(*arch, batch, sparsity, dense, sparse);
+  std::printf("architecture        %s (input %u)\n", arch->ToString().c_str(),
+              features);
+  std::printf("dense               %.3f us/doc\n", estimate.dense_us_per_doc);
+  std::printf("first layer share   %.0f%%\n",
+              estimate.first_layer_impact_percent);
+  std::printf("pruned (no L1)      %.3f us/doc\n", estimate.pruned_us_per_doc);
+  std::printf("hybrid @ %.0f%% L1    %.3f us/doc\n", 100.0 * sparsity,
+              estimate.hybrid_us_per_doc);
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: dnlr_cli <command> [--flag value ...]\n"
+      "  gen           --out F [--queries N] [--features K] [--style "
+      "msn|istella] [--seed S]\n"
+      "  train-forest  --train F --out M [--valid F] [--trees N] [--leaves L]"
+      " [--lr R] [--tune T]\n"
+      "  distill       --train F --teacher M --arch AxBxC --out M [--prune "
+      "0.97] [--epochs E]\n"
+      "  score         --model M --data F [--out F|-] [--engine "
+      "qs|vqs|wide|naive|dense|hybrid] [--time 1]\n"
+      "  evaluate      --model M --data F [--engine ...]\n"
+      "  predict-time  --arch AxBxC [--features K] [--batch N] [--sparsity "
+      "S]\n");
+  return 2;
+}
+
+}  // namespace
+}  // namespace dnlr::cli
+
+int main(int argc, char** argv) {
+  using namespace dnlr::cli;
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  const Args args(argc, argv, 2);
+  if (command == "gen") return CmdGen(args);
+  if (command == "train-forest") return CmdTrainForest(args);
+  if (command == "distill") return CmdDistill(args);
+  if (command == "score") return CmdScore(args);
+  if (command == "evaluate") return CmdEvaluate(args);
+  if (command == "predict-time") return CmdPredictTime(args);
+  return Usage();
+}
