@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_distill.dir/bench_ablation_distill.cc.o"
+  "CMakeFiles/bench_ablation_distill.dir/bench_ablation_distill.cc.o.d"
+  "bench_ablation_distill"
+  "bench_ablation_distill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_distill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

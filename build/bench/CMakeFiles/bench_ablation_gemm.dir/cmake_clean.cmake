@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_gemm.dir/bench_ablation_gemm.cc.o"
+  "CMakeFiles/bench_ablation_gemm.dir/bench_ablation_gemm.cc.o.d"
+  "bench_ablation_gemm"
+  "bench_ablation_gemm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_gemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_prune_layout.dir/bench_ablation_prune_layout.cc.o"
+  "CMakeFiles/bench_ablation_prune_layout.dir/bench_ablation_prune_layout.cc.o.d"
+  "bench_ablation_prune_layout"
+  "bench_ablation_prune_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_prune_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_traversal.dir/bench_ablation_traversal.cc.o"
+  "CMakeFiles/bench_ablation_traversal.dir/bench_ablation_traversal.cc.o.d"
+  "bench_ablation_traversal"
+  "bench_ablation_traversal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_traversal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_pareto_high_quality.dir/bench_fig12_pareto_high_quality.cc.o"
+  "CMakeFiles/bench_fig12_pareto_high_quality.dir/bench_fig12_pareto_high_quality.cc.o.d"
+  "bench_fig12_pareto_high_quality"
+  "bench_fig12_pareto_high_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_pareto_high_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig12_pareto_high_quality.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_pareto_low_latency.dir/bench_fig13_pareto_low_latency.cc.o"
+  "CMakeFiles/bench_fig13_pareto_low_latency.dir/bench_fig13_pareto_low_latency.cc.o.d"
+  "bench_fig13_pareto_low_latency"
+  "bench_fig13_pareto_low_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_pareto_low_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_gemm_constant_area.dir/bench_fig5_gemm_constant_area.cc.o"
+  "CMakeFiles/bench_fig5_gemm_constant_area.dir/bench_fig5_gemm_constant_area.cc.o.d"
+  "bench_fig5_gemm_constant_area"
+  "bench_fig5_gemm_constant_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_gemm_constant_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

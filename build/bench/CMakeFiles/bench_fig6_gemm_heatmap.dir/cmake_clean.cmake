@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_gemm_heatmap.dir/bench_fig6_gemm_heatmap.cc.o"
+  "CMakeFiles/bench_fig6_gemm_heatmap.dir/bench_fig6_gemm_heatmap.cc.o.d"
+  "bench_fig6_gemm_heatmap"
+  "bench_fig6_gemm_heatmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_gemm_heatmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table10_predicted_hq.dir/bench_table10_predicted_hq.cc.o"
+  "CMakeFiles/bench_table10_predicted_hq.dir/bench_table10_predicted_hq.cc.o.d"
+  "bench_table10_predicted_hq"
+  "bench_table10_predicted_hq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table10_predicted_hq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_table10_predicted_hq.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table11_predicted_ll.dir/bench_table11_predicted_ll.cc.o"
+  "CMakeFiles/bench_table11_predicted_ll.dir/bench_table11_predicted_ll.cc.o.d"
+  "bench_table11_predicted_ll"
+  "bench_table11_predicted_ll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table11_predicted_ll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_forests_vs_nets.dir/bench_table1_forests_vs_nets.cc.o"
+  "CMakeFiles/bench_table1_forests_vs_nets.dir/bench_table1_forests_vs_nets.cc.o.d"
+  "bench_table1_forests_vs_nets"
+  "bench_table1_forests_vs_nets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_forests_vs_nets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

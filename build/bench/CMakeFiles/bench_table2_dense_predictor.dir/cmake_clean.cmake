@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_dense_predictor.dir/bench_table2_dense_predictor.cc.o"
+  "CMakeFiles/bench_table2_dense_predictor.dir/bench_table2_dense_predictor.cc.o.d"
+  "bench_table2_dense_predictor"
+  "bench_table2_dense_predictor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_dense_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_sdmm_vs_reference.dir/bench_table3_sdmm_vs_reference.cc.o"
+  "CMakeFiles/bench_table3_sdmm_vs_reference.dir/bench_table3_sdmm_vs_reference.cc.o.d"
+  "bench_table3_sdmm_vs_reference"
+  "bench_table3_sdmm_vs_reference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_sdmm_vs_reference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

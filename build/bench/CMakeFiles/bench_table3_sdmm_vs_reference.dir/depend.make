@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table3_sdmm_vs_reference.
+# This may be replaced when dependencies are built.

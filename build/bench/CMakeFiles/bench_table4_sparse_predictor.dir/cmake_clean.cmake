@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_sparse_predictor.dir/bench_table4_sparse_predictor.cc.o"
+  "CMakeFiles/bench_table4_sparse_predictor.dir/bench_table4_sparse_predictor.cc.o.d"
+  "bench_table4_sparse_predictor"
+  "bench_table4_sparse_predictor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_sparse_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

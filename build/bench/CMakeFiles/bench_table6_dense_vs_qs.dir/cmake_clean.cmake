@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_dense_vs_qs.dir/bench_table6_dense_vs_qs.cc.o"
+  "CMakeFiles/bench_table6_dense_vs_qs.dir/bench_table6_dense_vs_qs.cc.o.d"
+  "bench_table6_dense_vs_qs"
+  "bench_table6_dense_vs_qs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_dense_vs_qs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table8_dense_sparse_vs_qs.
+# This may be replaced when dependencies are built.

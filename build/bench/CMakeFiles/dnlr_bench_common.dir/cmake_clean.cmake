@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnlr_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/dnlr_bench_common.dir/bench_common.cc.o.d"
+  "libdnlr_bench_common.a"
+  "libdnlr_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnlr_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cascade_ranking.dir/cascade_ranking.cpp.o"
+  "CMakeFiles/cascade_ranking.dir/cascade_ranking.cpp.o.d"
+  "cascade_ranking"
+  "cascade_ranking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cascade_ranking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

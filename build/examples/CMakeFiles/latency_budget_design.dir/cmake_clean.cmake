@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latency_budget_design.dir/latency_budget_design.cpp.o"
+  "CMakeFiles/latency_budget_design.dir/latency_budget_design.cpp.o.d"
+  "latency_budget_design"
+  "latency_budget_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latency_budget_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

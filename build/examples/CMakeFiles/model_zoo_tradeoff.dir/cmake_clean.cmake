@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_zoo_tradeoff.dir/model_zoo_tradeoff.cpp.o"
+  "CMakeFiles/model_zoo_tradeoff.dir/model_zoo_tradeoff.cpp.o.d"
+  "model_zoo_tradeoff"
+  "model_zoo_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_zoo_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_search_pipeline.dir/web_search_pipeline.cpp.o"
+  "CMakeFiles/web_search_pipeline.dir/web_search_pipeline.cpp.o.d"
+  "web_search_pipeline"
+  "web_search_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_search_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

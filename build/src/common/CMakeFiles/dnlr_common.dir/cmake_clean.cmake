@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnlr_common.dir/status.cc.o"
+  "CMakeFiles/dnlr_common.dir/status.cc.o.d"
+  "CMakeFiles/dnlr_common.dir/string_util.cc.o"
+  "CMakeFiles/dnlr_common.dir/string_util.cc.o.d"
+  "libdnlr_common.a"
+  "libdnlr_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnlr_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

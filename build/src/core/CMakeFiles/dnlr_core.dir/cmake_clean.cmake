@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnlr_core.dir/cascade.cc.o"
+  "CMakeFiles/dnlr_core.dir/cascade.cc.o.d"
+  "CMakeFiles/dnlr_core.dir/design.cc.o"
+  "CMakeFiles/dnlr_core.dir/design.cc.o.d"
+  "CMakeFiles/dnlr_core.dir/pareto.cc.o"
+  "CMakeFiles/dnlr_core.dir/pareto.cc.o.d"
+  "CMakeFiles/dnlr_core.dir/pipeline.cc.o"
+  "CMakeFiles/dnlr_core.dir/pipeline.cc.o.d"
+  "CMakeFiles/dnlr_core.dir/timing.cc.o"
+  "CMakeFiles/dnlr_core.dir/timing.cc.o.d"
+  "libdnlr_core.a"
+  "libdnlr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnlr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnlr_data.dir/dataset.cc.o"
+  "CMakeFiles/dnlr_data.dir/dataset.cc.o.d"
+  "CMakeFiles/dnlr_data.dir/letor_io.cc.o"
+  "CMakeFiles/dnlr_data.dir/letor_io.cc.o.d"
+  "CMakeFiles/dnlr_data.dir/normalize.cc.o"
+  "CMakeFiles/dnlr_data.dir/normalize.cc.o.d"
+  "CMakeFiles/dnlr_data.dir/synthetic.cc.o"
+  "CMakeFiles/dnlr_data.dir/synthetic.cc.o.d"
+  "libdnlr_data.a"
+  "libdnlr_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnlr_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/forest/quickscorer.cc" "src/forest/CMakeFiles/dnlr_forest.dir/quickscorer.cc.o" "gcc" "src/forest/CMakeFiles/dnlr_forest.dir/quickscorer.cc.o.d"
+  "/root/repo/src/forest/vectorized_quickscorer.cc" "src/forest/CMakeFiles/dnlr_forest.dir/vectorized_quickscorer.cc.o" "gcc" "src/forest/CMakeFiles/dnlr_forest.dir/vectorized_quickscorer.cc.o.d"
+  "/root/repo/src/forest/wide_quickscorer.cc" "src/forest/CMakeFiles/dnlr_forest.dir/wide_quickscorer.cc.o" "gcc" "src/forest/CMakeFiles/dnlr_forest.dir/wide_quickscorer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gbdt/CMakeFiles/dnlr_gbdt.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/dnlr_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dnlr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/dnlr_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnlr_forest.dir/quickscorer.cc.o"
+  "CMakeFiles/dnlr_forest.dir/quickscorer.cc.o.d"
+  "CMakeFiles/dnlr_forest.dir/vectorized_quickscorer.cc.o"
+  "CMakeFiles/dnlr_forest.dir/vectorized_quickscorer.cc.o.d"
+  "CMakeFiles/dnlr_forest.dir/wide_quickscorer.cc.o"
+  "CMakeFiles/dnlr_forest.dir/wide_quickscorer.cc.o.d"
+  "libdnlr_forest.a"
+  "libdnlr_forest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnlr_forest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

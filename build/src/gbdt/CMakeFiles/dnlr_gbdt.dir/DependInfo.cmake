@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gbdt/binning.cc" "src/gbdt/CMakeFiles/dnlr_gbdt.dir/binning.cc.o" "gcc" "src/gbdt/CMakeFiles/dnlr_gbdt.dir/binning.cc.o.d"
+  "/root/repo/src/gbdt/booster.cc" "src/gbdt/CMakeFiles/dnlr_gbdt.dir/booster.cc.o" "gcc" "src/gbdt/CMakeFiles/dnlr_gbdt.dir/booster.cc.o.d"
+  "/root/repo/src/gbdt/ensemble.cc" "src/gbdt/CMakeFiles/dnlr_gbdt.dir/ensemble.cc.o" "gcc" "src/gbdt/CMakeFiles/dnlr_gbdt.dir/ensemble.cc.o.d"
+  "/root/repo/src/gbdt/objective.cc" "src/gbdt/CMakeFiles/dnlr_gbdt.dir/objective.cc.o" "gcc" "src/gbdt/CMakeFiles/dnlr_gbdt.dir/objective.cc.o.d"
+  "/root/repo/src/gbdt/tree.cc" "src/gbdt/CMakeFiles/dnlr_gbdt.dir/tree.cc.o" "gcc" "src/gbdt/CMakeFiles/dnlr_gbdt.dir/tree.cc.o.d"
+  "/root/repo/src/gbdt/tuner.cc" "src/gbdt/CMakeFiles/dnlr_gbdt.dir/tuner.cc.o" "gcc" "src/gbdt/CMakeFiles/dnlr_gbdt.dir/tuner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/metrics/CMakeFiles/dnlr_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/dnlr_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dnlr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

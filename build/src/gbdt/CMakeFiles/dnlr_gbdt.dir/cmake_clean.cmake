@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnlr_gbdt.dir/binning.cc.o"
+  "CMakeFiles/dnlr_gbdt.dir/binning.cc.o.d"
+  "CMakeFiles/dnlr_gbdt.dir/booster.cc.o"
+  "CMakeFiles/dnlr_gbdt.dir/booster.cc.o.d"
+  "CMakeFiles/dnlr_gbdt.dir/ensemble.cc.o"
+  "CMakeFiles/dnlr_gbdt.dir/ensemble.cc.o.d"
+  "CMakeFiles/dnlr_gbdt.dir/objective.cc.o"
+  "CMakeFiles/dnlr_gbdt.dir/objective.cc.o.d"
+  "CMakeFiles/dnlr_gbdt.dir/tree.cc.o"
+  "CMakeFiles/dnlr_gbdt.dir/tree.cc.o.d"
+  "CMakeFiles/dnlr_gbdt.dir/tuner.cc.o"
+  "CMakeFiles/dnlr_gbdt.dir/tuner.cc.o.d"
+  "libdnlr_gbdt.a"
+  "libdnlr_gbdt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnlr_gbdt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnlr_metrics.dir/metrics.cc.o"
+  "CMakeFiles/dnlr_metrics.dir/metrics.cc.o.d"
+  "libdnlr_metrics.a"
+  "libdnlr_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnlr_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

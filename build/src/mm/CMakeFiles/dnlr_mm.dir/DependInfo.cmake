@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mm/csr.cc" "src/mm/CMakeFiles/dnlr_mm.dir/csr.cc.o" "gcc" "src/mm/CMakeFiles/dnlr_mm.dir/csr.cc.o.d"
+  "/root/repo/src/mm/gemm.cc" "src/mm/CMakeFiles/dnlr_mm.dir/gemm.cc.o" "gcc" "src/mm/CMakeFiles/dnlr_mm.dir/gemm.cc.o.d"
+  "/root/repo/src/mm/matrix.cc" "src/mm/CMakeFiles/dnlr_mm.dir/matrix.cc.o" "gcc" "src/mm/CMakeFiles/dnlr_mm.dir/matrix.cc.o.d"
+  "/root/repo/src/mm/sdmm.cc" "src/mm/CMakeFiles/dnlr_mm.dir/sdmm.cc.o" "gcc" "src/mm/CMakeFiles/dnlr_mm.dir/sdmm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dnlr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

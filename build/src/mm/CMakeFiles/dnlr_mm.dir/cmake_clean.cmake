@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnlr_mm.dir/csr.cc.o"
+  "CMakeFiles/dnlr_mm.dir/csr.cc.o.d"
+  "CMakeFiles/dnlr_mm.dir/gemm.cc.o"
+  "CMakeFiles/dnlr_mm.dir/gemm.cc.o.d"
+  "CMakeFiles/dnlr_mm.dir/matrix.cc.o"
+  "CMakeFiles/dnlr_mm.dir/matrix.cc.o.d"
+  "CMakeFiles/dnlr_mm.dir/sdmm.cc.o"
+  "CMakeFiles/dnlr_mm.dir/sdmm.cc.o.d"
+  "libdnlr_mm.a"
+  "libdnlr_mm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnlr_mm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

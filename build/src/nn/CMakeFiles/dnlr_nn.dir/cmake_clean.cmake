@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnlr_nn.dir/adam.cc.o"
+  "CMakeFiles/dnlr_nn.dir/adam.cc.o.d"
+  "CMakeFiles/dnlr_nn.dir/distill.cc.o"
+  "CMakeFiles/dnlr_nn.dir/distill.cc.o.d"
+  "CMakeFiles/dnlr_nn.dir/mlp.cc.o"
+  "CMakeFiles/dnlr_nn.dir/mlp.cc.o.d"
+  "CMakeFiles/dnlr_nn.dir/quantize.cc.o"
+  "CMakeFiles/dnlr_nn.dir/quantize.cc.o.d"
+  "CMakeFiles/dnlr_nn.dir/scorer.cc.o"
+  "CMakeFiles/dnlr_nn.dir/scorer.cc.o.d"
+  "CMakeFiles/dnlr_nn.dir/trainer.cc.o"
+  "CMakeFiles/dnlr_nn.dir/trainer.cc.o.d"
+  "libdnlr_nn.a"
+  "libdnlr_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnlr_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/predict/architecture.cc" "src/predict/CMakeFiles/dnlr_predict.dir/architecture.cc.o" "gcc" "src/predict/CMakeFiles/dnlr_predict.dir/architecture.cc.o.d"
+  "/root/repo/src/predict/dense_predictor.cc" "src/predict/CMakeFiles/dnlr_predict.dir/dense_predictor.cc.o" "gcc" "src/predict/CMakeFiles/dnlr_predict.dir/dense_predictor.cc.o.d"
+  "/root/repo/src/predict/network_time.cc" "src/predict/CMakeFiles/dnlr_predict.dir/network_time.cc.o" "gcc" "src/predict/CMakeFiles/dnlr_predict.dir/network_time.cc.o.d"
+  "/root/repo/src/predict/sparse_predictor.cc" "src/predict/CMakeFiles/dnlr_predict.dir/sparse_predictor.cc.o" "gcc" "src/predict/CMakeFiles/dnlr_predict.dir/sparse_predictor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mm/CMakeFiles/dnlr_mm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dnlr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnlr_predict.dir/architecture.cc.o"
+  "CMakeFiles/dnlr_predict.dir/architecture.cc.o.d"
+  "CMakeFiles/dnlr_predict.dir/dense_predictor.cc.o"
+  "CMakeFiles/dnlr_predict.dir/dense_predictor.cc.o.d"
+  "CMakeFiles/dnlr_predict.dir/network_time.cc.o"
+  "CMakeFiles/dnlr_predict.dir/network_time.cc.o.d"
+  "CMakeFiles/dnlr_predict.dir/sparse_predictor.cc.o"
+  "CMakeFiles/dnlr_predict.dir/sparse_predictor.cc.o.d"
+  "libdnlr_predict.a"
+  "libdnlr_predict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnlr_predict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/prune/magnitude.cc" "src/prune/CMakeFiles/dnlr_prune.dir/magnitude.cc.o" "gcc" "src/prune/CMakeFiles/dnlr_prune.dir/magnitude.cc.o.d"
+  "/root/repo/src/prune/schedule.cc" "src/prune/CMakeFiles/dnlr_prune.dir/schedule.cc.o" "gcc" "src/prune/CMakeFiles/dnlr_prune.dir/schedule.cc.o.d"
+  "/root/repo/src/prune/sensitivity.cc" "src/prune/CMakeFiles/dnlr_prune.dir/sensitivity.cc.o" "gcc" "src/prune/CMakeFiles/dnlr_prune.dir/sensitivity.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/dnlr_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/dnlr_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dnlr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/forest/CMakeFiles/dnlr_forest.dir/DependInfo.cmake"
+  "/root/repo/build/src/gbdt/CMakeFiles/dnlr_gbdt.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/dnlr_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/mm/CMakeFiles/dnlr_mm.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/dnlr_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnlr_prune.dir/magnitude.cc.o"
+  "CMakeFiles/dnlr_prune.dir/magnitude.cc.o.d"
+  "CMakeFiles/dnlr_prune.dir/schedule.cc.o"
+  "CMakeFiles/dnlr_prune.dir/schedule.cc.o.d"
+  "CMakeFiles/dnlr_prune.dir/sensitivity.cc.o"
+  "CMakeFiles/dnlr_prune.dir/sensitivity.cc.o.d"
+  "libdnlr_prune.a"
+  "libdnlr_prune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnlr_prune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mm_test.dir/mm_test.cc.o"
+  "CMakeFiles/mm_test.dir/mm_test.cc.o.d"
+  "mm_test"
+  "mm_test.pdb"
+  "mm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

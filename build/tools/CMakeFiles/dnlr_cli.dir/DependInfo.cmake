@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/dnlr_cli.cc" "tools/CMakeFiles/dnlr_cli.dir/dnlr_cli.cc.o" "gcc" "tools/CMakeFiles/dnlr_cli.dir/dnlr_cli.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dnlr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/prune/CMakeFiles/dnlr_prune.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/dnlr_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/dnlr_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/forest/CMakeFiles/dnlr_forest.dir/DependInfo.cmake"
+  "/root/repo/build/src/gbdt/CMakeFiles/dnlr_gbdt.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/dnlr_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/dnlr_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/mm/CMakeFiles/dnlr_mm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dnlr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

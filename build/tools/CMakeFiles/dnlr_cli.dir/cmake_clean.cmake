@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnlr_cli.dir/dnlr_cli.cc.o"
+  "CMakeFiles/dnlr_cli.dir/dnlr_cli.cc.o.d"
+  "dnlr_cli"
+  "dnlr_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnlr_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
