@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Local CI gate: the release and asan-ubsan presets must build and pass
+# ctest with zero sanitizer reports. UBSan findings are fatal at runtime
+# (-fno-sanitize-recover=all) and ASan/LSan errors fail their process, so
+# any report fails its test; as a belt-and-braces measure the ctest log is
+# also grepped for report signatures afterwards.
+#
+# Usage: scripts/ci.sh            (from anywhere; jobs via DNLR_JOBS)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+scripts/check.sh release asan-ubsan
+
+log="out/asan-ubsan/Testing/Temporary/LastTest.log"
+if [ -f "${log}" ] && grep -nE \
+    "ERROR: (Address|Leak|Thread|Memory)Sanitizer|runtime error:|SUMMARY: UndefinedBehaviorSanitizer" \
+    "${log}"; then
+  echo "ci.sh: sanitizer reports found in ${log}" >&2
+  exit 1
+fi
+echo "ci.sh: release + asan-ubsan green, no sanitizer reports"

@@ -1,6 +1,7 @@
 #ifndef DNLR_COMMON_CHECK_H_
 #define DNLR_COMMON_CHECK_H_
 
+#include <cmath>
 #include <cstdlib>
 #include <iostream>
 #include <sstream>
@@ -50,12 +51,33 @@ class CheckFailureStream {
 #define DNLR_CHECK_GT(a, b) DNLR_CHECK_OP(>, a, b)
 #define DNLR_CHECK_GE(a, b) DNLR_CHECK_OP(>=, a, b)
 
-/// Debug-only check for hot paths; compiles away in release builds.
+/// Debug-only check for hot paths; compiles away in release builds. The
+/// release form keeps `condition` inside sizeof: it is still type-checked
+/// (so DCHECK-only code cannot bit-rot and its operands count as used,
+/// avoiding -Wunused warnings) but is never evaluated or odr-used, and the
+/// constant-false branch emits no code.
 #ifdef NDEBUG
-#define DNLR_DCHECK(condition) \
-  if (false) DNLR_CHECK(condition)
+#define DNLR_DCHECK(condition)                                            \
+  if (sizeof(static_cast<bool>(condition)) == 0)                          \
+  ::dnlr::internal::CheckFailureStream("DNLR_DCHECK", __FILE__, __LINE__, \
+                                       #condition)
 #else
 #define DNLR_DCHECK(condition) DNLR_CHECK(condition)
+#endif
+
+/// Aborts when `x` is NaN or infinite. Numeric kernels use this at their
+/// boundaries: a non-finite value entering GEMM/SDMM or a scorer poisons
+/// every downstream score silently.
+#define DNLR_CHECK_FINITE(x)                                 \
+  DNLR_CHECK(std::isfinite(static_cast<double>(x)))          \
+      << "non-finite value of " << #x << ":" << static_cast<double>(x)
+
+/// Debug-only finiteness check for per-element use inside kernels.
+#ifdef NDEBUG
+#define DNLR_DCHECK_FINITE(x) \
+  DNLR_DCHECK(std::isfinite(static_cast<double>(x)))
+#else
+#define DNLR_DCHECK_FINITE(x) DNLR_CHECK_FINITE(x)
 #endif
 
 #endif  // DNLR_COMMON_CHECK_H_

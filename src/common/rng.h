@@ -40,7 +40,9 @@ class Rng {
   }
 
   /// Uniform in [0, 1).
-  double Uniform() { return (Next() >> 11) * 0x1.0p-53; }
+  double Uniform() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
 
   /// Uniform in [lo, hi).
   double Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }

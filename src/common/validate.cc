@@ -1,0 +1,82 @@
+#include "common/validate.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace dnlr::validate {
+
+std::string Issue::ToString() const {
+  std::string out = severity == Severity::kError ? "[error] " : "[warning] ";
+  out += context;
+  out += ": ";
+  out += invariant;
+  if (!detail.empty()) {
+    out += " (";
+    out += detail;
+    out += ")";
+  }
+  return out;
+}
+
+void Report::Add(Severity severity, std::string context, std::string invariant,
+                 std::string detail) {
+  if (severity == Severity::kError) ++num_errors_;
+  issues_.push_back(Issue{severity, std::move(context), std::move(invariant),
+                          std::move(detail)});
+}
+
+bool Report::HasInvariant(std::string_view invariant) const {
+  for (const Issue& issue : issues_) {
+    if (issue.invariant == invariant) return true;
+  }
+  return false;
+}
+
+std::string Report::ToString() const {
+  std::ostringstream out;
+  if (ok() && issues_.empty()) return "validation OK";
+  if (ok()) {
+    out << "validation OK with " << num_warnings() << " warning(s)";
+  } else {
+    out << "validation FAILED: " << num_errors() << " error(s), "
+        << num_warnings() << " warning(s)";
+  }
+  for (const Issue& issue : issues_) out << "\n  " << issue.ToString();
+  return out.str();
+}
+
+Status Report::ToStatus() const {
+  if (ok()) return Status::Ok();
+  return Status::FailedPrecondition(ToString());
+}
+
+bool Checker::Check(bool condition, std::string_view invariant,
+                    std::string detail) {
+  if (!condition) Fail(invariant, std::move(detail));
+  return condition;
+}
+
+void Checker::Fail(std::string_view invariant, std::string detail) {
+  report_->Add(Severity::kError, context_, std::string(invariant),
+               std::move(detail));
+}
+
+void Checker::Warn(std::string_view invariant, std::string detail) {
+  report_->Add(Severity::kWarning, context_, std::string(invariant),
+               std::move(detail));
+}
+
+bool CheckAllFinite(const float* data, size_t count, Checker checker,
+                    std::string_view invariant) {
+  for (size_t i = 0; i < count; ++i) {
+    if (!std::isfinite(data[i])) {
+      std::ostringstream detail;
+      detail << "element " << i << " of " << count << " is " << data[i];
+      checker.Fail(invariant, detail.str());
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace dnlr::validate

@@ -1,0 +1,106 @@
+#ifndef DNLR_COMMON_VALIDATE_H_
+#define DNLR_COMMON_VALIDATE_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dnlr::validate {
+
+/// How bad a violated invariant is. Errors make a report fail (ok() ==
+/// false, ToStatus() non-OK); warnings are surfaced but do not fail it.
+enum class Severity { kWarning, kError };
+
+/// One violated (or suspicious) invariant. `context` is a dotted path into
+/// the validated object ("ensemble.tree[3].node[7]"), `invariant` a short
+/// stable name of the rule ("child.in_range") that tests and callers can
+/// match on, and `detail` the offending values.
+struct Issue {
+  Severity severity = Severity::kError;
+  std::string context;
+  std::string invariant;
+  std::string detail;
+
+  /// "[error] ensemble.tree[3].node[7]: child.in_range (left=9 ...)".
+  std::string ToString() const;
+};
+
+/// Accumulates issues across composed validators. A fresh report is ok();
+/// any kError issue flips it to failed. Reports are cheap to create and are
+/// passed by pointer through Checker below.
+class Report {
+ public:
+  void Add(Severity severity, std::string context, std::string invariant,
+           std::string detail);
+
+  bool ok() const { return num_errors_ == 0; }
+  size_t num_errors() const { return num_errors_; }
+  size_t num_warnings() const { return issues_.size() - num_errors_; }
+  const std::vector<Issue>& issues() const { return issues_; }
+
+  /// True if some issue's invariant name equals `invariant` (test helper).
+  bool HasInvariant(std::string_view invariant) const;
+
+  /// Multi-line summary: a header line followed by one line per issue.
+  std::string ToString() const;
+
+  /// Status::Ok() when ok(), otherwise FailedPrecondition carrying
+  /// ToString() so the failure names every violated invariant.
+  Status ToStatus() const;
+
+ private:
+  std::vector<Issue> issues_;
+  size_t num_errors_ = 0;
+};
+
+/// A lightweight handle = (report, context path). Validators take a Checker
+/// by value; composing validators is appending to the context path:
+///
+///   void ValidateEnsemble(const Ensemble& e, Checker c) {
+///     for (uint32_t t = 0; t < e.num_trees(); ++t)
+///       ValidateTree(e.tree(t), c.Nested("tree[" + std::to_string(t) + "]"));
+///   }
+///
+/// In loops over large arrays, test the condition first and call Fail() only
+/// on violation so no detail string is built on the (hot) passing path.
+class Checker {
+ public:
+  Checker(Report* report, std::string context)
+      : report_(report), context_(std::move(context)) {}
+
+  /// Child checker for a sub-object; the context paths join with '.'.
+  Checker Nested(std::string_view suffix) const {
+    return Checker(report_, context_ + "." + std::string(suffix));
+  }
+
+  /// Records an error if `condition` is false. Returns `condition` so
+  /// callers can guard dependent checks. `detail` is evaluated eagerly;
+  /// prefer `if (!cond) Fail(...)` inside per-element loops.
+  bool Check(bool condition, std::string_view invariant, std::string detail);
+
+  /// Records an error unconditionally.
+  void Fail(std::string_view invariant, std::string detail);
+
+  /// Records a warning (does not fail the report).
+  void Warn(std::string_view invariant, std::string detail);
+
+  Report* report() const { return report_; }
+  const std::string& context() const { return context_; }
+
+ private:
+  Report* report_;
+  std::string context_;
+};
+
+/// True when every element of [data, data + count) is finite. Reports the
+/// first offender through `checker` under `invariant` and returns false
+/// otherwise. Shared by the matrix / MLP / dataset validators.
+bool CheckAllFinite(const float* data, size_t count, Checker checker,
+                    std::string_view invariant);
+
+}  // namespace dnlr::validate
+
+#endif  // DNLR_COMMON_VALIDATE_H_

@@ -59,7 +59,9 @@ std::vector<float> Dataset::FeatureMean() const {
   std::vector<double> sums(num_features_, 0.0);
   for (uint32_t d = 0; d < num_docs(); ++d) {
     const float* row = Row(d);
-    for (uint32_t f = 0; f < num_features_; ++f) sums[f] += row[f];
+    for (uint32_t f = 0; f < num_features_; ++f) {
+      sums[f] += static_cast<double>(row[f]);
+    }
   }
   std::vector<float> means(num_features_, 0.0f);
   const double inv = num_docs() > 0 ? 1.0 / num_docs() : 0.0;

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/string_util.h"
+#include "data/validate.h"
 
 namespace dnlr::data {
 namespace {
@@ -103,7 +104,14 @@ Result<Dataset> ParseLetor(const std::string& text, uint32_t num_features) {
     if (!status.ok()) return status;
     docs.push_back(std::move(doc));
   }
-  return ParseDocs(docs, num_features);
+  Result<Dataset> dataset = ParseDocs(docs, num_features);
+#ifndef NDEBUG
+  // Debug builds reject semantically invalid datasets (labels outside the
+  // LETOR [0, 4] scale, non-finite features, interleaved qids) at the parse
+  // boundary; release callers opt in via ValidateDataset.
+  if (dataset.ok()) DNLR_RETURN_IF_ERROR(ValidateDataset(*dataset));
+#endif
+  return dataset;
 }
 
 Result<Dataset> ReadLetorFile(const std::string& path, uint32_t num_features) {

@@ -236,8 +236,8 @@ Dataset GenerateSynthetic(const SyntheticConfig& config) {
         } else {
           // Redundant features copy the already-transformed source value
           // plus small noise, preserving the correlation structure.
-          value += static_cast<float>(
-              rng.Normal(0.0, config.feature_noise * spec.scale));
+          value += static_cast<float>(rng.Normal(
+              0.0, config.feature_noise * static_cast<double>(spec.scale)));
         }
         row[f] = value;
       }
@@ -256,8 +256,9 @@ Dataset GenerateSynthetic(const SyntheticConfig& config) {
       sample.push_back(features[static_cast<size_t>(d) * num_features + f]);
     }
     std::sort(sample.begin(), sample.end());
-    const size_t idx =
-        std::min(sample.size() - 1, static_cast<size_t>(p * sample.size()));
+    const size_t idx = std::min(
+        sample.size() - 1,
+        static_cast<size_t>(p * static_cast<double>(sample.size())));
     return sample[idx];
   };
   for (RelevanceRule& rule : rules) {
@@ -334,8 +335,9 @@ Dataset GenerateSynthetic(const SyntheticConfig& config) {
   std::vector<float> sorted_scores = scores;
   std::sort(sorted_scores.begin(), sorted_scores.end());
   auto score_quantile = [&](double p) {
-    const size_t idx = std::min(sorted_scores.size() - 1,
-                                static_cast<size_t>(p * sorted_scores.size()));
+    const size_t idx = std::min(
+        sorted_scores.size() - 1,
+        static_cast<size_t>(p * static_cast<double>(sorted_scores.size())));
     return sorted_scores[idx];
   };
   const float t1 = score_quantile(0.52);

@@ -1,0 +1,77 @@
+#include "data/validate.h"
+
+#include <cmath>
+#include <string>
+#include <unordered_set>
+
+namespace dnlr::data {
+
+void ValidateDataset(const Dataset& dataset, validate::Checker checker,
+                     float max_label) {
+  const uint32_t num_docs = dataset.num_docs();
+  const uint32_t num_queries = dataset.num_queries();
+
+  const size_t expected_floats =
+      static_cast<size_t>(num_docs) * dataset.num_features();
+  checker.Check(dataset.features().size() == expected_floats, "features.size",
+                std::to_string(dataset.features().size()) + " floats for " +
+                    std::to_string(num_docs) + " docs x " +
+                    std::to_string(dataset.num_features()) + " features");
+
+  bool offsets_ok =
+      checker.Check(num_queries == 0 || dataset.QueryBegin(0) == 0,
+                    "queries.offsets", "first query does not start at doc 0");
+  uint32_t covered = 0;
+  std::unordered_set<uint32_t> seen_qids;
+  for (uint32_t q = 0; q < num_queries; ++q) {
+    validate::Checker at = checker.Nested("query[" + std::to_string(q) + "]");
+    const uint32_t begin = dataset.QueryBegin(q);
+    const uint32_t end = dataset.QueryEnd(q);
+    if (begin > end || end > num_docs || begin != covered) {
+      at.Fail("queries.offsets",
+              "spans [" + std::to_string(begin) + ", " + std::to_string(end) +
+                  ") but " + std::to_string(covered) +
+                  " docs were covered so far of " + std::to_string(num_docs));
+      offsets_ok = false;
+      break;  // Coverage accounting below is meaningless now.
+    }
+    covered = end;
+    if (begin == end) {
+      at.Warn("queries.empty",
+              "qid " + std::to_string(dataset.QueryId(q)) + " has no docs");
+    }
+    if (!seen_qids.insert(dataset.QueryId(q)).second) {
+      at.Fail("queries.contiguous",
+              "qid " + std::to_string(dataset.QueryId(q)) +
+                  " already appeared in an earlier group");
+    }
+  }
+  if (offsets_ok) {
+    checker.Check(covered == num_docs, "queries.offsets",
+                  "queries cover " + std::to_string(covered) + " of " +
+                      std::to_string(num_docs) + " docs");
+  }
+
+  for (uint32_t d = 0; d < num_docs; ++d) {
+    const float label = dataset.Label(d);
+    if (!(std::isfinite(label) && label >= 0.0f && label <= max_label)) {
+      checker.Fail("labels.range",
+                   "doc " + std::to_string(d) + " has label " +
+                       std::to_string(label) + ", expected [0, " +
+                       std::to_string(max_label) + "]");
+      break;  // One offender pinpoints the defect; avoid report spam.
+    }
+  }
+
+  validate::CheckAllFinite(dataset.features().data(),
+                           dataset.features().size(), checker,
+                           "features.finite");
+}
+
+Status ValidateDataset(const Dataset& dataset, float max_label) {
+  validate::Report report;
+  ValidateDataset(dataset, validate::Checker(&report, "dataset"), max_label);
+  return report.ToStatus();
+}
+
+}  // namespace dnlr::data

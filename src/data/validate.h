@@ -1,0 +1,31 @@
+#ifndef DNLR_DATA_VALIDATE_H_
+#define DNLR_DATA_VALIDATE_H_
+
+#include "common/validate.h"
+#include "data/dataset.h"
+
+namespace dnlr::data {
+
+/// Structural validation of a query-grouped LETOR dataset.
+///
+/// Invariants checked (invariant names in parentheses):
+///  - feature storage holds exactly num_docs * num_features floats
+///    (features.size)
+///  - query offsets start at 0, are monotone, and cover every document
+///    (queries.offsets); empty queries are flagged as warnings
+///    (queries.empty) since they contribute nothing to training or NDCG
+///  - each qid appears in exactly one contiguous group — a qid recurring in
+///    a later group means the file interleaved two queries (queries.contiguous)
+///  - labels are finite and within [0, max_label], the LETOR graded
+///    relevance scale (labels.range)
+///  - all feature values are finite (features.finite)
+void ValidateDataset(const Dataset& dataset, validate::Checker checker,
+                     float max_label = 4.0f);
+
+/// Convenience wrapper returning OK or FailedPrecondition naming every
+/// violated invariant.
+Status ValidateDataset(const Dataset& dataset, float max_label = 4.0f);
+
+}  // namespace dnlr::data
+
+#endif  // DNLR_DATA_VALIDATE_H_

@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "common/check.h"
+#include "forest/validate.h"
 
 namespace dnlr::forest {
 namespace {
@@ -52,6 +53,14 @@ void CollectTreeConditions(const gbdt::RegressionTree& tree, uint32_t tree_id,
 
 QuickScorer::QuickScorer(const gbdt::Ensemble& ensemble,
                          uint32_t num_features) {
+#ifndef NDEBUG
+  // Debug builds verify the full QuickScorer precondition set (word-width
+  // leaf counts, feature stride, left-to-right leaf order) up front with a
+  // readable report instead of tripping a mid-construction DNLR_CHECK.
+  const Status precondition =
+      ValidateForQuickScorer(ensemble, num_features, /*max_leaves=*/64);
+  DNLR_CHECK(precondition.ok()) << precondition.ToString();
+#endif
   num_trees_ = ensemble.num_trees();
   base_score_ = ensemble.base_score();
 

@@ -1,0 +1,83 @@
+#include "forest/validate.h"
+
+#include <string>
+#include <vector>
+
+#include "gbdt/tree.h"
+
+namespace dnlr::forest {
+namespace {
+
+using gbdt::RegressionTree;
+using gbdt::TreeNode;
+
+/// Checks that an in-order (left-to-right) traversal visits leaf 0, 1, ...
+/// Bails out quietly on malformed topology; gbdt::ValidateEnsemble owns
+/// reporting those.
+void CheckLeafOrder(const RegressionTree& tree, validate::Checker checker) {
+  if (tree.num_nodes() == 0) return;
+  uint32_t expected = 0;
+  // Explicit stack of (child link, expanded?) frames; in-order is "expand
+  // left subtree, then right" with leaves emitted as encountered.
+  std::vector<int32_t> stack = {0};
+  // Bound the walk so a corrupted cyclic tree terminates.
+  size_t steps = 0;
+  const size_t max_steps = 4 * (tree.num_nodes() + size_t{1});
+  while (!stack.empty() && steps++ < max_steps) {
+    const int32_t link = stack.back();
+    stack.pop_back();
+    if (TreeNode::IsLeaf(link)) {
+      const uint32_t leaf = TreeNode::DecodeLeaf(link);
+      if (leaf != expected) {
+        checker.Fail("leaves.ordered",
+                     "in-order traversal reached leaf " +
+                         std::to_string(leaf) + " where leaf " +
+                         std::to_string(expected) +
+                         " was expected (QuickScorer bitvectors require "
+                         "left-to-right leaf numbering)");
+        return;
+      }
+      ++expected;
+      continue;
+    }
+    if (static_cast<uint32_t>(link) >= tree.num_nodes()) return;
+    const TreeNode& node = tree.node(static_cast<uint32_t>(link));
+    stack.push_back(node.right);  // Popped after the whole left subtree.
+    stack.push_back(node.left);
+  }
+}
+
+}  // namespace
+
+void ValidateForQuickScorer(const gbdt::Ensemble& ensemble,
+                            uint32_t num_features, uint32_t max_leaves,
+                            validate::Checker checker) {
+  for (uint32_t t = 0; t < ensemble.num_trees(); ++t) {
+    const RegressionTree& tree = ensemble.tree(t);
+    validate::Checker at = checker.Nested("tree[" + std::to_string(t) + "]");
+    at.Check(tree.num_leaves() <= max_leaves, "leaves.word_width",
+             std::to_string(tree.num_leaves()) + " leaves exceed the " +
+                 std::to_string(max_leaves) + "-leaf bitvector word");
+    for (uint32_t n = 0; n < tree.num_nodes(); ++n) {
+      if (tree.node(n).feature >= num_features) {
+        at.Fail("feature.in_range",
+                "node[" + std::to_string(n) + "] splits on feature " +
+                    std::to_string(tree.node(n).feature) +
+                    " but the input stride is " +
+                    std::to_string(num_features));
+        break;
+      }
+    }
+    CheckLeafOrder(tree, at);
+  }
+}
+
+Status ValidateForQuickScorer(const gbdt::Ensemble& ensemble,
+                              uint32_t num_features, uint32_t max_leaves) {
+  validate::Report report;
+  ValidateForQuickScorer(ensemble, num_features, max_leaves,
+                         validate::Checker(&report, "quickscorer"));
+  return report.ToStatus();
+}
+
+}  // namespace dnlr::forest

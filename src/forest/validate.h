@@ -1,0 +1,35 @@
+#ifndef DNLR_FOREST_VALIDATE_H_
+#define DNLR_FOREST_VALIDATE_H_
+
+#include <cstdint>
+
+#include "common/validate.h"
+#include "gbdt/ensemble.h"
+
+namespace dnlr::forest {
+
+/// Validates that `ensemble` satisfies the extra preconditions the
+/// QuickScorer family relies on, beyond general ensemble well-formedness
+/// (run gbdt::ValidateEnsemble for that first — these checks assume child
+/// indices are in range).
+///
+/// Invariants checked (invariant names in parentheses):
+///  - every tree has at most `max_leaves` leaves so a leaf bitvector fits
+///    one machine word (leaves.word_width)
+///  - every referenced feature id is < num_features, the input stride the
+///    scorer gathers from (feature.in_range)
+///  - leaves are numbered left to right: an in-order traversal visits leaf
+///    0, 1, 2, ... — the property the false-node bitvector masks encode
+///    (leaves.ordered)
+void ValidateForQuickScorer(const gbdt::Ensemble& ensemble,
+                            uint32_t num_features, uint32_t max_leaves,
+                            validate::Checker checker);
+
+/// Convenience wrapper returning OK or FailedPrecondition naming every
+/// violated invariant.
+Status ValidateForQuickScorer(const gbdt::Ensemble& ensemble,
+                              uint32_t num_features, uint32_t max_leaves = 64);
+
+}  // namespace dnlr::forest
+
+#endif  // DNLR_FOREST_VALIDATE_H_

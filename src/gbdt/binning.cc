@@ -32,7 +32,8 @@ FeatureBinner::FeatureBinner(const data::Dataset& train, uint32_t max_bins) {
       // Quantile boundaries over distinct values.
       for (uint32_t b = 1; b < max_bins; ++b) {
         const size_t idx = static_cast<size_t>(
-            static_cast<double>(b) * column.size() / max_bins);
+            static_cast<double>(b) * static_cast<double>(column.size()) /
+            max_bins);
         const float boundary =
             0.5f * (column[idx - 1] + column[std::min(idx, column.size() - 1)]);
         if (bounds.empty() || boundary > bounds.back()) {

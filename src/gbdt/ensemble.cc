@@ -5,6 +5,8 @@
 #include <set>
 #include <sstream>
 
+#include "gbdt/validate.h"
+
 namespace dnlr::gbdt {
 
 uint32_t Ensemble::MaxLeaves() const {
@@ -103,6 +105,11 @@ Result<Ensemble> Ensemble::Deserialize(const std::string& text) {
     }
     ensemble.AddTree(RegressionTree(std::move(nodes), std::move(leaves)));
   }
+#ifndef NDEBUG
+  // Debug builds reject structurally invalid models at the parse boundary;
+  // release callers opt in via ValidateEnsemble / `dnlr_cli validate`.
+  DNLR_RETURN_IF_ERROR(ValidateEnsemble(ensemble, /*num_features=*/0));
+#endif
   return ensemble;
 }
 

@@ -1,0 +1,135 @@
+#include "gbdt/validate.h"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+namespace dnlr::gbdt {
+namespace {
+
+std::string NodeContext(uint32_t node) {
+  return "node[" + std::to_string(node) + "]";
+}
+
+/// Iterative traversal from the root marking visit counts; recursion would
+/// overflow the stack on a corrupted cyclic "tree".
+void CheckTopology(const RegressionTree& tree, validate::Checker checker) {
+  const uint32_t num_nodes = tree.num_nodes();
+  const uint32_t num_leaves = tree.num_leaves();
+  std::vector<uint8_t> node_visits(num_nodes, 0);
+  std::vector<uint8_t> leaf_visits(num_leaves, 0);
+  std::vector<int32_t> stack = {0};
+  while (!stack.empty()) {
+    const uint32_t current = static_cast<uint32_t>(stack.back());
+    stack.pop_back();
+    if (++node_visits[current] > 1) {
+      checker.Fail("topology.acyclic",
+                   NodeContext(current) +
+                       " reached more than once (cycle or shared subtree)");
+      continue;  // Do not re-expand: a cycle would loop forever.
+    }
+    const TreeNode& node = tree.node(current);
+    for (const int32_t child : {node.left, node.right}) {
+      if (TreeNode::IsLeaf(child)) {
+        const uint32_t leaf = TreeNode::DecodeLeaf(child);
+        if (leaf < num_leaves && ++leaf_visits[leaf] > 1) {
+          checker.Fail("topology.acyclic",
+                       "leaf[" + std::to_string(leaf) +
+                           "] reached by more than one node");
+        }
+      } else if (child >= 0 && static_cast<uint32_t>(child) < num_nodes) {
+        stack.push_back(child);
+      }
+      // Out-of-range children were already reported as child.in_range.
+    }
+  }
+  for (uint32_t n = 0; n < num_nodes; ++n) {
+    if (node_visits[n] == 0) {
+      checker.Fail("topology.connected",
+                   NodeContext(n) + " unreachable from the root");
+    }
+  }
+  for (uint32_t l = 0; l < num_leaves; ++l) {
+    if (leaf_visits[l] == 0) {
+      checker.Fail("leaves.reachable",
+                   "leaf[" + std::to_string(l) + "] unreachable from the root");
+    }
+  }
+}
+
+}  // namespace
+
+void ValidateTree(const RegressionTree& tree, uint32_t num_features,
+                  validate::Checker checker) {
+  const uint32_t num_nodes = tree.num_nodes();
+  const uint32_t num_leaves = tree.num_leaves();
+  if (!checker.Check(num_leaves >= 1, "leaves.count",
+                     "a tree must have at least one leaf")) {
+    return;
+  }
+  if (num_nodes > 0) {
+    checker.Check(num_leaves == num_nodes + 1, "leaves.count",
+                  std::to_string(num_nodes) + " internal nodes require " +
+                      std::to_string(num_nodes + 1) + " leaves, got " +
+                      std::to_string(num_leaves));
+  }
+
+  bool children_ok = true;
+  for (uint32_t n = 0; n < num_nodes; ++n) {
+    const TreeNode& node = tree.node(n);
+    validate::Checker at = checker.Nested(NodeContext(n));
+    for (const auto& [child, side] :
+         {std::pair(node.left, "left"), std::pair(node.right, "right")}) {
+      const bool in_range =
+          TreeNode::IsLeaf(child)
+              ? TreeNode::DecodeLeaf(child) < num_leaves
+              : static_cast<uint32_t>(child) < num_nodes;
+      if (!in_range) {
+        at.Fail("child.in_range",
+                std::string(side) + " child " + std::to_string(child) +
+                    " outside " + std::to_string(num_nodes) + " nodes / " +
+                    std::to_string(num_leaves) + " leaves");
+        children_ok = false;
+      }
+    }
+    if (!std::isfinite(node.threshold)) {
+      at.Fail("threshold.finite",
+              "threshold " + std::to_string(node.threshold));
+    }
+    if (num_features > 0 && node.feature >= num_features) {
+      at.Fail("feature.in_range",
+              "feature " + std::to_string(node.feature) + " >= num_features " +
+                  std::to_string(num_features));
+    }
+  }
+  for (uint32_t l = 0; l < num_leaves; ++l) {
+    if (!std::isfinite(tree.leaf_value(l))) {
+      checker.Fail("leaf_value.finite",
+                   "leaf[" + std::to_string(l) + "] = " +
+                       std::to_string(tree.leaf_value(l)));
+    }
+  }
+  // Topology only makes sense once every edge lands inside the arrays.
+  if (num_nodes > 0 && children_ok) CheckTopology(tree, checker);
+}
+
+void ValidateEnsemble(const Ensemble& ensemble, uint32_t num_features,
+                      validate::Checker checker) {
+  if (!std::isfinite(ensemble.base_score())) {
+    checker.Fail("base_score.finite",
+                 "base_score " + std::to_string(ensemble.base_score()));
+  }
+  for (uint32_t t = 0; t < ensemble.num_trees(); ++t) {
+    ValidateTree(ensemble.tree(t), num_features,
+                 checker.Nested("tree[" + std::to_string(t) + "]"));
+  }
+}
+
+Status ValidateEnsemble(const Ensemble& ensemble, uint32_t num_features) {
+  validate::Report report;
+  ValidateEnsemble(ensemble, num_features,
+                   validate::Checker(&report, "ensemble"));
+  return report.ToStatus();
+}
+
+}  // namespace dnlr::gbdt

@@ -1,0 +1,40 @@
+#ifndef DNLR_GBDT_VALIDATE_H_
+#define DNLR_GBDT_VALIDATE_H_
+
+#include <cstdint>
+
+#include "common/validate.h"
+#include "gbdt/ensemble.h"
+#include "gbdt/tree.h"
+
+namespace dnlr::gbdt {
+
+/// Deep structural validation of one regression tree. `num_features` bounds
+/// the feature ids referenced by split nodes; pass 0 when the feature space
+/// is unknown (e.g. right after deserialization) to skip that bound.
+///
+/// Invariants checked (invariant names in parentheses):
+///  - a tree with n internal nodes has exactly n + 1 leaves (leaves.count)
+///  - child indices reference an existing node or decode to an existing
+///    leaf (child.in_range)
+///  - the node graph reached from the root is a tree: no node is reached
+///    twice, i.e. no cycles and no diamonds (topology.acyclic), and every
+///    node and leaf is reached (topology.connected, leaves.reachable)
+///  - split thresholds are finite (threshold.finite)
+///  - split feature ids are < num_features (feature.in_range)
+///  - leaf values are finite (leaf_value.finite)
+void ValidateTree(const RegressionTree& tree, uint32_t num_features,
+                  validate::Checker checker);
+
+/// Validates every tree of the ensemble (contexts "tree[t]") plus the
+/// ensemble-level invariant that base_score is finite (base_score.finite).
+void ValidateEnsemble(const Ensemble& ensemble, uint32_t num_features,
+                      validate::Checker checker);
+
+/// Convenience wrapper returning OK or FailedPrecondition naming every
+/// violated invariant. `num_features` of 0 skips the feature-id bound.
+Status ValidateEnsemble(const Ensemble& ensemble, uint32_t num_features = 0);
+
+}  // namespace dnlr::gbdt
+
+#endif  // DNLR_GBDT_VALIDATE_H_

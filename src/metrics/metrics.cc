@@ -108,7 +108,7 @@ double MeanOverValidQueries(std::span<const double> per_query) {
       ++count;
     }
   }
-  return count > 0 ? sum / count : 0.0;
+  return count > 0 ? sum / static_cast<double>(count) : 0.0;
 }
 
 double MeanNdcg(const data::Dataset& dataset, std::span<const float> scores,

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "mm/validate.h"
+
 namespace dnlr::mm {
 
 CsrMatrix CsrMatrix::FromDense(const Matrix& dense, float epsilon) {
@@ -40,6 +42,12 @@ CsrMatrix::CsrMatrix(uint32_t rows, uint32_t cols,
     DNLR_CHECK_LE(row_offsets_[r], row_offsets_[r + 1]);
   }
   for (const uint32_t c : col_index_) DNLR_CHECK_LT(c, cols_);
+#ifndef NDEBUG
+  // Debug builds additionally enforce the deep invariants (sorted columns,
+  // no duplicates, finite values) the SDMM kernels rely on.
+  const Status deep = ValidateCsrMatrix(*this);
+  DNLR_CHECK(deep.ok()) << deep.ToString();
+#endif
 }
 
 uint32_t CsrMatrix::NumActiveRows() const {

@@ -202,6 +202,9 @@ void GemmWithParams(const Matrix& a, const Matrix& b, Matrix* c,
       }
     }
   }
+  // Debug builds sweep the result for NaN/Inf: a single poisoned input
+  // element silently corrupts whole output panels otherwise.
+  for (size_t i = 0; i < c->size(); ++i) DNLR_DCHECK_FINITE(c->data()[i]);
 }
 
 void Gemm(const Matrix& a, const Matrix& b, Matrix* c) {

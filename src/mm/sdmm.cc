@@ -73,6 +73,8 @@ void Sdmm(const CsrMatrix& a, const Matrix& b, Matrix* c) {
     }
 #endif
   }
+  // Debug builds sweep the result for NaN/Inf introduced by poisoned inputs.
+  for (size_t i = 0; i < c->size(); ++i) DNLR_DCHECK_FINITE(c->data()[i]);
 }
 
 void SdmmReference(const CsrMatrix& a, const Matrix& b, Matrix* c) {

@@ -1,0 +1,112 @@
+#include "mm/validate.h"
+
+#include <cmath>
+#include <sstream>
+#include <string>
+
+namespace dnlr::mm {
+namespace {
+
+std::string Pos(uint32_t row, size_t slot) {
+  std::ostringstream out;
+  out << "row " << row << ", slot " << slot;
+  return out.str();
+}
+
+}  // namespace
+
+void ValidateCsrArrays(uint32_t rows, uint32_t cols,
+                       std::span<const uint32_t> row_offsets,
+                       std::span<const uint32_t> col_index,
+                       std::span<const float> values,
+                       validate::Checker checker) {
+  if (!checker.Check(row_offsets.size() == static_cast<size_t>(rows) + 1,
+                     "row_offsets.size",
+                     "expected " + std::to_string(rows + 1) + " offsets, got " +
+                         std::to_string(row_offsets.size()))) {
+    return;  // Nothing else is addressable safely.
+  }
+  checker.Check(col_index.size() == values.size(), "nnz.consistent",
+                "col_index has " + std::to_string(col_index.size()) +
+                    " entries but values has " + std::to_string(values.size()));
+  checker.Check(row_offsets.front() == 0, "row_offsets.front",
+                "row_offsets[0] = " + std::to_string(row_offsets.front()));
+  checker.Check(row_offsets.back() == values.size(), "row_offsets.back",
+                "row_offsets[rows] = " + std::to_string(row_offsets.back()) +
+                    " but nnz = " + std::to_string(values.size()));
+  for (uint32_t r = 0; r < rows; ++r) {
+    if (row_offsets[r] > row_offsets[r + 1]) {
+      checker.Fail("row_offsets.monotone",
+                   "row_offsets[" + std::to_string(r) + "] = " +
+                       std::to_string(row_offsets[r]) + " > row_offsets[" +
+                       std::to_string(r + 1) + "] = " +
+                       std::to_string(row_offsets[r + 1]));
+      return;  // Row ranges below would be nonsense.
+    }
+  }
+  if (row_offsets.back() > col_index.size() ||
+      row_offsets.back() > values.size()) {
+    return;  // Reported above; per-element scan would run out of bounds.
+  }
+
+  for (uint32_t r = 0; r < rows; ++r) {
+    bool row_sorted = true;
+    for (size_t i = row_offsets[r]; i < row_offsets[r + 1]; ++i) {
+      const uint32_t c = col_index[i];
+      if (c >= cols) {
+        checker.Fail("col_index.in_range",
+                     Pos(r, i) + ": column " + std::to_string(c) +
+                         " >= cols " + std::to_string(cols));
+      }
+      if (i > row_offsets[r] && row_sorted) {
+        if (col_index[i - 1] == c) {
+          checker.Fail("col_index.duplicate",
+                       Pos(r, i) + ": column " + std::to_string(c) +
+                           " repeated");
+          row_sorted = false;
+        } else if (col_index[i - 1] > c) {
+          checker.Fail("col_index.sorted",
+                       Pos(r, i) + ": column " + std::to_string(c) +
+                           " after column " + std::to_string(col_index[i - 1]));
+          row_sorted = false;
+        }
+      }
+      if (!std::isfinite(values[i])) {
+        checker.Fail("values.finite",
+                     Pos(r, i) + ": value " + std::to_string(values[i]));
+      } else if (values[i] == 0.0f) {
+        checker.Warn("values.nonzero", Pos(r, i) + ": explicit zero stored");
+      }
+    }
+  }
+}
+
+void ValidateCsrMatrix(const CsrMatrix& matrix, validate::Checker checker) {
+  ValidateCsrArrays(matrix.rows(), matrix.cols(), matrix.row_offsets(),
+                    matrix.col_index(), matrix.values(), checker);
+}
+
+Status ValidateCsrMatrix(const CsrMatrix& matrix) {
+  validate::Report report;
+  ValidateCsrMatrix(matrix, validate::Checker(&report, "csr"));
+  return report.ToStatus();
+}
+
+void ValidateMatrix(const Matrix& matrix, validate::Checker checker) {
+  checker.Check(matrix.size() == static_cast<size_t>(matrix.rows()) *
+                                     matrix.cols(),
+                "storage.size",
+                std::to_string(matrix.size()) + " floats for " +
+                    std::to_string(matrix.rows()) + "x" +
+                    std::to_string(matrix.cols()));
+  validate::CheckAllFinite(matrix.data(), matrix.size(), checker,
+                           "values.finite");
+}
+
+Status ValidateMatrix(const Matrix& matrix) {
+  validate::Report report;
+  ValidateMatrix(matrix, validate::Checker(&report, "matrix"));
+  return report.ToStatus();
+}
+
+}  // namespace dnlr::mm

@@ -1,0 +1,48 @@
+#ifndef DNLR_MM_VALIDATE_H_
+#define DNLR_MM_VALIDATE_H_
+
+#include <cstdint>
+#include <span>
+
+#include "common/validate.h"
+#include "mm/csr.h"
+#include "mm/matrix.h"
+
+namespace dnlr::mm {
+
+/// Structural validation of raw CSR arrays, usable before a CsrMatrix is
+/// constructed (deserializers call this on candidate arrays so malformed
+/// input is rejected with a report instead of aborting in the constructor).
+///
+/// Invariants checked (invariant names in parentheses):
+///  - row_offsets has rows + 1 entries (row_offsets.size), starts at 0
+///    (row_offsets.front) and ends at nnz (row_offsets.back)
+///  - row_offsets is monotone non-decreasing (row_offsets.monotone)
+///  - col_index and values have equal length (nnz.consistent)
+///  - every column index is < cols (col_index.in_range)
+///  - column indices are strictly increasing within each row, which also
+///    rules out duplicates (col_index.sorted, col_index.duplicate)
+///  - every stored value is finite (values.finite)
+///  - stored values are non-zero; explicit zeros waste the sparse format
+///    and break sparsity accounting (values.nonzero — warning only)
+void ValidateCsrArrays(uint32_t rows, uint32_t cols,
+                       std::span<const uint32_t> row_offsets,
+                       std::span<const uint32_t> col_index,
+                       std::span<const float> values,
+                       validate::Checker checker);
+
+/// Validates an existing CsrMatrix (same invariants as ValidateCsrArrays).
+void ValidateCsrMatrix(const CsrMatrix& matrix, validate::Checker checker);
+
+/// Convenience wrapper: runs ValidateCsrMatrix into a fresh report and
+/// returns its status (OK or FailedPrecondition naming every violation).
+Status ValidateCsrMatrix(const CsrMatrix& matrix);
+
+/// Validates a dense matrix: storage size matches rows * cols and every
+/// entry is finite (values.finite).
+void ValidateMatrix(const Matrix& matrix, validate::Checker checker);
+Status ValidateMatrix(const Matrix& matrix);
+
+}  // namespace dnlr::mm
+
+#endif  // DNLR_MM_VALIDATE_H_

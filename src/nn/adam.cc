@@ -12,12 +12,15 @@ void AdamState::Step(const AdamConfig& config, double lr, uint64_t step,
   const double bias2 = 1.0 - std::pow(config.beta2, static_cast<double>(step));
   for (size_t i = 0; i < size; ++i) {
     double g = grads[i];
-    if (config.weight_decay != 0.0) g += config.weight_decay * params[i];
-    m_[i] = static_cast<float>(config.beta1 * m_[i] + (1.0 - config.beta1) * g);
-    v_[i] =
-        static_cast<float>(config.beta2 * v_[i] + (1.0 - config.beta2) * g * g);
-    const double m_hat = m_[i] / bias1;
-    const double v_hat = v_[i] / bias2;
+    if (config.weight_decay != 0.0) {
+      g += config.weight_decay * static_cast<double>(params[i]);
+    }
+    m_[i] = static_cast<float>(config.beta1 * static_cast<double>(m_[i]) +
+                               (1.0 - config.beta1) * g);
+    v_[i] = static_cast<float>(config.beta2 * static_cast<double>(v_[i]) +
+                               (1.0 - config.beta2) * g * g);
+    const double m_hat = static_cast<double>(m_[i]) / bias1;
+    const double v_hat = static_cast<double>(v_[i]) / bias2;
     params[i] -= static_cast<float>(lr * m_hat /
                                     (std::sqrt(v_hat) + config.epsilon));
   }

@@ -4,6 +4,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "nn/validate.h"
+
 namespace dnlr::nn {
 
 Mlp::Mlp(const predict::Architecture& arch, uint64_t seed) : arch_(arch) {
@@ -66,7 +68,9 @@ double Mlp::WeightSparsity() const {
       zeros += layer.weight.data()[i] == 0.0f;
     }
   }
-  return total > 0 ? static_cast<double>(zeros) / total : 0.0;
+  return total > 0
+             ? static_cast<double>(zeros) / static_cast<double>(total)
+             : 0.0;
 }
 
 // Grammar:
@@ -126,6 +130,11 @@ Result<Mlp> Mlp::Deserialize(const std::string& text) {
       }
     }
   }
+#ifndef NDEBUG
+  // Debug builds reject malformed models (non-finite weights, broken layer
+  // chaining) at the parse boundary; release callers opt in via ValidateMlp.
+  DNLR_RETURN_IF_ERROR(ValidateMlp(mlp));
+#endif
   return mlp;
 }
 

@@ -180,6 +180,9 @@ double Trainer::TrainWithSampler(Mlp* mlp, const BatchSampler& sampler,
       if (masks != nullptr) ApplyMasksToWeights(mlp, *masks);
     }
     last_epoch_mse = epoch_loss / steps_per_epoch;
+    // A NaN/Inf loss means training has already diverged; abort loudly
+    // instead of silently distilling a poisoned student.
+    DNLR_CHECK_FINITE(last_epoch_mse);
     if (config_.verbose) {
       std::fprintf(stderr, "[trainer] epoch %u lr %.2e mse %.6f\n", epoch, lr,
                    last_epoch_mse);

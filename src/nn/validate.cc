@@ -1,0 +1,94 @@
+#include "nn/validate.h"
+
+#include <string>
+
+namespace dnlr::nn {
+namespace {
+
+std::string LayerContext(uint32_t layer) {
+  return "layer[" + std::to_string(layer) + "]";
+}
+
+std::string Shape(uint32_t rows, uint32_t cols) {
+  return std::to_string(rows) + "x" + std::to_string(cols);
+}
+
+}  // namespace
+
+void ValidateMlp(const Mlp& mlp, validate::Checker checker) {
+  const predict::Architecture& arch = mlp.arch();
+  if (!checker.Check(mlp.num_layers() == arch.NumLayers(), "layers.count",
+                     std::to_string(mlp.num_layers()) + " layers for a " +
+                         std::to_string(arch.NumLayers()) +
+                         "-layer architecture")) {
+    return;
+  }
+  const auto shapes = arch.LayerShapes();
+  for (uint32_t l = 0; l < mlp.num_layers(); ++l) {
+    const LinearLayer& layer = mlp.layer(l);
+    validate::Checker at = checker.Nested(LayerContext(l));
+    const auto& [want_out, want_in] = shapes[l];
+    if (layer.out_dim() != want_out || layer.in_dim() != want_in) {
+      at.Fail("dims.chain",
+              "weight is " + Shape(layer.out_dim(), layer.in_dim()) +
+                  ", architecture requires " + Shape(want_out, want_in));
+      continue;  // Dependent size checks below would mislead.
+    }
+    at.Check(layer.bias.size() == layer.out_dim(), "bias.size",
+             std::to_string(layer.bias.size()) + " biases for " +
+                 std::to_string(layer.out_dim()) + " outputs");
+    validate::CheckAllFinite(layer.weight.data(), layer.weight.size(), at,
+                             "weights.finite");
+    validate::CheckAllFinite(layer.bias.data(), layer.bias.size(), at,
+                             "bias.finite");
+  }
+}
+
+Status ValidateMlp(const Mlp& mlp) {
+  validate::Report report;
+  ValidateMlp(mlp, validate::Checker(&report, "mlp"));
+  return report.ToStatus();
+}
+
+void ValidateMasks(const Mlp& mlp, const WeightMasks& masks,
+                   validate::Checker checker) {
+  if (!checker.Check(masks.size() == mlp.num_layers(), "masks.count",
+                     std::to_string(masks.size()) + " masks for " +
+                         std::to_string(mlp.num_layers()) + " layers")) {
+    return;
+  }
+  for (uint32_t l = 0; l < mlp.num_layers(); ++l) {
+    const mm::Matrix& mask = masks[l];
+    const mm::Matrix& weight = mlp.layer(l).weight;
+    validate::Checker at = checker.Nested(LayerContext(l));
+    if (!at.Check(mask.rows() == weight.rows() && mask.cols() == weight.cols(),
+                  "masks.shape",
+                  "mask is " + Shape(mask.rows(), mask.cols()) +
+                      ", weights are " + Shape(weight.rows(), weight.cols()))) {
+      continue;
+    }
+    for (size_t i = 0; i < mask.size(); ++i) {
+      const float m = mask.data()[i];
+      if (m != 0.0f && m != 1.0f) {
+        at.Fail("masks.binary", "mask element " + std::to_string(i) + " is " +
+                                    std::to_string(m));
+        break;
+      }
+      if (m == 0.0f && weight.data()[i] != 0.0f) {
+        at.Fail("masks.weight_agreement",
+                "element " + std::to_string(i) +
+                    " is masked out but has weight " +
+                    std::to_string(weight.data()[i]));
+        break;
+      }
+    }
+  }
+}
+
+Status ValidateMasks(const Mlp& mlp, const WeightMasks& masks) {
+  validate::Report report;
+  ValidateMasks(mlp, masks, validate::Checker(&report, "masks"));
+  return report.ToStatus();
+}
+
+}  // namespace dnlr::nn

@@ -1,0 +1,35 @@
+#ifndef DNLR_NN_VALIDATE_H_
+#define DNLR_NN_VALIDATE_H_
+
+#include "common/validate.h"
+#include "nn/mlp.h"
+#include "nn/trainer.h"
+
+namespace dnlr::nn {
+
+/// Structural validation of an MLP against its declared architecture.
+///
+/// Invariants checked (invariant names in parentheses):
+///  - the layer count matches the architecture (layers.count)
+///  - layer dimensions chain: layer 0 consumes input_dim, layer l consumes
+///    layer l-1's output, hidden widths match the architecture, and the
+///    final layer emits a single score (dims.chain)
+///  - each bias vector has out_dim entries (bias.size)
+///  - all weights and biases are finite (weights.finite, bias.finite)
+void ValidateMlp(const Mlp& mlp, validate::Checker checker);
+Status ValidateMlp(const Mlp& mlp);
+
+/// Validation of pruning masks against a model.
+///
+/// Invariants checked:
+///  - one mask per layer (masks.count), shaped like the layer (masks.shape)
+///  - mask entries are exactly 0 or 1 (masks.binary)
+///  - masked-out entries have weight exactly 0, i.e. the mask and the
+///    weights agree about what was pruned (masks.weight_agreement)
+void ValidateMasks(const Mlp& mlp, const WeightMasks& masks,
+                   validate::Checker checker);
+Status ValidateMasks(const Mlp& mlp, const WeightMasks& masks);
+
+}  // namespace dnlr::nn
+
+#endif  // DNLR_NN_VALIDATE_H_

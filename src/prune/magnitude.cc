@@ -27,7 +27,8 @@ void LevelPruneLayer(nn::Mlp* mlp, uint32_t layer, double target_sparsity,
   mm::Matrix& mask = (*masks)[layer];
 
   const size_t total = weight.size();
-  const auto target_zeros = static_cast<size_t>(target_sparsity * total);
+  const auto target_zeros =
+      static_cast<size_t>(target_sparsity * static_cast<double>(total));
 
   // Rank all entries by |w|; masked (already-zero) entries sort first, so
   // they are re-pruned for free and the mask only ever shrinks.
@@ -61,8 +62,9 @@ float LayerWeightStddev(const nn::Mlp& mlp, uint32_t layer,
     ++count;
   }
   if (count == 0) return 0.0f;
-  const double mean = sum / count;
-  const double var = std::max(0.0, sq / count - mean * mean);
+  const double mean = sum / static_cast<double>(count);
+  const double var =
+      std::max(0.0, sq / static_cast<double>(count) - mean * mean);
   return static_cast<float>(std::sqrt(var));
 }
 
@@ -71,7 +73,8 @@ float ThresholdPruneLayer(nn::Mlp* mlp, uint32_t layer, double sensitivity,
   DNLR_CHECK_LT(layer, mlp->num_layers());
   DNLR_CHECK_GT(sensitivity, 0.0);
   const float threshold = static_cast<float>(
-      sensitivity * LayerWeightStddev(*mlp, layer, *masks));
+      sensitivity *
+      static_cast<double>(LayerWeightStddev(*mlp, layer, *masks)));
   mm::Matrix& weight = mlp->layer(layer).weight;
   mm::Matrix& mask = (*masks)[layer];
   for (size_t i = 0; i < weight.size(); ++i) {

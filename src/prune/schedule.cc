@@ -35,8 +35,9 @@ nn::WeightMasks IterativePrune(nn::Mlp* mlp, const data::Dataset& raw_train,
   std::vector<float> thresholds(mlp->num_layers(), 0.0f);
   if (config.threshold_sensitivity > 0.0) {
     for (const uint32_t l : layers) {
-      thresholds[l] = static_cast<float>(config.threshold_sensitivity *
-                                         LayerWeightStddev(*mlp, l, masks));
+      thresholds[l] = static_cast<float>(
+          config.threshold_sensitivity *
+          static_cast<double>(LayerWeightStddev(*mlp, l, masks)));
     }
   }
 

@@ -81,7 +81,10 @@ class GemmShapeTest
 
 TEST_P(GemmShapeTest, MatchesReference) {
   const auto [m, k, n] = GetParam();
-  Rng rng(static_cast<uint64_t>(m * 73856093 + k * 19349663 + n * 83492791));
+  // Mix the shape into a seed in uint64 space: the products overflow int.
+  Rng rng(static_cast<uint64_t>(m) * 73856093u +
+          static_cast<uint64_t>(k) * 19349663u +
+          static_cast<uint64_t>(n) * 83492791u);
   Matrix a(m, k);
   Matrix b(k, n);
   a.FillNormal(rng);

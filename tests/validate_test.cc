@@ -1,0 +1,401 @@
+// Tests for the dnlr::validate invariant-checker layer: each test corrupts
+// one model substrate (CSR matrix, tree ensemble, MLP, LETOR dataset) in a
+// targeted way and asserts the matching validator pinpoints the violated
+// invariant by name; the final test checks a valid end-to-end pipeline's
+// artifacts pass every validator.
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/validate.h"
+#include "data/letor_io.h"
+#include "data/synthetic.h"
+#include "data/validate.h"
+#include "forest/validate.h"
+#include "gbdt/booster.h"
+#include "gbdt/validate.h"
+#include "mm/csr.h"
+#include "mm/validate.h"
+#include "nn/mlp.h"
+#include "nn/validate.h"
+#include "prune/magnitude.h"
+
+namespace dnlr {
+namespace {
+
+constexpr float kNan = std::numeric_limits<float>::quiet_NaN();
+
+validate::Checker RootChecker(validate::Report* report) {
+  return validate::Checker(report, "root");
+}
+
+// ---------------------------------------------------------------------------
+// Framework
+
+TEST(ValidationReportTest, FreshReportIsOk) {
+  validate::Report report;
+  EXPECT_TRUE(report.ok());
+  EXPECT_TRUE(report.ToStatus().ok());
+  EXPECT_EQ(report.ToString(), "validation OK");
+}
+
+TEST(ValidationReportTest, WarningsDoNotFail) {
+  validate::Report report;
+  RootChecker(&report).Warn("some.warning", "detail");
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.num_warnings(), 1u);
+  EXPECT_NE(report.ToString().find("some.warning"), std::string::npos);
+}
+
+TEST(ValidationReportTest, ErrorsFailAndNameTheInvariant) {
+  validate::Report report;
+  validate::Checker checker = RootChecker(&report).Nested("child[2]");
+  checker.Check(false, "bad.invariant", "value 7");
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.HasInvariant("bad.invariant"));
+  const Status status = report.ToStatus();
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(status.message().find("root.child[2]: bad.invariant"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// CSR
+
+std::vector<uint32_t> Offsets(std::initializer_list<uint32_t> v) { return v; }
+
+TEST(CsrValidatorTest, AcceptsMatrixFromDense) {
+  mm::Matrix dense({{1.0f, 0.0f, 2.0f}, {0.0f, 0.0f, 0.0f}, {0.5f, 3.0f, 0.0f}});
+  const Status status = mm::ValidateCsrMatrix(mm::CsrMatrix::FromDense(dense));
+  EXPECT_TRUE(status.ok()) << status.ToString();
+}
+
+TEST(CsrValidatorTest, DetectsNonMonotoneRowOffsets) {
+  validate::Report report;
+  const std::vector<uint32_t> cols = {0, 1, 0, 1};
+  const std::vector<float> vals = {1.0f, 2.0f, 3.0f, 4.0f};
+  mm::ValidateCsrArrays(3, 2, Offsets({0, 3, 2, 4}), cols, vals,
+                        RootChecker(&report));
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.HasInvariant("row_offsets.monotone"))
+      << report.ToString();
+}
+
+TEST(CsrValidatorTest, DetectsWrongOffsetArrayLength) {
+  validate::Report report;
+  mm::ValidateCsrArrays(3, 2, Offsets({0, 1}), {{0}}, {{1.0f}},
+                        RootChecker(&report));
+  EXPECT_TRUE(report.HasInvariant("row_offsets.size")) << report.ToString();
+}
+
+TEST(CsrValidatorTest, DetectsOutOfRangeColumn) {
+  validate::Report report;
+  mm::ValidateCsrArrays(2, 3, Offsets({0, 1, 2}), {{0, 9}}, {{1.0f, 2.0f}},
+                        RootChecker(&report));
+  EXPECT_TRUE(report.HasInvariant("col_index.in_range")) << report.ToString();
+}
+
+TEST(CsrValidatorTest, DetectsUnsortedColumns) {
+  validate::Report report;
+  mm::ValidateCsrArrays(1, 4, Offsets({0, 3}), {{2, 0, 3}},
+                        {{1.0f, 2.0f, 3.0f}}, RootChecker(&report));
+  EXPECT_TRUE(report.HasInvariant("col_index.sorted")) << report.ToString();
+}
+
+TEST(CsrValidatorTest, DetectsDuplicateColumn) {
+  validate::Report report;
+  mm::ValidateCsrArrays(1, 4, Offsets({0, 2}), {{1, 1}}, {{1.0f, 2.0f}},
+                        RootChecker(&report));
+  EXPECT_TRUE(report.HasInvariant("col_index.duplicate")) << report.ToString();
+}
+
+TEST(CsrValidatorTest, DetectsNnzMismatchAndNonFiniteValue) {
+  validate::Report report;
+  mm::ValidateCsrArrays(1, 4, Offsets({0, 2}), {{0, 1, 2}}, {{1.0f, kNan}},
+                        RootChecker(&report));
+  EXPECT_TRUE(report.HasInvariant("nnz.consistent")) << report.ToString();
+
+  validate::Report nan_report;
+  mm::ValidateCsrArrays(1, 4, Offsets({0, 2}), {{0, 1}}, {{1.0f, kNan}},
+                        RootChecker(&nan_report));
+  EXPECT_TRUE(nan_report.HasInvariant("values.finite"))
+      << nan_report.ToString();
+}
+
+TEST(CsrValidatorTest, WarnsOnExplicitZero) {
+  validate::Report report;
+  mm::ValidateCsrArrays(1, 2, Offsets({0, 1}), {{0}}, {{0.0f}},
+                        RootChecker(&report));
+  EXPECT_TRUE(report.ok());  // A warning, not an error.
+  EXPECT_TRUE(report.HasInvariant("values.nonzero")) << report.ToString();
+}
+
+// ---------------------------------------------------------------------------
+// Tree ensembles
+
+/// depth-2 tree: node0 -> (node1, leaf2); node1 -> (leaf0, leaf1).
+gbdt::RegressionTree SmallValidTree() {
+  std::vector<gbdt::TreeNode> nodes(2);
+  nodes[0] = {/*feature=*/0, /*threshold=*/0.5f, /*left=*/1,
+              gbdt::TreeNode::EncodeLeaf(2)};
+  nodes[1] = {/*feature=*/1, /*threshold=*/-1.0f,
+              gbdt::TreeNode::EncodeLeaf(0), gbdt::TreeNode::EncodeLeaf(1)};
+  return gbdt::RegressionTree(std::move(nodes), {1.0, 2.0, 3.0});
+}
+
+TEST(EnsembleValidatorTest, AcceptsValidEnsemble) {
+  gbdt::Ensemble ensemble(0.25);
+  ensemble.AddTree(SmallValidTree());
+  const Status status = gbdt::ValidateEnsemble(ensemble, /*num_features=*/2);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+}
+
+TEST(EnsembleValidatorTest, DetectsChildIndexOutOfRange) {
+  std::vector<gbdt::TreeNode> nodes(1);
+  nodes[0] = {0, 0.0f, /*left=*/7, gbdt::TreeNode::EncodeLeaf(1)};
+  gbdt::Ensemble ensemble;
+  ensemble.AddTree(gbdt::RegressionTree(std::move(nodes), {1.0, 2.0}));
+  validate::Report report;
+  gbdt::ValidateEnsemble(ensemble, 0, RootChecker(&report));
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.HasInvariant("child.in_range")) << report.ToString();
+}
+
+TEST(EnsembleValidatorTest, DetectsCyclicTopology) {
+  // node0 and node1 point at each other: a cycle, and leaf2 is orphaned.
+  std::vector<gbdt::TreeNode> nodes(2);
+  nodes[0] = {0, 0.0f, /*left=*/1, gbdt::TreeNode::EncodeLeaf(0)};
+  nodes[1] = {1, 0.0f, /*left=*/0, gbdt::TreeNode::EncodeLeaf(1)};
+  gbdt::Ensemble ensemble;
+  ensemble.AddTree(gbdt::RegressionTree(std::move(nodes), {1.0, 2.0, 3.0}));
+  validate::Report report;
+  gbdt::ValidateEnsemble(ensemble, 0, RootChecker(&report));
+  EXPECT_TRUE(report.HasInvariant("topology.acyclic")) << report.ToString();
+}
+
+TEST(EnsembleValidatorTest, DetectsWrongLeafCount) {
+  std::vector<gbdt::TreeNode> nodes(1);
+  nodes[0] = {0, 0.0f, gbdt::TreeNode::EncodeLeaf(0),
+              gbdt::TreeNode::EncodeLeaf(1)};
+  gbdt::Ensemble ensemble;
+  // One internal node needs two leaves; four were supplied.
+  ensemble.AddTree(
+      gbdt::RegressionTree(std::move(nodes), {1.0, 2.0, 3.0, 4.0}));
+  validate::Report report;
+  gbdt::ValidateEnsemble(ensemble, 0, RootChecker(&report));
+  EXPECT_TRUE(report.HasInvariant("leaves.count")) << report.ToString();
+}
+
+TEST(EnsembleValidatorTest, DetectsNonFiniteLeafValue) {
+  gbdt::Ensemble ensemble;
+  gbdt::RegressionTree tree = SmallValidTree();
+  tree.mutable_leaf_values()[1] = std::numeric_limits<double>::infinity();
+  ensemble.AddTree(std::move(tree));
+  validate::Report report;
+  gbdt::ValidateEnsemble(ensemble, 0, RootChecker(&report));
+  EXPECT_TRUE(report.HasInvariant("leaf_value.finite")) << report.ToString();
+}
+
+TEST(EnsembleValidatorTest, DetectsFeatureIdBeyondFeatureCount) {
+  gbdt::Ensemble ensemble;
+  ensemble.AddTree(SmallValidTree());  // References features 0 and 1.
+  validate::Report report;
+  gbdt::ValidateEnsemble(ensemble, /*num_features=*/1, RootChecker(&report));
+  EXPECT_TRUE(report.HasInvariant("feature.in_range")) << report.ToString();
+}
+
+TEST(QuickScorerValidatorTest, DetectsTooManyLeavesAndBadLeafOrder) {
+  // 65 leaves (64 internal nodes as a left spine) exceed the 64-bit word.
+  std::vector<gbdt::TreeNode> spine(64);
+  std::vector<double> leaves(65, 0.0);
+  for (uint32_t n = 0; n < 64; ++n) {
+    const int32_t left = n + 1 < 64
+                             ? static_cast<int32_t>(n + 1)
+                             : gbdt::TreeNode::EncodeLeaf(64);
+    spine[n] = {0, 0.0f, left, gbdt::TreeNode::EncodeLeaf(n)};
+  }
+  gbdt::Ensemble wide;
+  wide.AddTree(gbdt::RegressionTree(std::move(spine), std::move(leaves)));
+  validate::Report report;
+  forest::ValidateForQuickScorer(wide, /*num_features=*/1, /*max_leaves=*/64,
+                                 RootChecker(&report));
+  EXPECT_TRUE(report.HasInvariant("leaves.word_width")) << report.ToString();
+
+  // Swapped leaf numbering: in-order traversal hits leaf 1 before leaf 0.
+  std::vector<gbdt::TreeNode> nodes(1);
+  nodes[0] = {0, 0.0f, gbdt::TreeNode::EncodeLeaf(1),
+              gbdt::TreeNode::EncodeLeaf(0)};
+  gbdt::Ensemble swapped;
+  swapped.AddTree(gbdt::RegressionTree(std::move(nodes), {1.0, 2.0}));
+  validate::Report order_report;
+  forest::ValidateForQuickScorer(swapped, 1, 64, RootChecker(&order_report));
+  EXPECT_TRUE(order_report.HasInvariant("leaves.ordered"))
+      << order_report.ToString();
+}
+
+// ---------------------------------------------------------------------------
+// MLP + pruning masks
+
+nn::Mlp SmallMlp() {
+  return nn::Mlp(predict::Architecture(4, {3, 2}), /*seed=*/7);
+}
+
+TEST(MlpValidatorTest, AcceptsFreshNetwork) {
+  const Status status = nn::ValidateMlp(SmallMlp());
+  EXPECT_TRUE(status.ok()) << status.ToString();
+}
+
+TEST(MlpValidatorTest, DetectsNonFiniteWeight) {
+  nn::Mlp mlp = SmallMlp();
+  mlp.layer(1).weight.At(0, 0) = kNan;
+  validate::Report report;
+  nn::ValidateMlp(mlp, RootChecker(&report));
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.HasInvariant("weights.finite")) << report.ToString();
+}
+
+TEST(MlpValidatorTest, DetectsBrokenDimensionChain) {
+  nn::Mlp mlp = SmallMlp();
+  mlp.layer(1).weight = mm::Matrix(2, 5);  // Layer 0 emits 3, not 5.
+  validate::Report report;
+  nn::ValidateMlp(mlp, RootChecker(&report));
+  EXPECT_TRUE(report.HasInvariant("dims.chain")) << report.ToString();
+}
+
+TEST(MlpValidatorTest, DetectsBiasSizeMismatch) {
+  nn::Mlp mlp = SmallMlp();
+  mlp.layer(0).bias.push_back(0.0f);
+  validate::Report report;
+  nn::ValidateMlp(mlp, RootChecker(&report));
+  EXPECT_TRUE(report.HasInvariant("bias.size")) << report.ToString();
+}
+
+TEST(MaskValidatorTest, DetectsMaskWeightDisagreementAndNonBinaryMask) {
+  nn::Mlp mlp = SmallMlp();
+  nn::WeightMasks masks = prune::MakeDenseMasks(mlp);
+  masks[0].At(0, 0) = 0.0f;  // Masked out, but the weight stays non-zero.
+  validate::Report report;
+  nn::ValidateMasks(mlp, masks, RootChecker(&report));
+  EXPECT_TRUE(report.HasInvariant("masks.weight_agreement"))
+      << report.ToString();
+
+  masks[0].At(0, 0) = 0.5f;
+  validate::Report binary_report;
+  nn::ValidateMasks(mlp, masks, RootChecker(&binary_report));
+  EXPECT_TRUE(binary_report.HasInvariant("masks.binary"))
+      << binary_report.ToString();
+}
+
+// ---------------------------------------------------------------------------
+// Datasets
+
+TEST(DatasetValidatorTest, DetectsLabelOutOfRange) {
+  data::Dataset dataset(2);
+  dataset.BeginQuery(1);
+  dataset.AddDocument(std::vector<float>{1.0f, 2.0f}, /*label=*/7.0f);
+  validate::Report report;
+  data::ValidateDataset(dataset, RootChecker(&report));
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(report.HasInvariant("labels.range")) << report.ToString();
+}
+
+TEST(DatasetValidatorTest, DetectsNonFiniteFeature) {
+  data::Dataset dataset(2);
+  dataset.BeginQuery(1);
+  dataset.AddDocument(std::vector<float>{1.0f, kNan}, 1.0f);
+  validate::Report report;
+  data::ValidateDataset(dataset, RootChecker(&report));
+  EXPECT_TRUE(report.HasInvariant("features.finite")) << report.ToString();
+}
+
+TEST(DatasetValidatorTest, DetectsInterleavedQueryGroups) {
+  data::Dataset dataset(1);
+  dataset.BeginQuery(5);
+  dataset.AddDocument(std::vector<float>{1.0f}, 1.0f);
+  dataset.BeginQuery(6);
+  dataset.AddDocument(std::vector<float>{2.0f}, 0.0f);
+  dataset.BeginQuery(5);  // qid 5 again: the groups are interleaved.
+  dataset.AddDocument(std::vector<float>{3.0f}, 2.0f);
+  validate::Report report;
+  data::ValidateDataset(dataset, RootChecker(&report));
+  EXPECT_TRUE(report.HasInvariant("queries.contiguous")) << report.ToString();
+}
+
+TEST(DatasetValidatorTest, WarnsOnEmptyQuery) {
+  data::Dataset dataset(1);
+  dataset.BeginQuery(1);
+  dataset.AddDocument(std::vector<float>{1.0f}, 1.0f);
+  dataset.BeginQuery(2);  // No documents follow.
+  validate::Report report;
+  data::ValidateDataset(dataset, RootChecker(&report));
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  EXPECT_TRUE(report.HasInvariant("queries.empty")) << report.ToString();
+}
+
+#ifndef NDEBUG
+TEST(DatasetValidatorTest, DebugParseBoundaryRejectsBadLabels) {
+  // Debug builds run ValidateDataset automatically inside ParseLetor.
+  auto result = data::ParseLetor("9 qid:1 1:0.5\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("labels.range"),
+            std::string::npos)
+      << result.status().ToString();
+}
+#endif
+
+// ---------------------------------------------------------------------------
+// End-to-end: a real pipeline's artifacts pass every validator.
+
+TEST(EndToEndValidationTest, TrainedArtifactsPassAllValidators) {
+  data::SyntheticConfig config;
+  config.num_queries = 30;
+  config.min_docs_per_query = 5;
+  config.max_docs_per_query = 10;
+  config.num_features = 12;
+  config.seed = 11;
+  const data::Dataset dataset = data::GenerateSynthetic(config);
+  Status status = data::ValidateDataset(dataset);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+
+  gbdt::BoosterConfig booster_config;
+  booster_config.num_trees = 10;
+  booster_config.num_leaves = 8;
+  booster_config.min_docs_per_leaf = 5;
+  gbdt::Booster booster(booster_config);
+  const gbdt::Ensemble teacher = booster.TrainLambdaMart(dataset, nullptr);
+  status = gbdt::ValidateEnsemble(teacher, dataset.num_features());
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  status = forest::ValidateForQuickScorer(teacher, dataset.num_features());
+  EXPECT_TRUE(status.ok()) << status.ToString();
+
+  // The serialized form round-trips through the validating parse boundary.
+  auto reloaded = gbdt::Ensemble::Deserialize(teacher.Serialize());
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  status = gbdt::ValidateEnsemble(*reloaded, dataset.num_features());
+  EXPECT_TRUE(status.ok()) << status.ToString();
+
+  // A pruned student with its masks and the CSR form of its first layer.
+  nn::Mlp student(predict::Architecture(dataset.num_features(), {8, 4}),
+                  /*seed=*/3);
+  nn::WeightMasks masks = prune::MakeDenseMasks(student);
+  prune::LevelPruneLayer(&student, /*layer=*/0, /*target_sparsity=*/0.75,
+                         &masks);
+  status = nn::ValidateMlp(student);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  status = nn::ValidateMasks(student, masks);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  status = mm::ValidateCsrMatrix(
+      mm::CsrMatrix::FromDense(student.layer(0).weight));
+  EXPECT_TRUE(status.ok()) << status.ToString();
+
+  auto student_reloaded = nn::Mlp::Deserialize(student.Serialize());
+  ASSERT_TRUE(student_reloaded.ok()) << student_reloaded.status().ToString();
+  status = nn::ValidateMlp(*student_reloaded);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+}
+
+}  // namespace
+}  // namespace dnlr

@@ -8,6 +8,7 @@
 //   score         score a LETOR file with a saved model
 //   evaluate      NDCG@10 / NDCG / MAP of a saved model on a LETOR file
 //   predict-time  estimate an architecture's scoring time analytically
+//   validate      run the deep invariant validators on a model / data file
 //
 // Run `dnlr_cli <subcommand>` with no further arguments for usage.
 
@@ -23,6 +24,10 @@
 #include "core/timing.h"
 #include "data/letor_io.h"
 #include "data/synthetic.h"
+#include "data/validate.h"
+#include "forest/validate.h"
+#include "gbdt/validate.h"
+#include "nn/validate.h"
 #include "forest/quickscorer.h"
 #include "forest/vectorized_quickscorer.h"
 #include "forest/wide_quickscorer.h"
@@ -350,6 +355,79 @@ int CmdPredictTime(const Args& args) {
   return 0;
 }
 
+/// Prints a validation report with a `what: ` prefix; returns true when the
+/// report has no errors (warnings are printed but do not fail).
+bool PrintReport(const char* what, const dnlr::validate::Report& report) {
+  std::printf("%s: %s\n", what, report.ToString().c_str());
+  return report.ok();
+}
+
+int CmdValidate(const Args& args) {
+  if (!args.Has("model") && !args.Has("data")) {
+    std::fprintf(stderr, "validate needs --model and/or --data\n");
+    return 2;
+  }
+  const uint32_t features =
+      static_cast<uint32_t>(args.GetInt("features", 0));
+  bool ok = true;
+
+  if (args.Has("model")) {
+    const std::string path = args.Get("model", "");
+    std::ifstream probe(path);
+    std::string first_word;
+    if (!probe || !(probe >> first_word)) {
+      std::fprintf(stderr, "cannot read %s\n", path.c_str());
+      return 1;
+    }
+    if (first_word == "ensemble") {
+      auto model = gbdt::Ensemble::LoadFromFile(path);
+      if (!model.ok()) {
+        std::fprintf(stderr, "%s\n", model.status().ToString().c_str());
+        return 1;
+      }
+      validate::Report report;
+      gbdt::ValidateEnsemble(*model, features,
+                             validate::Checker(&report, "ensemble"));
+      ok = PrintReport("ensemble", report) && ok;
+      // QuickScorer eligibility is informational: wide/naive engines accept
+      // ensembles the single-word QuickScorer cannot handle.
+      validate::Report qs_report;
+      forest::ValidateForQuickScorer(*model, features, /*max_leaves=*/64,
+                                     validate::Checker(&qs_report, "ensemble"));
+      std::printf("quickscorer-eligible: %s\n",
+                  qs_report.ok() ? "yes" : qs_report.ToString().c_str());
+    } else if (first_word == "mlp") {
+      auto model = nn::Mlp::LoadFromFile(path);
+      if (!model.ok()) {
+        std::fprintf(stderr, "%s\n", model.status().ToString().c_str());
+        return 1;
+      }
+      validate::Report report;
+      nn::ValidateMlp(*model, validate::Checker(&report, "mlp"));
+      ok = PrintReport("mlp", report) && ok;
+    } else {
+      std::fprintf(stderr, "unrecognized model file %s (starts with '%s')\n",
+                   path.c_str(), first_word.c_str());
+      return 1;
+    }
+  }
+
+  if (args.Has("data")) {
+    auto dataset = data::ReadLetorFile(args.Get("data", ""));
+    if (!dataset.ok()) {
+      std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
+      return 1;
+    }
+    validate::Report report;
+    data::ValidateDataset(
+        *dataset, validate::Checker(&report, "dataset"),
+        static_cast<float>(args.GetDouble("max-label", 4.0)));
+    ok = PrintReport("dataset", report) && ok;
+  }
+
+  return ok ? 0 : 1;
+}
+
 int Usage() {
   std::fprintf(
       stderr,
@@ -364,7 +442,9 @@ int Usage() {
       "qs|vqs|wide|naive|dense|hybrid] [--time 1]\n"
       "  evaluate      --model M --data F [--engine ...]\n"
       "  predict-time  --arch AxBxC [--features K] [--batch N] [--sparsity "
-      "S]\n");
+      "S]\n"
+      "  validate      [--model M] [--data F] [--features K] [--max-label "
+      "L]\n");
   return 2;
 }
 
@@ -382,5 +462,6 @@ int main(int argc, char** argv) {
   if (command == "score") return CmdScore(args);
   if (command == "evaluate") return CmdEvaluate(args);
   if (command == "predict-time") return CmdPredictTime(args);
+  if (command == "validate") return CmdValidate(args);
   return Usage();
 }
