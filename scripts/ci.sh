@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Local CI gate: the release and asan-ubsan presets must build and pass
-# ctest with zero sanitizer reports. UBSan findings are fatal at runtime
-# (-fno-sanitize-recover=all) and ASan/LSan errors fail their process, so
-# any report fails its test; as a belt-and-braces measure the ctest log is
-# also grepped for report signatures afterwards.
+# ctest with zero sanitizer reports, and the tsan preset must pass the
+# `threaded` test subset (the serving engine's worker-pool tests) with zero
+# data-race reports. UBSan findings are fatal at runtime
+# (-fno-sanitize-recover=all) and ASan/LSan/TSan errors fail their process,
+# so any report fails its test; as a belt-and-braces measure the ctest logs
+# are also grepped for report signatures afterwards.
 #
 # Usage: scripts/ci.sh            (from anywhere; jobs via DNLR_JOBS)
 set -euo pipefail
@@ -11,11 +13,20 @@ cd "$(dirname "$0")/.."
 
 scripts/check.sh release asan-ubsan
 
-log="out/asan-ubsan/Testing/Temporary/LastTest.log"
-if [ -f "${log}" ] && grep -nE \
-    "ERROR: (Address|Leak|Thread|Memory)Sanitizer|runtime error:|SUMMARY: UndefinedBehaviorSanitizer" \
-    "${log}"; then
-  echo "ci.sh: sanitizer reports found in ${log}" >&2
-  exit 1
-fi
-echo "ci.sh: release + asan-ubsan green, no sanitizer reports"
+# The tsan preset is gated to the threaded label: TSan only pays off on
+# tests that actually run concurrent code, and the full suite under TSan's
+# 5-15x slowdown would dominate CI time.
+DNLR_TEST_ARGS="-L threaded" scripts/check.sh tsan
+
+fail=0
+for preset in asan-ubsan tsan; do
+  log="out/${preset}/Testing/Temporary/LastTest.log"
+  if [ -f "${log}" ] && grep -nE \
+      "ERROR: (Address|Leak|Thread|Memory)Sanitizer|WARNING: ThreadSanitizer|runtime error:|SUMMARY: UndefinedBehaviorSanitizer" \
+      "${log}"; then
+    echo "ci.sh: sanitizer reports found in ${log}" >&2
+    fail=1
+  fi
+done
+[ "${fail}" -eq 0 ] || exit 1
+echo "ci.sh: release + asan-ubsan + tsan(threaded) green, no sanitizer reports"

@@ -1,0 +1,53 @@
+#ifndef DNLR_COMMON_CLOCK_H_
+#define DNLR_COMMON_CLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace dnlr {
+
+/// Monotonic time source behind every deadline computation in serve/. The
+/// indirection exists so tests can drive time by hand: a FakeClock makes
+/// timeouts, retry backoff and circuit-breaker reopening deterministic (and
+/// instant in wall time).
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Monotonic timestamp in microseconds. Only differences are meaningful;
+  /// the epoch is unspecified.
+  virtual uint64_t NowMicros() const = 0;
+
+  /// Blocks the calling thread for roughly `micros`. A FakeClock advances
+  /// its time instead of sleeping, so injected latency and backoff cost no
+  /// wall time in tests.
+  virtual void SleepMicros(uint64_t micros) = 0;
+
+  /// Process-wide steady_clock-backed instance. Never null; not owned.
+  static Clock* Real();
+};
+
+/// Manually driven clock for tests. SleepMicros advances time, so code that
+/// "waits" under a FakeClock returns immediately having consumed the fake
+/// budget — which is exactly how a stuck worker is simulated.
+class FakeClock : public Clock {
+ public:
+  explicit FakeClock(uint64_t start_micros = 0) : now_(start_micros) {}
+
+  uint64_t NowMicros() const override {
+    return now_.load(std::memory_order_relaxed);
+  }
+  void SleepMicros(uint64_t micros) override { AdvanceMicros(micros); }
+
+  /// Moves time forward. Visible to every thread reading this clock.
+  void AdvanceMicros(uint64_t micros) {
+    now_.fetch_add(micros, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t> now_;
+};
+
+}  // namespace dnlr
+
+#endif  // DNLR_COMMON_CLOCK_H_

@@ -1,0 +1,27 @@
+#include "common/file_util.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace dnlr {
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  // An ifstream on a directory opens successfully on POSIX but every read
+  // fails, which the rdbuf-insertion below reports identically to an empty
+  // file; reject directories explicitly instead.
+  std::error_code ec;
+  if (std::filesystem::is_directory(path, ec)) {
+    return Status::IoError("'" + path + "' is a directory");
+  }
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return Status::IoError("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  if (file.bad() || buffer.bad()) {
+    return Status::IoError("read of '" + path + "' failed");
+  }
+  return std::move(buffer).str();
+}
+
+}  // namespace dnlr

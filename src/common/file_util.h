@@ -1,0 +1,20 @@
+#ifndef DNLR_COMMON_FILE_UTIL_H_
+#define DNLR_COMMON_FILE_UTIL_H_
+
+#include <string>
+
+#include "common/status.h"
+
+namespace dnlr {
+
+/// Reads a whole file into memory. Unlike a bare ifstream + rdbuf chain,
+/// this surfaces every failure mode as a Status instead of silently
+/// returning an empty or truncated buffer: a missing or unreadable path and
+/// a directory both yield IoError, as does a read error partway through
+/// (which would otherwise hand a silently truncated model or dataset to the
+/// parsers). An empty regular file reads as an empty string.
+Result<std::string> ReadFileToString(const std::string& path);
+
+}  // namespace dnlr
+
+#endif  // DNLR_COMMON_FILE_UTIL_H_

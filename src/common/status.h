@@ -21,6 +21,11 @@ enum class StatusCode {
   kOutOfRange,
   kUnimplemented,
   kInternal,
+  /// A bounded resource (serving queue, worker pool) is full and the
+  /// operation was shed rather than queued indefinitely.
+  kResourceExhausted,
+  /// The request's deadline passed before (or while) the operation ran.
+  kDeadlineExceeded,
 };
 
 /// Returns a human-readable name for `code` ("OK", "INVALID_ARGUMENT", ...).
@@ -60,6 +65,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,12 +1,32 @@
 #include "core/cascade.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <numeric>
 
 #include "common/check.h"
 
 namespace dnlr::core {
+namespace {
+
+/// Finite stand-in for a non-finite stage score: large and negative so the
+/// affected document sinks to the bottom of the ranking, but far from the
+/// float range's edge so downstream shift arithmetic cannot overflow.
+constexpr float kSanitizedScore = -1e30f;
+
+uint64_t SanitizeScores(float* scores, uint32_t count) {
+  uint64_t replaced = 0;
+  for (uint32_t i = 0; i < count; ++i) {
+    if (!std::isfinite(scores[i])) {
+      scores[i] = kSanitizedScore;
+      ++replaced;
+    }
+  }
+  return replaced;
+}
+
+}  // namespace
 
 CascadeScorer::CascadeScorer(const forest::DocumentScorer* first_stage,
                              const forest::DocumentScorer* second_stage,
@@ -24,12 +44,20 @@ void CascadeScorer::Score(const float* docs, uint32_t count, uint32_t stride,
                           float* out) const {
   if (count == 0) return;
   first_stage_->Score(docs, count, stride, out);
+  // Sanitize before any comparison: a NaN inside the partial_sort comparator
+  // would violate strict weak ordering (undefined behaviour), and a NaN in
+  // the output would poison the ranking silently.
+  uint64_t sanitized = SanitizeScores(out, count);
 
   const auto keep = std::max<uint32_t>(
       1, static_cast<uint32_t>(rescore_fraction_ * count + 0.5));
   if (keep >= count) {
     second_stage_->Score(docs, count, stride, out);
-    last_rescored_fraction_ = 1.0;
+    sanitized += SanitizeScores(out, count);
+    if (sanitized > 0) {
+      sanitized_.fetch_add(sanitized, std::memory_order_relaxed);
+    }
+    last_rescored_fraction_.store(1.0, std::memory_order_relaxed);
     return;
   }
 
@@ -47,6 +75,10 @@ void CascadeScorer::Score(const float* docs, uint32_t count, uint32_t stride,
   }
   std::vector<float> rescored(keep);
   second_stage_->Score(gathered.data(), keep, stride, rescored.data());
+  sanitized += SanitizeScores(rescored.data(), keep);
+  if (sanitized > 0) {
+    sanitized_.fetch_add(sanitized, std::memory_order_relaxed);
+  }
 
   // Keep the cascade cut: every rescored document must stay above every
   // non-rescored one, so shift the second-stage scores above the tail's
@@ -65,7 +97,8 @@ void CascadeScorer::Score(const float* docs, uint32_t count, uint32_t stride,
   for (uint32_t r = 0; r < keep; ++r) {
     out[order[r]] = rescored[r] + shift;
   }
-  last_rescored_fraction_ = static_cast<double>(keep) / count;
+  last_rescored_fraction_.store(static_cast<double>(keep) / count,
+                                std::memory_order_relaxed);
 }
 
 std::vector<float> CascadeScorer::ScoreQueries(
@@ -77,10 +110,11 @@ std::vector<float> CascadeScorer::ScoreQueries(
     const uint32_t size = dataset.QuerySize(q);
     Score(dataset.Row(begin), size, dataset.num_features(),
           scores.data() + begin);
-    rescored += last_rescored_fraction_ * size;
+    rescored += last_rescored_fraction() * size;
   }
-  last_rescored_fraction_ =
-      dataset.num_docs() > 0 ? rescored / dataset.num_docs() : 0.0;
+  last_rescored_fraction_.store(
+      dataset.num_docs() > 0 ? rescored / dataset.num_docs() : 0.0,
+      std::memory_order_relaxed);
   return scores;
 }
 

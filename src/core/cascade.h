@@ -1,6 +1,7 @@
 #ifndef DNLR_CORE_CASCADE_H_
 #define DNLR_CORE_CASCADE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -20,6 +21,13 @@ namespace dnlr::core {
 /// model's NDCG@k at a fraction of its cost — the classic multi-stage
 /// ranking architecture of web search (Section 1's latency-bound query
 /// processors).
+///
+/// Robustness: non-finite stage outputs (NaN/Inf from a numerically
+/// misbehaving stage) are sanitized to a large negative finite value before
+/// any comparison — NaN in the sort comparator would break strict weak
+/// ordering — so affected documents sink to the bottom of the ranking and
+/// the cascade always emits finite scores. Safe for concurrent Score calls
+/// (the diagnostic counters are atomic).
 class CascadeScorer : public forest::DocumentScorer {
  public:
   /// Neither scorer is owned; both must outlive the cascade.
@@ -42,13 +50,21 @@ class CascadeScorer : public forest::DocumentScorer {
 
   /// Fraction of documents the expensive stage actually scored in the last
   /// ScoreQueries call.
-  double last_rescored_fraction() const { return last_rescored_fraction_; }
+  double last_rescored_fraction() const {
+    return last_rescored_fraction_.load(std::memory_order_relaxed);
+  }
+
+  /// Total number of non-finite stage scores replaced since construction.
+  uint64_t sanitized_count() const {
+    return sanitized_.load(std::memory_order_relaxed);
+  }
 
  private:
   const forest::DocumentScorer* first_stage_;
   const forest::DocumentScorer* second_stage_;
   double rescore_fraction_;
-  mutable double last_rescored_fraction_ = 0.0;
+  mutable std::atomic<double> last_rescored_fraction_{0.0};
+  mutable std::atomic<uint64_t> sanitized_{0};
 };
 
 }  // namespace dnlr::core

@@ -4,6 +4,7 @@
 #include <sstream>
 #include <vector>
 
+#include "common/file_util.h"
 #include "common/string_util.h"
 #include "data/validate.h"
 
@@ -115,11 +116,9 @@ Result<Dataset> ParseLetor(const std::string& text, uint32_t num_features) {
 }
 
 Result<Dataset> ReadLetorFile(const std::string& path, uint32_t num_features) {
-  std::ifstream file(path);
-  if (!file) return Status::IoError("cannot open '" + path + "'");
-  std::ostringstream buffer;
-  buffer << file.rdbuf();
-  return ParseLetor(buffer.str(), num_features);
+  Result<std::string> text = ReadFileToString(path);
+  if (!text.ok()) return text.status();
+  return ParseLetor(*text, num_features);
 }
 
 std::string ToLetorString(const Dataset& dataset) {

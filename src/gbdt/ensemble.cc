@@ -5,6 +5,7 @@
 #include <set>
 #include <sstream>
 
+#include "common/file_util.h"
 #include "gbdt/validate.h"
 
 namespace dnlr::gbdt {
@@ -122,11 +123,9 @@ Status Ensemble::SaveToFile(const std::string& path) const {
 }
 
 Result<Ensemble> Ensemble::LoadFromFile(const std::string& path) {
-  std::ifstream file(path);
-  if (!file) return Status::IoError("cannot open '" + path + "'");
-  std::ostringstream buffer;
-  buffer << file.rdbuf();
-  return Deserialize(buffer.str());
+  Result<std::string> text = ReadFileToString(path);
+  if (!text.ok()) return text.status();
+  return Deserialize(*text);
 }
 
 }  // namespace dnlr::gbdt

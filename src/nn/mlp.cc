@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/file_util.h"
 #include "nn/validate.h"
 
 namespace dnlr::nn {
@@ -147,11 +148,9 @@ Status Mlp::SaveToFile(const std::string& path) const {
 }
 
 Result<Mlp> Mlp::LoadFromFile(const std::string& path) {
-  std::ifstream file(path);
-  if (!file) return Status::IoError("cannot open '" + path + "'");
-  std::ostringstream buffer;
-  buffer << file.rdbuf();
-  return Deserialize(buffer.str());
+  Result<std::string> text = ReadFileToString(path);
+  if (!text.ok()) return text.status();
+  return Deserialize(*text);
 }
 
 }  // namespace dnlr::nn

@@ -1,0 +1,83 @@
+#ifndef DNLR_SERVE_COUNTERS_H_
+#define DNLR_SERVE_COUNTERS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace dnlr::serve {
+
+/// Point-in-time copy of the engine's counters, safe to read and serialize.
+struct ServeCountersSnapshot {
+  uint64_t submitted = 0;
+  uint64_t ok = 0;
+  uint64_t shed_queue_full = 0;      // rejected at Submit: queue at capacity
+  uint64_t shed_deadline = 0;        // rejected unstarted: deadline hopeless
+  uint64_t deadline_exceeded = 0;    // started but ran out of budget
+  uint64_t failed = 0;               // every available rung faulted
+  uint64_t degraded = 0;             // served below the strongest feasible rung
+  uint64_t retries = 0;
+  uint64_t transient_faults = 0;
+  uint64_t timeouts = 0;             // a rung finished past the deadline
+  uint64_t non_finite_batches = 0;   // rung output rejected for NaN/Inf
+  uint64_t circuit_opens = 0;
+  uint64_t circuit_closes = 0;
+  uint64_t circuit_probes = 0;
+  std::vector<uint64_t> served_by_rung;
+};
+
+/// Lock-free counters updated by worker threads and read by anyone.
+/// Relaxed ordering throughout: each counter is an independent statistic,
+/// not a synchronization point.
+class ServeCounters {
+ public:
+  explicit ServeCounters(size_t num_rungs) : served_by_rung(num_rungs) {}
+
+  ServeCounters(const ServeCounters&) = delete;
+  ServeCounters& operator=(const ServeCounters&) = delete;
+
+  ServeCountersSnapshot Snapshot() const {
+    ServeCountersSnapshot snap;
+    snap.submitted = submitted.load(std::memory_order_relaxed);
+    snap.ok = ok.load(std::memory_order_relaxed);
+    snap.shed_queue_full = shed_queue_full.load(std::memory_order_relaxed);
+    snap.shed_deadline = shed_deadline.load(std::memory_order_relaxed);
+    snap.deadline_exceeded =
+        deadline_exceeded.load(std::memory_order_relaxed);
+    snap.failed = failed.load(std::memory_order_relaxed);
+    snap.degraded = degraded.load(std::memory_order_relaxed);
+    snap.retries = retries.load(std::memory_order_relaxed);
+    snap.transient_faults = transient_faults.load(std::memory_order_relaxed);
+    snap.timeouts = timeouts.load(std::memory_order_relaxed);
+    snap.non_finite_batches =
+        non_finite_batches.load(std::memory_order_relaxed);
+    snap.circuit_opens = circuit_opens.load(std::memory_order_relaxed);
+    snap.circuit_closes = circuit_closes.load(std::memory_order_relaxed);
+    snap.circuit_probes = circuit_probes.load(std::memory_order_relaxed);
+    snap.served_by_rung.reserve(served_by_rung.size());
+    for (const auto& c : served_by_rung) {
+      snap.served_by_rung.push_back(c.load(std::memory_order_relaxed));
+    }
+    return snap;
+  }
+
+  std::atomic<uint64_t> submitted{0};
+  std::atomic<uint64_t> ok{0};
+  std::atomic<uint64_t> shed_queue_full{0};
+  std::atomic<uint64_t> shed_deadline{0};
+  std::atomic<uint64_t> deadline_exceeded{0};
+  std::atomic<uint64_t> failed{0};
+  std::atomic<uint64_t> degraded{0};
+  std::atomic<uint64_t> retries{0};
+  std::atomic<uint64_t> transient_faults{0};
+  std::atomic<uint64_t> timeouts{0};
+  std::atomic<uint64_t> non_finite_batches{0};
+  std::atomic<uint64_t> circuit_opens{0};
+  std::atomic<uint64_t> circuit_closes{0};
+  std::atomic<uint64_t> circuit_probes{0};
+  std::vector<std::atomic<uint64_t>> served_by_rung;
+};
+
+}  // namespace dnlr::serve
+
+#endif  // DNLR_SERVE_COUNTERS_H_

@@ -1,0 +1,71 @@
+#ifndef DNLR_SERVE_DEADLINE_H_
+#define DNLR_SERVE_DEADLINE_H_
+
+#include <cstdint>
+#include <limits>
+
+#include "common/clock.h"
+
+namespace dnlr::serve {
+
+/// An absolute point on a Clock's timeline by which a request must be
+/// answered. Deadlines are absolute (not budgets) so queue wait, retries and
+/// backoff all consume the same allowance — the paper's latency-bound query
+/// processor has one per-query budget, not one per stage.
+class Deadline {
+ public:
+  /// Default-constructed deadlines never expire.
+  Deadline() : deadline_micros_(kInfiniteMicros) {}
+
+  static Deadline Infinite() { return Deadline(); }
+
+  /// Deadline at an absolute clock timestamp.
+  static Deadline AtMicros(uint64_t absolute_micros) {
+    Deadline d;
+    d.deadline_micros_ = absolute_micros;
+    return d;
+  }
+
+  /// Deadline `budget_micros` from now on `clock` (saturating: a budget
+  /// that would overflow the timeline is treated as infinite).
+  static Deadline AfterMicros(const Clock& clock, uint64_t budget_micros) {
+    const uint64_t now = clock.NowMicros();
+    if (budget_micros >= kInfiniteMicros - now) return Infinite();
+    return AtMicros(now + budget_micros);
+  }
+
+  bool IsInfinite() const { return deadline_micros_ == kInfiniteMicros; }
+  uint64_t micros() const { return deadline_micros_; }
+
+  /// Microseconds left before expiry; negative once past the deadline,
+  /// clamped to the int64 range. Infinite deadlines report int64 max.
+  int64_t RemainingMicros(const Clock& clock) const {
+    if (IsInfinite()) return std::numeric_limits<int64_t>::max();
+    const uint64_t now = clock.NowMicros();
+    constexpr auto kMax =
+        static_cast<uint64_t>(std::numeric_limits<int64_t>::max());
+    if (deadline_micros_ >= now) {
+      const uint64_t left = deadline_micros_ - now;
+      return left > kMax ? std::numeric_limits<int64_t>::max()
+                         : static_cast<int64_t>(left);
+    }
+    const uint64_t past = now - deadline_micros_;
+    return past > kMax ? std::numeric_limits<int64_t>::min()
+                       : -static_cast<int64_t>(past);
+  }
+
+  /// True once no budget remains (a zero-budget deadline is born expired).
+  bool Expired(const Clock& clock) const {
+    return RemainingMicros(clock) <= 0;
+  }
+
+ private:
+  static constexpr uint64_t kInfiniteMicros =
+      std::numeric_limits<uint64_t>::max();
+
+  uint64_t deadline_micros_;
+};
+
+}  // namespace dnlr::serve
+
+#endif  // DNLR_SERVE_DEADLINE_H_

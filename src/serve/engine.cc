@@ -1,0 +1,307 @@
+#include "serve/engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace dnlr::serve {
+namespace {
+
+bool AllFinite(const std::vector<float>& scores) {
+  for (const float s : scores) {
+    if (!std::isfinite(s)) return false;
+  }
+  return true;
+}
+
+void Bump(std::atomic<uint64_t>& counter) {
+  counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+ServingEngine::ServingEngine(const DegradationLadder* ladder,
+                             ServingConfig config, Clock* clock)
+    : ladder_(ladder),
+      config_(config),
+      clock_(clock),
+      counters_(ladder == nullptr ? 0 : ladder->num_rungs()),
+      latencies_(ladder == nullptr ? 0 : ladder->num_rungs()) {
+  DNLR_CHECK(ladder_ != nullptr);
+  DNLR_CHECK(clock_ != nullptr);
+  DNLR_CHECK_GE(ladder_->num_rungs(), 1u);
+  DNLR_CHECK_GE(config_.num_workers, 1u);
+  DNLR_CHECK_GE(config_.queue_capacity, 1u);
+  DNLR_CHECK_GT(config_.safety_factor, 0.0);
+  DNLR_CHECK_GE(config_.max_attempts_per_rung, 1u);
+  breakers_.resize(ladder_->num_rungs());
+  workers_.reserve(config_.num_workers);
+  for (uint32_t w = 0; w < config_.num_workers; ++w) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ServingEngine::~ServingEngine() { Stop(); }
+
+void ServingEngine::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+std::future<ServeResponse> ServingEngine::Submit(const ServeRequest& request) {
+  Bump(counters_.submitted);
+  std::promise<ServeResponse> promise;
+  std::future<ServeResponse> future = promise.get_future();
+
+  if (request.docs == nullptr && request.count > 0) {
+    ServeResponse resp;
+    resp.status = Status::InvalidArgument("null docs with count > 0");
+    promise.set_value(std::move(resp));
+    return future;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (stopping_) {
+      ServeResponse resp;
+      resp.status = Status::ResourceExhausted("serving engine is stopped");
+      promise.set_value(std::move(resp));
+      return future;
+    }
+    if (queue_.size() >= config_.queue_capacity) {
+      Bump(counters_.shed_queue_full);
+      ServeResponse resp;
+      resp.status = Status::ResourceExhausted(
+          "serving queue full (capacity " +
+          std::to_string(config_.queue_capacity) + ")");
+      promise.set_value(std::move(resp));
+      return future;
+    }
+    queue_.push_back(
+        QueueItem{request, std::move(promise), clock_->NowMicros()});
+  }
+  queue_cv_.notify_one();
+  return future;
+}
+
+ServeResponse ServingEngine::ScoreSync(const float* docs, uint32_t count,
+                                       uint32_t stride,
+                                       uint64_t budget_micros) {
+  ServeRequest request;
+  request.docs = docs;
+  request.count = count;
+  request.stride = stride;
+  request.deadline = Deadline::AfterMicros(*clock_, budget_micros);
+  return Submit(request).get();
+}
+
+void ServingEngine::WorkerLoop() {
+  for (;;) {
+    QueueItem item;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and fully drained
+      item = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    item.promise.set_value(Process(item.request, item.enqueue_micros));
+  }
+}
+
+ServeResponse ServingEngine::Process(const ServeRequest& request,
+                                     uint64_t enqueue_micros) {
+  ServeResponse resp;
+  resp.scores.assign(request.count, 0.0f);
+  const uint64_t start = clock_->NowMicros();
+  resp.queue_micros = start - enqueue_micros;
+
+  const size_t num_rungs = ladder_->num_rungs();
+  const auto remaining = [&]() -> int64_t {
+    return request.deadline.RemainingMicros(*clock_);
+  };
+
+  const int64_t initial_remaining = remaining();
+  if (initial_remaining <= 0) {
+    Bump(counters_.shed_deadline);
+    resp.status =
+        Status::DeadlineExceeded("deadline expired before scoring started");
+    resp.scores.clear();  // a non-OK response carries no scores
+    resp.total_micros = clock_->NowMicros() - start;
+    return resp;
+  }
+
+  // Strongest rung that fits the initial budget irrespective of breaker
+  // state: the reference point for the degraded flag.
+  const int strongest_feasible =
+      ladder_->PickRung(static_cast<double>(initial_remaining), request.count,
+                        config_.safety_factor);
+  if (strongest_feasible < 0) {
+    // Even the cheapest rung cannot fit: shed instead of starting work that
+    // is doomed to miss its deadline.
+    Bump(counters_.shed_deadline);
+    resp.status = Status::DeadlineExceeded(
+        "budget of " + std::to_string(initial_remaining) +
+        " us cannot fit the cheapest rung");
+    resp.scores.clear();
+    resp.total_micros = clock_->NowMicros() - start;
+    return resp;
+  }
+
+  bool attempted_any = false;
+  for (size_t r = static_cast<size_t>(strongest_feasible); r < num_rungs;
+       ++r) {
+    const int64_t rung_budget = remaining();
+    if (rung_budget <= 0) break;
+    if (ladder_->PredictedBatchMicros(r, request.count,
+                                      config_.safety_factor) >
+        static_cast<double>(rung_budget)) {
+      continue;  // this rung no longer fits what is left
+    }
+    if (!AcquireRung(r, clock_->NowMicros())) continue;  // quarantined
+
+    for (uint32_t attempt = 0;; ++attempt) {
+      const Status status = ladder_->rung(r).scorer->TryScore(
+          request.docs, request.count, request.stride, resp.scores.data());
+      const uint64_t now = clock_->NowMicros();
+      const bool past_deadline = request.deadline.Expired(*clock_);
+      attempted_any = true;
+
+      if (!status.ok()) {
+        Bump(counters_.transient_faults);
+        OnRungFault(r, now);
+        if (past_deadline || attempt + 1 >= config_.max_attempts_per_rung) {
+          break;  // next rung down
+        }
+        uint64_t backoff = config_.retry_backoff_micros
+                           << std::min<uint32_t>(attempt, 20);
+        backoff = std::min(backoff, config_.max_backoff_micros);
+        const int64_t left = remaining();
+        if (left <= 0 || backoff >= static_cast<uint64_t>(left)) {
+          break;  // not enough budget to wait out a retry
+        }
+        clock_->SleepMicros(backoff);
+        Bump(counters_.retries);
+        ++resp.retries;
+        // Our own fault may just have opened this rung's breaker.
+        if (!AcquireRung(r, clock_->NowMicros())) break;
+        continue;
+      }
+
+      if (past_deadline) {
+        // The rung finished, but too late to be useful: a slow rung is a
+        // faulty rung as far as the breaker is concerned.
+        Bump(counters_.timeouts);
+        OnRungFault(r, now);
+        break;
+      }
+      if (!AllFinite(resp.scores)) {
+        // Never propagate NaN/Inf; fall to the next rung instead.
+        Bump(counters_.non_finite_batches);
+        OnRungFault(r, now);
+        break;
+      }
+
+      OnRungSuccess(r);
+      resp.status = Status::Ok();
+      resp.rung = static_cast<int>(r);
+      resp.rung_name = ladder_->rung(r).name;
+      resp.degraded = static_cast<int>(r) != strongest_feasible;
+      Bump(counters_.ok);
+      Bump(counters_.served_by_rung[r]);
+      if (resp.degraded) Bump(counters_.degraded);
+      resp.total_micros = clock_->NowMicros() - start;
+      latencies_.Record(r, static_cast<double>(resp.total_micros));
+      return resp;
+    }
+  }
+
+  resp.scores.clear();  // partial output from a faulted rung must not leak
+  resp.total_micros = clock_->NowMicros() - start;
+  if (remaining() <= 0) {
+    Bump(counters_.deadline_exceeded);
+    resp.status = Status::DeadlineExceeded(
+        "budget exhausted after " + std::to_string(resp.total_micros) +
+        " us without a successful rung");
+  } else if (attempted_any) {
+    Bump(counters_.failed);
+    resp.status = Status::Internal("every available rung faulted");
+  } else {
+    Bump(counters_.shed_deadline);
+    resp.status = Status::DeadlineExceeded(
+        "no rung available within the remaining budget");
+  }
+  return resp;
+}
+
+CircuitState ServingEngine::rung_state(size_t i) const {
+  std::lock_guard<std::mutex> lock(breaker_mu_);
+  return breakers_[i].state;
+}
+
+bool ServingEngine::AcquireRung(size_t i, uint64_t now_micros) {
+  if (i + 1 == ladder_->num_rungs()) return true;  // floor: always answers
+  std::lock_guard<std::mutex> lock(breaker_mu_);
+  Breaker& breaker = breakers_[i];
+  switch (breaker.state) {
+    case CircuitState::kClosed:
+      return true;
+    case CircuitState::kOpen:
+      if (now_micros >= breaker.open_until_micros) {
+        breaker.state = CircuitState::kHalfOpen;
+        breaker.probe_in_flight = true;
+        Bump(counters_.circuit_probes);
+        return true;
+      }
+      return false;
+    case CircuitState::kHalfOpen:
+      if (!breaker.probe_in_flight) {
+        breaker.probe_in_flight = true;
+        Bump(counters_.circuit_probes);
+        return true;
+      }
+      return false;
+  }
+  return false;
+}
+
+void ServingEngine::OnRungSuccess(size_t i) {
+  if (i + 1 == ladder_->num_rungs()) return;
+  std::lock_guard<std::mutex> lock(breaker_mu_);
+  Breaker& breaker = breakers_[i];
+  breaker.consecutive_failures = 0;
+  if (breaker.state == CircuitState::kHalfOpen) {
+    breaker.state = CircuitState::kClosed;
+    breaker.probe_in_flight = false;
+    Bump(counters_.circuit_closes);
+  }
+}
+
+void ServingEngine::OnRungFault(size_t i, uint64_t now_micros) {
+  if (i + 1 == ladder_->num_rungs()) return;
+  std::lock_guard<std::mutex> lock(breaker_mu_);
+  Breaker& breaker = breakers_[i];
+  ++breaker.consecutive_failures;
+  if (breaker.state == CircuitState::kHalfOpen) {
+    // Failed probe: back to quarantine for another full window.
+    breaker.state = CircuitState::kOpen;
+    breaker.open_until_micros = now_micros + config_.circuit_open_micros;
+    breaker.probe_in_flight = false;
+    Bump(counters_.circuit_opens);
+  } else if (breaker.state == CircuitState::kClosed &&
+             breaker.consecutive_failures >= config_.circuit_failure_threshold) {
+    breaker.state = CircuitState::kOpen;
+    breaker.open_until_micros = now_micros + config_.circuit_open_micros;
+    Bump(counters_.circuit_opens);
+  }
+}
+
+}  // namespace dnlr::serve

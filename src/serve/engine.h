@@ -1,0 +1,158 @@
+#ifndef DNLR_SERVE_ENGINE_H_
+#define DNLR_SERVE_ENGINE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "serve/counters.h"
+#include "serve/deadline.h"
+#include "serve/ladder.h"
+#include "serve/latency.h"
+
+namespace dnlr::serve {
+
+/// One scoring request: a query's candidate documents plus the deadline by
+/// which the caller needs scores. The feature memory is borrowed and must
+/// stay valid until the response future resolves.
+struct ServeRequest {
+  const float* docs = nullptr;
+  uint32_t count = 0;
+  uint32_t stride = 0;
+  Deadline deadline;
+};
+
+/// The engine's answer. `rung` stamps which ladder rung actually served the
+/// request (-1 when none did); `degraded` marks responses served below the
+/// strongest rung that fit the original budget — the signal a production
+/// system alerts on when the degradation rate climbs.
+struct ServeResponse {
+  Status status;
+  std::vector<float> scores;
+  int rung = -1;
+  std::string rung_name;
+  bool degraded = false;
+  uint32_t retries = 0;
+  uint64_t queue_micros = 0;
+  uint64_t total_micros = 0;
+};
+
+struct ServingConfig {
+  uint32_t num_workers = 4;
+  /// Requests beyond this many waiting are shed with ResourceExhausted
+  /// rather than queued into certain deadline misses (load shedding).
+  uint32_t queue_capacity = 64;
+  /// Budget margin: a rung is considered to fit when predicted cost times
+  /// this factor is within the remaining budget. >1 absorbs predictor error.
+  double safety_factor = 1.5;
+  /// Attempts per rung on transient faults (1 = no retry).
+  uint32_t max_attempts_per_rung = 3;
+  /// Backoff before retry r is retry_backoff_micros << (r-1), capped at
+  /// max_backoff_micros, and always bounded by the remaining budget.
+  uint64_t retry_backoff_micros = 100;
+  uint64_t max_backoff_micros = 2000;
+  /// Circuit breaker: this many consecutive faults quarantine a rung...
+  uint32_t circuit_failure_threshold = 3;
+  /// ...for this long, after which a single half-open probe may re-close it.
+  uint64_t circuit_open_micros = 50000;
+};
+
+/// Circuit-breaker state of one rung (exposed for tests and introspection).
+enum class CircuitState { kClosed, kOpen, kHalfOpen };
+
+/// Deadline-aware in-process scoring service: a worker pool draining a
+/// bounded queue, serving each request with the strongest degradation-ladder
+/// rung whose predicted cost fits the remaining budget. Transient rung
+/// faults are retried with capped exponential backoff; repeated faults
+/// quarantine the rung behind a circuit breaker (with half-open probing);
+/// rungs that exceed the deadline or emit non-finite scores are abandoned in
+/// favour of the next rung down. A response never carries a non-finite
+/// score.
+///
+/// The last ladder rung is the always-answer floor: it is exempt from
+/// quarantine, so the engine keeps answering as long as the floor fits the
+/// budget and does not fault.
+class ServingEngine {
+ public:
+  /// Neither the ladder nor the clock is owned; both must outlive the
+  /// engine. The ladder must have at least one rung.
+  ServingEngine(const DegradationLadder* ladder, ServingConfig config,
+                Clock* clock = Clock::Real());
+  ~ServingEngine();
+
+  ServingEngine(const ServingEngine&) = delete;
+  ServingEngine& operator=(const ServingEngine&) = delete;
+
+  /// Enqueues a request. Returns immediately; the future resolves when a
+  /// worker answers (or instantly with ResourceExhausted when the queue is
+  /// at capacity or the engine is stopped).
+  std::future<ServeResponse> Submit(const ServeRequest& request);
+
+  /// Convenience: Submit with a relative budget and block for the answer.
+  ServeResponse ScoreSync(const float* docs, uint32_t count, uint32_t stride,
+                          uint64_t budget_micros);
+
+  const DegradationLadder& ladder() const { return *ladder_; }
+  const ServeCounters& counters() const { return counters_; }
+  const LatencyRecorder& latencies() const { return latencies_; }
+  Clock& clock() const { return *clock_; }
+
+  /// Current breaker state of rung `i`. An expired quarantine still reads
+  /// kOpen until a request probes it.
+  CircuitState rung_state(size_t i) const;
+
+  /// Stops accepting work, drains already-accepted requests, joins the
+  /// workers. Idempotent; also run by the destructor.
+  void Stop();
+
+ private:
+  struct QueueItem {
+    ServeRequest request;
+    std::promise<ServeResponse> promise;
+    uint64_t enqueue_micros = 0;
+  };
+
+  struct Breaker {
+    CircuitState state = CircuitState::kClosed;
+    uint32_t consecutive_failures = 0;
+    uint64_t open_until_micros = 0;
+    bool probe_in_flight = false;
+  };
+
+  void WorkerLoop();
+  ServeResponse Process(const ServeRequest& request, uint64_t enqueue_micros);
+
+  /// Breaker gate: may this worker try rung `i` right now? Acquiring a
+  /// half-open rung claims its single probe slot; every successful acquire
+  /// must be resolved by exactly one OnRungSuccess / OnRungFault.
+  bool AcquireRung(size_t i, uint64_t now_micros);
+  void OnRungSuccess(size_t i);
+  void OnRungFault(size_t i, uint64_t now_micros);
+
+  const DegradationLadder* ladder_;
+  ServingConfig config_;
+  Clock* clock_;
+  ServeCounters counters_;
+  LatencyRecorder latencies_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<QueueItem> queue_;
+  bool stopping_ = false;
+
+  mutable std::mutex breaker_mu_;
+  std::vector<Breaker> breakers_;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace dnlr::serve
+
+#endif  // DNLR_SERVE_ENGINE_H_

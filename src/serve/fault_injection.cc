@@ -1,0 +1,81 @@
+#include "serve/fault_injection.h"
+
+#include <cmath>
+#include <limits>
+
+namespace dnlr::serve {
+
+FaultInjectingScorer::FaultInjectingScorer(const forest::DocumentScorer* inner,
+                                           FaultInjectionConfig config,
+                                           Clock* clock)
+    : inner_(inner),
+      config_(config),
+      clock_(clock),
+      rng_(config.seed) {
+  DNLR_CHECK(inner_ != nullptr);
+  DNLR_CHECK(clock_ != nullptr);
+  DNLR_CHECK_GE(config_.transient_fault_probability, 0.0);
+  DNLR_CHECK_LE(config_.transient_fault_probability, 1.0);
+  DNLR_CHECK_GE(config_.latency_spike_probability, 0.0);
+  DNLR_CHECK_LE(config_.latency_spike_probability, 1.0);
+  DNLR_CHECK_GE(config_.non_finite_probability, 0.0);
+  DNLR_CHECK_LE(config_.non_finite_probability, 1.0);
+  name_ = "faulty-" + std::string(inner_->name());
+}
+
+FaultInjectingScorer::Draw FaultInjectingScorer::NextDraw(
+    bool allow_transient) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Draw draw;
+  const bool transient = rng_.Uniform() < config_.transient_fault_probability;
+  draw.transient = transient && allow_transient;
+  draw.spike = rng_.Uniform() < config_.latency_spike_probability;
+  draw.poison = rng_.Uniform() < config_.non_finite_probability;
+  return draw;
+}
+
+void FaultInjectingScorer::Poison(float* out, uint32_t count) {
+  // Deterministic poison pattern: roughly every 7th score, cycling through
+  // the three non-finite values so NaN and both infinities are exercised.
+  constexpr float kPoison[3] = {std::numeric_limits<float>::quiet_NaN(),
+                                std::numeric_limits<float>::infinity(),
+                                -std::numeric_limits<float>::infinity()};
+  for (uint32_t i = 0; i < count; i += 7) {
+    out[i] = kPoison[(i / 7) % 3];
+  }
+}
+
+void FaultInjectingScorer::Score(const float* docs, uint32_t count,
+                                 uint32_t stride, float* out) const {
+  const Draw draw = NextDraw(/*allow_transient=*/false);
+  if (draw.spike && config_.spike_micros > 0) {
+    spikes_.fetch_add(1, std::memory_order_relaxed);
+    clock_->SleepMicros(config_.spike_micros);
+  }
+  inner_->Score(docs, count, stride, out);
+  if (draw.poison && count > 0) {
+    poisoned_.fetch_add(1, std::memory_order_relaxed);
+    Poison(out, count);
+  }
+}
+
+Status FaultInjectingScorer::TryScore(const float* docs, uint32_t count,
+                                      uint32_t stride, float* out) const {
+  const Draw draw = NextDraw(/*allow_transient=*/true);
+  if (draw.spike && config_.spike_micros > 0) {
+    spikes_.fetch_add(1, std::memory_order_relaxed);
+    clock_->SleepMicros(config_.spike_micros);
+  }
+  if (draw.transient) {
+    transients_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Internal("injected transient fault in " + name_);
+  }
+  inner_->Score(docs, count, stride, out);
+  if (draw.poison && count > 0) {
+    poisoned_.fetch_add(1, std::memory_order_relaxed);
+    Poison(out, count);
+  }
+  return Status::Ok();
+}
+
+}  // namespace dnlr::serve

@@ -1,0 +1,102 @@
+#ifndef DNLR_SERVE_FAULT_INJECTION_H_
+#define DNLR_SERVE_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "forest/scorer.h"
+#include "serve/scorer.h"
+
+namespace dnlr::serve {
+
+/// What a FaultInjectingScorer may do to a batch. Probabilities are
+/// per-batch (per Score/TryScore call) and independent of each other, drawn
+/// from one seeded stream so a given seed reproduces the exact fault
+/// schedule run-to-run.
+struct FaultInjectionConfig {
+  /// TryScore returns Status::Internal instead of scoring. Models transient
+  /// stage failures (shard reload, RPC error). Only the fallible path can
+  /// signal this; the plain DocumentScorer path never injects it.
+  double transient_fault_probability = 0.0;
+  /// The call sleeps `spike_micros` on its clock before scoring. Models a
+  /// latency spike (GC pause, cold cache, noisy neighbour).
+  double latency_spike_probability = 0.0;
+  uint64_t spike_micros = 0;
+  /// Outputs are poisoned with NaN / +Inf / -Inf after scoring. Models a
+  /// numerically misbehaving model (overflowed logits, corrupt weights).
+  double non_finite_probability = 0.0;
+  uint64_t seed = 42;
+};
+
+/// Decorator that makes a healthy scorer misbehave on demand — the fault
+/// harness the serving engine is tested against. Implements both scorer
+/// interfaces so it can wrap a cascade stage (infallible path: spikes and
+/// non-finite outputs) and stand in as a serving rung (fallible path: also
+/// transient Status failures).
+///
+/// Thread-safe; the fault stream is serialized under a mutex, so with a
+/// single caller the schedule is fully deterministic in call order.
+class FaultInjectingScorer : public forest::DocumentScorer,
+                             public FallibleScorer {
+ public:
+  /// Does not own `inner`. `clock` defaults to the real clock; tests pass a
+  /// FakeClock so spikes advance fake time instead of sleeping.
+  FaultInjectingScorer(const forest::DocumentScorer* inner,
+                       FaultInjectionConfig config,
+                       Clock* clock = Clock::Real());
+
+  /// Satisfies both base interfaces.
+  std::string_view name() const override { return name_; }
+
+  /// Infallible path: latency spikes and non-finite poisoning only.
+  void Score(const float* docs, uint32_t count, uint32_t stride,
+             float* out) const override;
+
+  /// Fallible path: transient failures, spikes, and poisoning.
+  Status TryScore(const float* docs, uint32_t count, uint32_t stride,
+                  float* out) const override;
+
+  uint64_t transient_faults_injected() const {
+    return transients_.load(std::memory_order_relaxed);
+  }
+  uint64_t spikes_injected() const {
+    return spikes_.load(std::memory_order_relaxed);
+  }
+  uint64_t batches_poisoned() const {
+    return poisoned_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Draw {
+    bool transient = false;
+    bool spike = false;
+    bool poison = false;
+  };
+
+  /// Advances the fault stream by one batch. Always consumes three uniform
+  /// draws so the schedule is independent of which faults are enabled.
+  Draw NextDraw(bool allow_transient) const;
+
+  /// Overwrites a deterministic subset of `out` with NaN / +Inf / -Inf.
+  static void Poison(float* out, uint32_t count);
+
+  const forest::DocumentScorer* inner_;
+  FaultInjectionConfig config_;
+  Clock* clock_;
+  std::string name_;
+
+  mutable std::mutex mu_;
+  mutable Rng rng_;
+  mutable std::atomic<uint64_t> transients_{0};
+  mutable std::atomic<uint64_t> spikes_{0};
+  mutable std::atomic<uint64_t> poisoned_{0};
+};
+
+}  // namespace dnlr::serve
+
+#endif  // DNLR_SERVE_FAULT_INJECTION_H_

@@ -1,0 +1,20 @@
+#include "serve/latency.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace dnlr::serve {
+
+double Percentile(std::vector<double> samples, double p) {
+  DNLR_CHECK_GE(p, 0.0);
+  DNLR_CHECK_LE(p, 100.0);
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const auto rank = static_cast<size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(samples.size())));
+  return samples[rank == 0 ? 0 : rank - 1];
+}
+
+}  // namespace dnlr::serve

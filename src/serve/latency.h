@@ -1,0 +1,42 @@
+#ifndef DNLR_SERVE_LATENCY_H_
+#define DNLR_SERVE_LATENCY_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace dnlr::serve {
+
+/// Thread-safe per-rung latency sample store feeding the serve-bench
+/// percentile report. Unbounded by design: serve-bench runs are finite; a
+/// production deployment would swap in a histogram.
+class LatencyRecorder {
+ public:
+  explicit LatencyRecorder(size_t num_rungs) : samples_(num_rungs) {}
+
+  LatencyRecorder(const LatencyRecorder&) = delete;
+  LatencyRecorder& operator=(const LatencyRecorder&) = delete;
+
+  void Record(size_t rung, double micros) {
+    std::lock_guard<std::mutex> lock(mu_);
+    samples_[rung].push_back(micros);
+  }
+
+  /// Copies of every rung's samples, in record order.
+  std::vector<std::vector<double>> Samples() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return samples_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::vector<double>> samples_;
+};
+
+/// Nearest-rank percentile (p in [0, 100]) of `samples`; 0 when empty.
+/// Takes the vector by value because it sorts its copy.
+double Percentile(std::vector<double> samples, double p);
+
+}  // namespace dnlr::serve
+
+#endif  // DNLR_SERVE_LATENCY_H_

@@ -1,0 +1,60 @@
+#ifndef DNLR_SERVE_SCORER_H_
+#define DNLR_SERVE_SCORER_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/check.h"
+#include "common/status.h"
+#include "forest/scorer.h"
+
+namespace dnlr::serve {
+
+/// A document scorer that is allowed to fail. The offline study's
+/// DocumentScorer interface cannot misbehave (models are validated up
+/// front), but a serving stage can: a remote feature store times out, a
+/// model shard is mid-reload, an accelerator kernel faults. The engine
+/// consumes this interface so such failures surface as Status values it can
+/// retry or degrade around instead of crashing the worker.
+///
+/// Implementations must be safe to call concurrently from multiple worker
+/// threads.
+class FallibleScorer {
+ public:
+  virtual ~FallibleScorer() = default;
+
+  /// Human-readable name used in rung stamps and counters.
+  virtual std::string_view name() const = 0;
+
+  /// Scores `count` documents (document i at docs + i * stride) into `out`.
+  /// On a non-OK return the contents of `out` are unspecified and must not
+  /// be used.
+  virtual Status TryScore(const float* docs, uint32_t count, uint32_t stride,
+                          float* out) const = 0;
+};
+
+/// Adapts an infallible offline scorer (QuickScorer, the neural engines,
+/// CascadeScorer, ...) to the fallible serving interface. Does not own the
+/// wrapped scorer.
+class InfallibleScorerAdapter : public FallibleScorer {
+ public:
+  explicit InfallibleScorerAdapter(const forest::DocumentScorer* inner)
+      : inner_(inner) {
+    DNLR_CHECK(inner_ != nullptr);
+  }
+
+  std::string_view name() const override { return inner_->name(); }
+
+  Status TryScore(const float* docs, uint32_t count, uint32_t stride,
+                  float* out) const override {
+    inner_->Score(docs, count, stride, out);
+    return Status::Ok();
+  }
+
+ private:
+  const forest::DocumentScorer* inner_;
+};
+
+}  // namespace dnlr::serve
+
+#endif  // DNLR_SERVE_SCORER_H_

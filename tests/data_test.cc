@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <fstream>
 #include <set>
 
 #include "data/dataset.h"
@@ -165,6 +166,26 @@ TEST(LetorIoTest, MissingFileIsIoError) {
   auto result = ReadLetorFile("/nonexistent/path/file.txt");
   EXPECT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+}
+
+TEST(LetorIoTest, DirectoryIsIoError) {
+  auto result = ReadLetorFile(::testing::TempDir());
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+}
+
+TEST(LetorIoTest, TruncatedFileIsParseError) {
+  // A file cut off mid-record (as a partial download or disk-full copy
+  // leaves behind) must surface a structured error, not crash or silently
+  // load a short dataset.
+  const std::string path = ::testing::TempDir() + "/letor_truncated.txt";
+  {
+    std::ofstream file(path);
+    file << "2 qid:1 1:0.5 2:0.25\n1 qi";
+  }
+  auto result = ReadLetorFile(path);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kParseError);
 }
 
 TEST(NormalizeTest, TransformsToZeroMeanUnitVariance) {

@@ -6,10 +6,17 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <functional>
+#include <limits>
+#include <numeric>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/rng.h"
+#include "core/cascade.h"
+#include "serve/fault_injection.h"
 #include "forest/quickscorer.h"
 #include "forest/vectorized_quickscorer.h"
 #include "forest/wide_quickscorer.h"
@@ -219,6 +226,94 @@ TEST_P(RandomMatrixTest, NeuralEnginesAgreeOnRandomModels) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomMatrixTest, ::testing::Range(0, 12));
+
+// For any random ensembles and any NaN/Inf injection schedule on the first
+// stage, the cascade must (a) emit only finite scores and (b) preserve the
+// cascade cut: the top-`keep` documents by final score must be exactly those
+// the (sanitized) first stage ranked highest. A second fault injector with
+// the same seed replays the identical fault schedule to recover the
+// first-stage scores the cascade actually saw.
+class CascadeFaultTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CascadeFaultTest, NanInjectedFirstStagePreservesCutAndFiniteness) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 104729 + 7);
+  const uint32_t num_features = 3 + static_cast<uint32_t>(rng.Below(12));
+  const gbdt::Ensemble first =
+      RandomEnsemble(rng, 1 + static_cast<uint32_t>(rng.Below(10)),
+                     /*max_leaves=*/32, num_features);
+  const gbdt::Ensemble second =
+      RandomEnsemble(rng, 1 + static_cast<uint32_t>(rng.Below(10)),
+                     /*max_leaves=*/32, num_features);
+  forest::QuickScorer first_qs(first, num_features);
+  forest::QuickScorer second_qs(second, num_features);
+
+  serve::FaultInjectionConfig config;
+  config.non_finite_probability = 0.7;
+  config.seed = static_cast<uint64_t>(GetParam()) + 1;
+  FakeClock clock;
+  serve::FaultInjectingScorer faulty(&first_qs, config, &clock);
+  serve::FaultInjectingScorer replay(&first_qs, config, &clock);
+
+  const double fraction = 0.1 + 0.2 * rng.Uniform();
+  const core::CascadeScorer cascade(&faulty, &second_qs, fraction);
+
+  // The cascade's internal sanitization sentinel: non-finite first-stage
+  // scores sink to the bottom of the ranking.
+  constexpr float kSanitized = -1e30f;
+
+  for (int batch = 0; batch < 8; ++batch) {
+    const uint32_t count = 5 + static_cast<uint32_t>(rng.Below(40));
+    std::vector<float> docs(static_cast<size_t>(count) * num_features);
+    for (auto& v : docs) v = rng.Normal();
+
+    std::vector<float> final_scores(count);
+    cascade.Score(docs.data(), count, num_features, final_scores.data());
+    std::vector<float> reference(count);
+    replay.Score(docs.data(), count, num_features, reference.data());
+
+    // (a) Only finite scores leave the cascade, poisoned inputs included.
+    for (uint32_t d = 0; d < count; ++d) {
+      ASSERT_TRUE(std::isfinite(final_scores[d]))
+          << "seed " << GetParam() << " batch " << batch << " doc " << d;
+    }
+
+    const auto keep = std::max<uint32_t>(
+        1, static_cast<uint32_t>(fraction * count + 0.5));
+    if (keep >= count) continue;  // full rescore: no cut to preserve
+
+    for (auto& v : reference) {
+      if (!std::isfinite(v)) v = kSanitized;
+    }
+
+    // (b) The top-`keep` documents by final score are first-stage winners:
+    // each outranks (or ties) every document outside the cut under the
+    // sanitized first-stage scores.
+    std::vector<uint32_t> by_final(count);
+    std::iota(by_final.begin(), by_final.end(), 0);
+    std::partial_sort(by_final.begin(), by_final.begin() + keep,
+                      by_final.end(), [&](uint32_t a, uint32_t b) {
+                        return final_scores[a] > final_scores[b];
+                      });
+    float kept_first_stage_min = std::numeric_limits<float>::infinity();
+    for (uint32_t r = 0; r < keep; ++r) {
+      kept_first_stage_min =
+          std::min(kept_first_stage_min, reference[by_final[r]]);
+    }
+    float tail_first_stage_max = -std::numeric_limits<float>::infinity();
+    for (uint32_t r = keep; r < count; ++r) {
+      tail_first_stage_max =
+          std::max(tail_first_stage_max, reference[by_final[r]]);
+    }
+    EXPECT_GE(kept_first_stage_min, tail_first_stage_max)
+        << "seed " << GetParam() << " batch " << batch;
+  }
+  EXPECT_EQ(faulty.batches_poisoned(), replay.batches_poisoned());
+  if (faulty.batches_poisoned() > 0) {
+    EXPECT_GT(cascade.sanitized_count(), 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CascadeFaultTest, ::testing::Range(0, 12));
 
 }  // namespace
 }  // namespace dnlr

@@ -9,17 +9,23 @@
 //   evaluate      NDCG@10 / NDCG / MAP of a saved model on a LETOR file
 //   predict-time  estimate an architecture's scoring time analytically
 //   validate      run the deep invariant validators on a model / data file
+//   serve-bench   load-test the deadline-aware scoring service and emit a
+//                 latency-percentile / rung-distribution JSON report
 //
 // Run `dnlr_cli <subcommand>` with no further arguments for usage.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <future>
 #include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "core/cascade.h"
 #include "core/pipeline.h"
 #include "core/timing.h"
 #include "data/letor_io.h"
@@ -38,6 +44,10 @@
 #include "predict/dense_predictor.h"
 #include "predict/network_time.h"
 #include "predict/sparse_predictor.h"
+#include "prune/magnitude.h"
+#include "serve/engine.h"
+#include "serve/fault_injection.h"
+#include "serve/latency.h"
 
 namespace dnlr::cli {
 namespace {
@@ -80,6 +90,13 @@ class Args {
  private:
   std::map<std::string, std::string> values_;
 };
+
+/// Fixed-precision double for JSON output (never scientific notation).
+std::string FormatFixed(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
 
 data::Dataset LoadLetorOrDie(const std::string& path) {
   auto result = data::ReadLetorFile(path);
@@ -296,6 +313,10 @@ int CmdScore(const Args& args) {
   } else {
     std::ofstream file(out);
     for (const float s : scores) file << s << '\n';
+    if (!file) {
+      std::fprintf(stderr, "failed to write scores to %s\n", out.c_str());
+      return 1;
+    }
     std::printf("wrote %zu scores to %s with %s\n", scores.size(), out.c_str(),
                 std::string(scorer->name()).c_str());
   }
@@ -352,6 +373,214 @@ int CmdPredictTime(const Args& args) {
   std::printf("pruned (no L1)      %.3f us/doc\n", estimate.pruned_us_per_doc);
   std::printf("hybrid @ %.0f%% L1    %.3f us/doc\n", 100.0 * sparsity,
               estimate.hybrid_us_per_doc);
+  return 0;
+}
+
+/// Load-tests the deadline-aware serving engine over a synthetic corpus and
+/// a four-rung degradation ladder (hybrid sparse NN > dense NN > cascade >
+/// tree subset), with optional fault injection on the top rung, and writes a
+/// latency-percentile + rung-distribution JSON report.
+int CmdServeBench(const Args& args) {
+  const auto features = static_cast<uint32_t>(args.GetInt("features", 136));
+  const auto queries = static_cast<uint32_t>(args.GetInt("queries", 80));
+  const int requests = args.GetInt("requests", 300);
+  const auto deadline_us =
+      static_cast<uint64_t>(args.GetInt("deadline-us", 6000));
+  const auto workers = static_cast<uint32_t>(args.GetInt("workers", 4));
+  const double fault_rate = args.GetDouble("fault-rate", 0.2);
+  const double spike_rate = args.GetDouble("spike-rate", 0.1);
+  const auto spike_us = static_cast<uint64_t>(args.GetInt("spike-us", 2000));
+  const double nan_rate = args.GetDouble("nan-rate", 0.05);
+  const auto seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+  const std::string out = args.Get("out", "bench/serve_latency.json");
+
+  // Synthetic corpus standing in for the ranking candidate sets.
+  data::SyntheticConfig config = data::SyntheticConfig::MsnLike(1.0);
+  config.num_queries = queries;
+  config.num_features = features;
+  config.seed = seed;
+  const data::Dataset dataset = data::GenerateSynthetic(config);
+  std::fprintf(stderr, "corpus: %u docs / %u queries / %u features\n",
+               dataset.num_docs(), dataset.num_queries(),
+               dataset.num_features());
+
+  // Forest rungs: a small LambdaMART ensemble plus a first-stage-only
+  // subset of its trees (the cheapest thing that still ranks).
+  gbdt::BoosterConfig bc;
+  bc.num_trees = static_cast<uint32_t>(args.GetInt("trees", 40));
+  bc.num_leaves = 32;
+  std::fprintf(stderr, "training %u-tree forest...\n", bc.num_trees);
+  gbdt::Booster booster(bc);
+  const gbdt::Ensemble forest_model = booster.TrainLambdaMart(dataset, nullptr);
+  gbdt::Ensemble subset(forest_model.base_score());
+  const uint32_t subset_trees = std::max(1u, forest_model.num_trees() / 4);
+  for (uint32_t t = 0; t < subset_trees; ++t) {
+    subset.AddTree(forest_model.tree(t));
+  }
+  forest::QuickScorer subset_qs(subset, features);
+
+  // Neural rungs with random weights: serving cost, not ranking quality, is
+  // what this bench measures, so training would only slow it down.
+  const predict::Architecture big_arch(features, {400, 200, 100});
+  nn::Mlp big(big_arch, seed);
+  nn::WeightMasks masks = prune::MakeDenseMasks(big);
+  prune::LevelPruneLayer(&big, 0, 0.98, &masks);
+  const predict::Architecture small_arch(features, {64, 32});
+  const nn::Mlp small(small_arch, seed + 1);
+  data::ZNormalizer normalizer;
+  normalizer.Fit(dataset);
+  nn::HybridNeuralScorer hybrid(big, &normalizer);
+  nn::NeuralScorer dense_small(small, &normalizer);
+  core::CascadeScorer cascade(&subset_qs, &dense_small, 0.25);
+
+  // Rung costs via the paper's analytic predictors (neural rungs) and
+  // direct measurement (tree rungs) — the same numbers the engine budgets
+  // with online.
+  std::fprintf(stderr, "calibrating scoring-time predictors (seconds)...\n");
+  predict::DenseCalibrationConfig dcal;
+  dcal.m_values = {32, 64, 128, 256, 400};
+  dcal.k_values = {32, 64, features, 256, 400};
+  dcal.n_values = {16, 64};
+  dcal.repeats = 2;
+  const auto dense_pred = predict::DenseTimePredictor::Calibrate(dcal);
+  const auto sparse_pred = predict::SparseTimePredictor::Calibrate();
+  const double subset_cost =
+      core::MeasureScorerMicrosPerDocSynthetic(subset_qs, 2048, features);
+  const double raw_costs[4] = {
+      serve::PredictNeuralRungMicrosPerDoc(
+          big_arch, 64, hybrid.first_layer_sparsity(), dense_pred,
+          sparse_pred),
+      serve::PredictNeuralRungMicrosPerDoc(small_arch, 64, 0.0, dense_pred,
+                                           sparse_pred),
+      serve::PredictCascadeMicrosPerDoc(
+          subset_cost,
+          serve::PredictNeuralRungMicrosPerDoc(small_arch, 64, 0.0, dense_pred,
+                                               sparse_pred),
+          0.25),
+      subset_cost};
+  // The ladder requires non-increasing costs; predictions on a given
+  // machine may cross, so clamp (the JSON reports the raw predictions).
+  double costs[4];
+  for (int i = 0; i < 4; ++i) {
+    costs[i] = i == 0 ? raw_costs[0] : std::min(raw_costs[i], costs[i - 1]);
+  }
+
+  serve::FaultInjectionConfig fic;
+  fic.transient_fault_probability = fault_rate;
+  fic.latency_spike_probability = spike_rate;
+  fic.spike_micros = spike_us;
+  fic.non_finite_probability = nan_rate;
+  fic.seed = seed;
+  serve::FaultInjectingScorer faulty_hybrid(&hybrid, fic);
+  serve::InfallibleScorerAdapter dense_adapter(&dense_small);
+  serve::InfallibleScorerAdapter cascade_adapter(&cascade);
+  serve::InfallibleScorerAdapter subset_adapter(&subset_qs);
+
+  serve::DegradationLadder ladder;
+  const serve::FallibleScorer* rung_scorers[4] = {
+      &faulty_hybrid, &dense_adapter, &cascade_adapter, &subset_adapter};
+  const char* rung_names[4] = {"hybrid-nn", "dense-nn", "cascade",
+                               "forest-subset"};
+  for (int i = 0; i < 4; ++i) {
+    const Status status = ladder.AddRung(rung_names[i], rung_scorers[i],
+                                         costs[i]);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "rung %d %-14s %8.3f us/doc (raw %.3f)\n", i,
+                 rung_names[i], costs[i], raw_costs[i]);
+  }
+
+  serve::ServingConfig sc;
+  sc.num_workers = workers;
+  sc.queue_capacity = static_cast<uint32_t>(args.GetInt("queue", 128));
+  serve::ServingEngine engine(&ladder, sc);
+
+  // Round-robin the queries through the engine with a bounded in-flight
+  // window so the queue sees sustained pressure without unbounded shedding.
+  std::fprintf(stderr, "serving %d requests (deadline %llu us)...\n", requests,
+               static_cast<unsigned long long>(deadline_us));
+  std::vector<std::future<serve::ServeResponse>> inflight;
+  std::vector<serve::ServeResponse> responses;
+  responses.reserve(static_cast<size_t>(requests));
+  const size_t window = static_cast<size_t>(workers) * 4;
+  for (int r = 0; r < requests; ++r) {
+    const uint32_t q = static_cast<uint32_t>(r) % dataset.num_queries();
+    serve::ServeRequest request;
+    request.docs = dataset.Row(dataset.QueryBegin(q));
+    request.count = dataset.QuerySize(q);
+    request.stride = dataset.num_features();
+    request.deadline =
+        serve::Deadline::AfterMicros(engine.clock(), deadline_us);
+    inflight.push_back(engine.Submit(request));
+    if (inflight.size() >= window) {
+      responses.push_back(inflight.front().get());
+      inflight.erase(inflight.begin());
+    }
+  }
+  for (auto& future : inflight) responses.push_back(future.get());
+  engine.Stop();
+
+  const serve::ServeCountersSnapshot counters = engine.counters().Snapshot();
+  const auto rung_samples = engine.latencies().Samples();
+  std::vector<double> ok_latencies;
+  uint64_t within_deadline = 0;
+  for (const auto& resp : responses) {
+    if (!resp.status.ok()) continue;
+    ok_latencies.push_back(static_cast<double>(resp.total_micros));
+    if (resp.total_micros <= deadline_us) ++within_deadline;
+  }
+
+  std::ostringstream json;
+  json << "{\n";
+  json << "  \"benchmark\": \"serve-bench\",\n";
+  json << "  \"config\": {\"requests\": " << requests
+       << ", \"deadline_us\": " << deadline_us << ", \"workers\": " << workers
+       << ", \"queue_capacity\": " << sc.queue_capacity
+       << ", \"fault_rate\": " << fault_rate
+       << ", \"spike_rate\": " << spike_rate << ", \"spike_us\": " << spike_us
+       << ", \"nan_rate\": " << nan_rate << ", \"seed\": " << seed << "},\n";
+  json << "  \"rungs\": [\n";
+  for (size_t i = 0; i < ladder.num_rungs(); ++i) {
+    const auto& samples = rung_samples[i];
+    json << "    {\"index\": " << i << ", \"name\": \"" << rung_names[i]
+         << "\", \"predicted_us_per_doc\": " << FormatFixed(costs[i], 3)
+         << ", \"raw_predicted_us_per_doc\": " << FormatFixed(raw_costs[i], 3)
+         << ", \"served\": " << counters.served_by_rung[i]
+         << ", \"p50_us\": " << FormatFixed(serve::Percentile(samples, 50), 1)
+         << ", \"p95_us\": " << FormatFixed(serve::Percentile(samples, 95), 1)
+         << ", \"p99_us\": " << FormatFixed(serve::Percentile(samples, 99), 1)
+         << "}" << (i + 1 < ladder.num_rungs() ? "," : "") << "\n";
+  }
+  json << "  ],\n";
+  json << "  \"overall\": {\"ok\": " << counters.ok
+       << ", \"within_deadline\": " << within_deadline
+       << ", \"shed_queue_full\": " << counters.shed_queue_full
+       << ", \"shed_deadline\": " << counters.shed_deadline
+       << ", \"deadline_exceeded\": " << counters.deadline_exceeded
+       << ", \"failed\": " << counters.failed
+       << ", \"degraded\": " << counters.degraded
+       << ", \"retries\": " << counters.retries
+       << ", \"transient_faults\": " << counters.transient_faults
+       << ", \"timeouts\": " << counters.timeouts
+       << ", \"non_finite_batches\": " << counters.non_finite_batches
+       << ", \"circuit_opens\": " << counters.circuit_opens
+       << ", \"circuit_closes\": " << counters.circuit_closes
+       << ", \"p50_us\": " << FormatFixed(serve::Percentile(ok_latencies, 50), 1)
+       << ", \"p95_us\": " << FormatFixed(serve::Percentile(ok_latencies, 95), 1)
+       << ", \"p99_us\": " << FormatFixed(serve::Percentile(ok_latencies, 99), 1)
+       << "}\n";
+  json << "}\n";
+
+  std::ofstream file(out);
+  file << json.str();
+  if (!file) {
+    std::fprintf(stderr, "failed to write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("%s", json.str().c_str());
+  std::printf("wrote %s\n", out.c_str());
   return 0;
 }
 
@@ -444,7 +673,10 @@ int Usage() {
       "  predict-time  --arch AxBxC [--features K] [--batch N] [--sparsity "
       "S]\n"
       "  validate      [--model M] [--data F] [--features K] [--max-label "
-      "L]\n");
+      "L]\n"
+      "  serve-bench   [--requests N] [--deadline-us U] [--workers W] "
+      "[--fault-rate P] [--spike-rate P] [--spike-us U] [--nan-rate P] "
+      "[--out F]\n");
   return 2;
 }
 
@@ -463,5 +695,6 @@ int main(int argc, char** argv) {
   if (command == "evaluate") return CmdEvaluate(args);
   if (command == "predict-time") return CmdPredictTime(args);
   if (command == "validate") return CmdValidate(args);
+  if (command == "serve-bench") return CmdServeBench(args);
   return Usage();
 }
