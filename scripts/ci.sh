@@ -18,6 +18,17 @@ scripts/check.sh release asan-ubsan
 # 5-15x slowdown would dominate CI time.
 DNLR_TEST_ARGS="-L threaded" scripts/check.sh tsan
 
+# Threading-regression smoke: the scaling bench at tiny shapes with the
+# release binary. --min-t2-ratio fails the run (exit 1) if the dense rung's
+# T=2 throughput drops below 0.9x its T=1 throughput — the pool must never
+# make batched scoring meaningfully slower, even on a single-core runner
+# where no speedup is available.
+echo "==== [bench-scaling] smoke (T=1,2 gate)"
+out/release/tools/dnlr_cli bench-scaling \
+  --queries 8 --trees 5 --repeats 3 --arch 32x16 \
+  --threads 1,2 --min-t2-ratio 0.9 \
+  --out out/bench_scaling_ci.json >/dev/null
+
 fail=0
 for preset in asan-ubsan tsan; do
   log="out/${preset}/Testing/Temporary/LastTest.log"
@@ -29,4 +40,5 @@ for preset in asan-ubsan tsan; do
   fi
 done
 [ "${fail}" -eq 0 ] || exit 1
-echo "ci.sh: release + asan-ubsan + tsan(threaded) green, no sanitizer reports"
+echo "ci.sh: release + asan-ubsan + tsan(threaded) + scaling smoke green," \
+     "no sanitizer reports"

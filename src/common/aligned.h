@@ -29,29 +29,36 @@ class AlignedBuffer {
   }
   AlignedBuffer(AlignedBuffer&& other) noexcept
       : data_(std::exchange(other.data_, nullptr)),
-        count_(std::exchange(other.count_, 0)) {}
+        count_(std::exchange(other.count_, 0)),
+        capacity_(std::exchange(other.capacity_, 0)) {}
   AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
     if (this != &other) {
       Free();
       data_ = std::exchange(other.data_, nullptr);
       count_ = std::exchange(other.count_, 0);
+      capacity_ = std::exchange(other.capacity_, 0);
     }
     return *this;
   }
   ~AlignedBuffer() { Free(); }
 
-  /// Reallocates to hold `count` floats. Contents are NOT preserved and the
-  /// new storage is zero-initialized.
+  /// Resizes to hold `count` floats. Contents are NOT preserved and the new
+  /// storage is zero-initialized. Shrinking (or growing within the existing
+  /// allocation) reuses the storage instead of reallocating, so buffers that
+  /// are resized per batch — the scorers' ping-pong activation buffers —
+  /// stop hitting the allocator once they reach their high-water mark.
   void Resize(size_t count) {
-    Free();
+    if (count > capacity_) {
+      Free();
+      // Round the byte size up to a multiple of the alignment, as required
+      // by std::aligned_alloc.
+      size_t bytes = count * sizeof(float);
+      bytes = (bytes + kSimdAlignment - 1) / kSimdAlignment * kSimdAlignment;
+      data_ = static_cast<float*>(std::aligned_alloc(kSimdAlignment, bytes));
+      DNLR_CHECK(data_ != nullptr) << "aligned_alloc failed for" << bytes;
+      capacity_ = count;
+    }
     count_ = count;
-    if (count == 0) return;
-    // Round the byte size up to a multiple of the alignment, as required by
-    // std::aligned_alloc.
-    size_t bytes = count * sizeof(float);
-    bytes = (bytes + kSimdAlignment - 1) / kSimdAlignment * kSimdAlignment;
-    data_ = static_cast<float*>(std::aligned_alloc(kSimdAlignment, bytes));
-    DNLR_CHECK(data_ != nullptr) << "aligned_alloc failed for" << bytes;
     for (size_t i = 0; i < count; ++i) data_[i] = 0.0f;
   }
 
@@ -74,6 +81,7 @@ class AlignedBuffer {
     std::free(data_);
     data_ = nullptr;
     count_ = 0;
+    capacity_ = 0;
   }
   void CopyFrom(const AlignedBuffer& other) {
     Resize(other.count_);
@@ -82,6 +90,7 @@ class AlignedBuffer {
 
   float* data_ = nullptr;
   size_t count_ = 0;
+  size_t capacity_ = 0;
 };
 
 }  // namespace dnlr

@@ -1,0 +1,113 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace dnlr::common {
+
+ThreadPool::ThreadPool(uint32_t num_threads)
+    : num_threads_(std::max(num_threads, 1u)) {
+  workers_.reserve(num_threads_ - 1);
+  for (uint32_t w = 0; w + 1 < num_threads_; ++w) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stopping_ = true;
+    // Every live ParallelFor call holds its Batch on the caller's stack and
+    // waits for its chunks, so the queue can only be non-empty here if a
+    // caller destroyed the pool mid-call — a usage bug worth failing loudly.
+    DNLR_CHECK(queue_.empty()) << "ThreadPool destroyed with queued work";
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+uint32_t ThreadPool::HardwareThreads() {
+  return std::max(std::thread::hardware_concurrency(), 1u);
+}
+
+void ThreadPool::ChunkRange(uint64_t count, uint32_t num_chunks,
+                            uint32_t chunk, uint64_t* begin, uint64_t* end) {
+  // Balanced split: the first (count % num_chunks) chunks get one extra
+  // index. Deterministic in (count, num_chunks, chunk) only.
+  const uint64_t base = count / num_chunks;
+  const uint64_t extra = count % num_chunks;
+  *begin = chunk * base + std::min<uint64_t>(chunk, extra);
+  *end = *begin + base + (chunk < extra ? 1 : 0);
+}
+
+void ThreadPool::RunChunk(Batch* batch, uint32_t chunk) {
+  uint64_t begin = 0;
+  uint64_t end = 0;
+  ChunkRange(batch->count, batch->num_chunks, chunk, &begin, &end);
+  std::exception_ptr error;
+  try {
+    (*batch->body)(chunk, begin, end);
+  } catch (...) {
+    error = std::current_exception();
+  }
+  std::lock_guard<std::mutex> lock(batch->mu);
+  if (error != nullptr && batch->error == nullptr) batch->error = error;
+  --batch->pending;
+  // Notify under the lock: the Batch lives on the caller's stack, and the
+  // caller is free to destroy it the moment it observes pending == 0. It can
+  // only observe that after this lock is released, at which point the batch
+  // is no longer touched here.
+  if (batch->pending == 0) batch->done_cv.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and nothing left to run
+      task = queue_.front();
+      queue_.pop_front();
+    }
+    RunChunk(task.batch, task.chunk);
+  }
+}
+
+void ThreadPool::ParallelFor(uint64_t count, const ChunkFn& body) {
+  if (count == 0) return;
+  const uint32_t num_chunks = static_cast<uint32_t>(
+      std::min<uint64_t>(num_threads_, count));
+  if (num_chunks == 1) {
+    // Serial fast path: no queue, no locks, no worker wake-up.
+    body(0, 0, count);
+    return;
+  }
+
+  Batch batch;
+  batch.body = &body;
+  batch.count = count;
+  batch.num_chunks = num_chunks;
+  batch.pending = num_chunks;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    DNLR_CHECK(!stopping_) << "ParallelFor on a destroyed ThreadPool";
+    for (uint32_t chunk = 1; chunk < num_chunks; ++chunk) {
+      queue_.push_back(Task{&batch, chunk});
+    }
+  }
+  queue_cv_.notify_all();
+
+  // The caller contributes chunk 0, then waits for the workers. Workers
+  // never wait on other chunks, so this cannot deadlock no matter how many
+  // threads call ParallelFor concurrently.
+  RunChunk(&batch, 0);
+  {
+    std::unique_lock<std::mutex> lock(batch.mu);
+    batch.done_cv.wait(lock, [&batch] { return batch.pending == 0; });
+    if (batch.error != nullptr) std::rethrow_exception(batch.error);
+  }
+}
+
+}  // namespace dnlr::common

@@ -1,0 +1,95 @@
+#ifndef DNLR_COMMON_THREAD_POOL_H_
+#define DNLR_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dnlr::common {
+
+/// Fixed-size worker pool for intra-request parallelism: one pool is shared
+/// by every compute kernel of a serving process (parallel GEMM macro-blocks,
+/// document chunks of the neural scorers, tree-ensemble chunks), so thread
+/// creation happens once at startup, not per request.
+///
+/// Concurrency model:
+///  - `num_threads` is the total parallelism of one ParallelFor call,
+///    including the calling thread; the pool spawns `num_threads - 1`
+///    workers. A pool of 1 spawns nothing and ParallelFor degenerates to a
+///    plain inline loop, so the serial path pays no synchronization.
+///  - ParallelFor may be called concurrently from any number of threads
+///    (e.g. every ServingEngine worker): calls share the workers through one
+///    task queue, and each call only waits for its own chunks. Chunk bodies
+///    must not themselves block on the pool (no nested ParallelFor), which
+///    keeps the queue deadlock-free by construction.
+///  - The chunk index passed to the body is unique within one ParallelFor
+///    call and always < num_threads(), so callers can hand each chunk its
+///    own scratch buffer (the per-thread PackA/tile buffers of the parallel
+///    GEMM) without any locking.
+///
+/// Exceptions thrown by a chunk body are captured and the first one is
+/// rethrown on the calling thread after every chunk has finished, so the
+/// join is exception-safe and never leaves stray tasks behind.
+class ThreadPool {
+ public:
+  /// Body of one ParallelFor chunk: fn(chunk, begin, end) processes the
+  /// half-open index range [begin, end). `chunk` < num_threads().
+  using ChunkFn = std::function<void(uint32_t chunk, uint64_t begin,
+                                     uint64_t end)>;
+
+  /// Spawns num_threads - 1 workers (0 means 1: strictly serial).
+  explicit ThreadPool(uint32_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  uint32_t num_threads() const { return num_threads_; }
+
+  /// Splits [0, count) into at most num_threads() contiguous chunks of
+  /// near-equal size and runs `body` on every chunk, using the calling
+  /// thread for the first chunk. Blocks until all chunks are done; rethrows
+  /// the first chunk exception. A count of 0 returns immediately.
+  void ParallelFor(uint64_t count, const ChunkFn& body);
+
+  /// std::thread::hardware_concurrency with a floor of 1 (the standard
+  /// allows it to return 0 on machines it cannot probe).
+  static uint32_t HardwareThreads();
+
+ private:
+  /// Join state of one ParallelFor call, owned by the caller's stack frame.
+  struct Batch {
+    const ChunkFn* body = nullptr;
+    uint64_t count = 0;
+    uint32_t num_chunks = 0;
+    uint32_t pending = 0;  // guarded by mu
+    std::exception_ptr error;  // first failure, guarded by mu
+    std::mutex mu;
+    std::condition_variable done_cv;
+  };
+
+  struct Task {
+    Batch* batch = nullptr;
+    uint32_t chunk = 0;
+  };
+
+  static void ChunkRange(uint64_t count, uint32_t num_chunks, uint32_t chunk,
+                         uint64_t* begin, uint64_t* end);
+  static void RunChunk(Batch* batch, uint32_t chunk);
+  void WorkerLoop();
+
+  const uint32_t num_threads_;
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<Task> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace dnlr::common
+
+#endif  // DNLR_COMMON_THREAD_POOL_H_

@@ -1,0 +1,34 @@
+#include "forest/parallel_scorer.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace dnlr::forest {
+
+ParallelEnsembleScorer::ParallelEnsembleScorer(const DocumentScorer* inner,
+                                               common::ThreadPool* pool,
+                                               uint32_t min_docs_per_chunk)
+    : inner_(inner),
+      pool_(pool),
+      min_docs_per_chunk_(std::max(min_docs_per_chunk, 1u)),
+      name_("parallel-") {
+  DNLR_CHECK(inner_ != nullptr);
+  name_ += inner->name();
+}
+
+void ParallelEnsembleScorer::Score(const float* docs, uint32_t count,
+                                   uint32_t stride, float* out) const {
+  if (pool_ == nullptr || pool_->num_threads() <= 1 ||
+      count < 2 * min_docs_per_chunk_) {
+    inner_->Score(docs, count, stride, out);
+    return;
+  }
+  pool_->ParallelFor(count, [&](uint32_t /*chunk*/, uint64_t begin,
+                                uint64_t end) {
+    inner_->Score(docs + begin * stride, static_cast<uint32_t>(end - begin),
+                  stride, out + begin);
+  });
+}
+
+}  // namespace dnlr::forest

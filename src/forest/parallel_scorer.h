@@ -1,0 +1,43 @@
+#ifndef DNLR_FOREST_PARALLEL_SCORER_H_
+#define DNLR_FOREST_PARALLEL_SCORER_H_
+
+#include <string>
+
+#include "common/thread_pool.h"
+#include "forest/scorer.h"
+
+namespace dnlr::forest {
+
+/// Wraps any DocumentScorer and splits each Score call's document block
+/// across a thread pool: every chunk scores a contiguous sub-range with the
+/// inner scorer, writing to its disjoint slice of `out`. Because each
+/// document is scored exactly once by the unchanged inner scorer, results
+/// are bitwise identical to the serial call for per-document engines (all
+/// tree-traversal variants), which makes this the drop-in multi-core
+/// upgrade for the QuickScorer family in a ServingEngine rung.
+///
+/// Blocks smaller than 2 * min_docs_per_chunk stay on the calling thread:
+/// fan-out overhead would dominate tiny candidate sets.
+class ParallelEnsembleScorer : public DocumentScorer {
+ public:
+  /// Neither the inner scorer nor the pool is owned; both must outlive this
+  /// wrapper. A null pool (or pool of 1) degrades to a plain pass-through.
+  ParallelEnsembleScorer(const DocumentScorer* inner,
+                         common::ThreadPool* pool,
+                         uint32_t min_docs_per_chunk = 64);
+
+  std::string_view name() const override { return name_; }
+
+  void Score(const float* docs, uint32_t count, uint32_t stride,
+             float* out) const override;
+
+ private:
+  const DocumentScorer* inner_;
+  common::ThreadPool* pool_;
+  uint32_t min_docs_per_chunk_;
+  std::string name_;
+};
+
+}  // namespace dnlr::forest
+
+#endif  // DNLR_FOREST_PARALLEL_SCORER_H_

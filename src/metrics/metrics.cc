@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "common/check.h"
 #include "common/rng.h"
 
 namespace dnlr::metrics {
@@ -13,13 +14,35 @@ double Gain(float label) { return std::exp2(static_cast<double>(label)) - 1.0; }
 
 double Discount(size_t rank) { return 1.0 / std::log2(static_cast<double>(rank) + 2.0); }
 
+/// Descending float comparator that is a strict weak ordering even when NaN
+/// values are present: every NaN sorts below every non-NaN (including
+/// -inf), and NaNs are mutually equivalent. Plain `a > b` is NOT a strict
+/// weak ordering under NaN (NaN compares false against everything, making
+/// "equivalent to NaN" non-transitive), which is undefined behaviour in
+/// std::sort / std::stable_sort.
+bool DescendingNanLast(float a, float b) {
+  const bool a_nan = std::isnan(a);
+  const bool b_nan = std::isnan(b);
+  if (a_nan || b_nan) return b_nan && !a_nan;
+  return a > b;
+}
+
+/// A per-query metric value must be either valid (>= 0) or exactly the
+/// kInvalidQuery sentinel; anything else means a caller corrupted or
+/// pre-aggregated the vector.
+void DCheckValidOrSentinel(double value) {
+  DNLR_DCHECK(value >= 0.0 || value == kInvalidQuery)
+      << "per-query metric value" << value
+      << "is neither valid nor the invalid-query sentinel";
+}
+
 }  // namespace
 
 std::vector<uint32_t> RankByScore(std::span<const float> scores) {
   std::vector<uint32_t> order(scores.size());
   std::iota(order.begin(), order.end(), 0);
   std::stable_sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
-    return scores[a] > scores[b];
+    return DescendingNanLast(scores[a], scores[b]);
   });
   return order;
 }
@@ -38,7 +61,9 @@ double Dcg(std::span<const float> labels, std::span<const float> scores,
 
 double IdealDcg(std::span<const float> labels, uint32_t k) {
   std::vector<float> sorted(labels.begin(), labels.end());
-  std::sort(sorted.begin(), sorted.end(), std::greater<float>());
+  // std::greater<float> is UB under NaN labels for the same strict-weak-
+  // ordering reason as RankByScore; NaNs sort to the bottom deterministically.
+  std::sort(sorted.begin(), sorted.end(), DescendingNanLast);
   const size_t cutoff = k == 0 ? sorted.size() : std::min<size_t>(k, sorted.size());
   double dcg = 0.0;
   for (size_t rank = 0; rank < cutoff; ++rank) {
@@ -50,7 +75,7 @@ double IdealDcg(std::span<const float> labels, uint32_t k) {
 double Ndcg(std::span<const float> labels, std::span<const float> scores,
             uint32_t k) {
   const double ideal = IdealDcg(labels, k);
-  if (ideal <= 0.0) return -1.0;
+  if (ideal <= 0.0) return kInvalidQuery;
   return Dcg(labels, scores, k) / ideal;
 }
 
@@ -67,7 +92,7 @@ double AveragePrecision(std::span<const float> labels,
                        static_cast<double>(rank + 1);
     }
   }
-  if (relevant_so_far == 0) return -1.0;
+  if (relevant_so_far == 0) return kInvalidQuery;
   return precision_sum / relevant_so_far;
 }
 
@@ -103,7 +128,8 @@ double MeanOverValidQueries(std::span<const double> per_query) {
   double sum = 0.0;
   size_t count = 0;
   for (const double value : per_query) {
-    if (value >= 0.0) {
+    DCheckValidOrSentinel(value);
+    if (value != kInvalidQuery) {
       sum += value;
       ++count;
     }
@@ -128,7 +154,7 @@ double Err(std::span<const float> labels, std::span<const float> scores,
   DNLR_CHECK_GT(max_grade, 0.0f);
   bool any_relevant = false;
   for (const float label : labels) any_relevant |= label > 0.0f;
-  if (!any_relevant) return -1.0;
+  if (!any_relevant) return kInvalidQuery;
 
   const std::vector<uint32_t> order = RankByScore(scores);
   const size_t cutoff = k == 0 ? order.size() : std::min<size_t>(k, order.size());
@@ -172,7 +198,9 @@ double FisherRandomizationPValue(std::span<const double> per_query_a,
   std::vector<double> diffs;
   diffs.reserve(per_query_a.size());
   for (size_t q = 0; q < per_query_a.size(); ++q) {
-    if (per_query_a[q] >= 0.0 && per_query_b[q] >= 0.0) {
+    DCheckValidOrSentinel(per_query_a[q]);
+    DCheckValidOrSentinel(per_query_b[q]);
+    if (per_query_a[q] != kInvalidQuery && per_query_b[q] != kInvalidQuery) {
       diffs.push_back(per_query_a[q] - per_query_b[q]);
     }
   }

@@ -9,8 +9,22 @@
 
 namespace dnlr::metrics {
 
+/// Sentinel returned by the per-query metrics (Ndcg, AveragePrecision, Err)
+/// for queries that cannot be judged — no relevant documents, so the metric
+/// is undefined. Callers must NOT feed per-query vectors into a plain mean:
+/// a single sentinel silently drags the average down. MeanOverValidQueries
+/// is the only sanctioned aggregator (it skips sentinels and is what every
+/// Mean* helper uses); FisherRandomizationPValue likewise excludes sentinel
+/// pairs. Consumers assert via DNLR_DCHECK that per-query values are either
+/// valid (>= 0) or exactly this sentinel.
+inline constexpr double kInvalidQuery = -1.0;
+
 /// Indices of `scores` sorted by descending score; ties broken by ascending
-/// index so rankings are deterministic.
+/// index so rankings are deterministic. NaN scores compare unordered and
+/// would break std::sort's strict-weak-ordering contract (undefined
+/// behaviour), so they are deterministically ranked below every finite and
+/// infinite score, keeping poisoned documents at the bottom of the ranking
+/// instead of corrupting it.
 std::vector<uint32_t> RankByScore(std::span<const float> scores);
 
 /// DCG at cutoff `k` (k == 0 means no cutoff) of documents ranked by
@@ -24,26 +38,29 @@ double Dcg(std::span<const float> labels, std::span<const float> scores,
 double IdealDcg(std::span<const float> labels, uint32_t k);
 
 /// NDCG@k for one query. Queries whose ideal DCG is zero (no relevant
-/// documents) return -1 as a sentinel; aggregate functions skip them, the
+/// documents) return kInvalidQuery; aggregate functions skip them, the
 /// convention of the LightGBM/QuickRank evaluators the paper relies on.
 double Ndcg(std::span<const float> labels, std::span<const float> scores,
             uint32_t k);
 
 /// Average precision for one query. Binary relevance is label >= 1 (the
 /// LETOR convention for graded judgments). Queries with no relevant
-/// documents return -1 (skipped in aggregates).
+/// documents return kInvalidQuery (skipped in aggregates).
 double AveragePrecision(std::span<const float> labels,
                         std::span<const float> scores);
 
 /// Per-query metric values over a dataset, given one score per document.
-/// Unjudgeable queries carry the -1 sentinel so two models' vectors stay
-/// aligned for the paired significance test.
+/// Unjudgeable queries carry the kInvalidQuery sentinel so two models'
+/// vectors stay aligned for the paired significance test.
 std::vector<double> PerQueryNdcg(const data::Dataset& dataset,
                                  std::span<const float> scores, uint32_t k);
 std::vector<double> PerQueryMap(const data::Dataset& dataset,
                                 std::span<const float> scores);
 
-/// Mean over the valid (non-sentinel) entries of a per-query vector.
+/// Mean over the valid (non-sentinel) entries of a per-query vector — the
+/// ONLY sanctioned way to aggregate per-query metric vectors (see
+/// kInvalidQuery above). Debug builds assert every entry is valid or the
+/// exact sentinel.
 double MeanOverValidQueries(std::span<const double> per_query);
 
 /// Mean NDCG@k over a dataset (k == 0: no cutoff).
@@ -56,8 +73,9 @@ double MeanAp(const data::Dataset& dataset, std::span<const float> scores);
 /// Expected Reciprocal Rank at cutoff `k` (k == 0: no cutoff) for one query
 /// (Chapelle et al.): a cascade user model where a document with grade g
 /// satisfies the user with probability (2^g - 1) / 2^g_max. Complements
-/// NDCG in LtR evaluations; queries with no relevant documents return the
-/// -1 sentinel. `max_grade` is the dataset's top grade (4 for MSLR/Istella).
+/// NDCG in LtR evaluations; queries with no relevant documents return
+/// kInvalidQuery. `max_grade` is the dataset's top grade (4 for
+/// MSLR/Istella).
 double Err(std::span<const float> labels, std::span<const float> scores,
            uint32_t k, float max_grade = 4.0f);
 
@@ -72,8 +90,8 @@ double MeanErr(const data::Dataset& dataset, std::span<const float> scores,
 /// Fisher randomization (permutation) test on paired per-query metric
 /// values, the significance test used throughout the paper (p < 0.05).
 /// Returns the two-sided p-value for the null hypothesis that systems A and
-/// B are exchangeable. Queries where either side carries the -1 sentinel are
-/// excluded.
+/// B are exchangeable. Queries where either side carries the kInvalidQuery
+/// sentinel are excluded.
 double FisherRandomizationPValue(std::span<const double> per_query_a,
                                  std::span<const double> per_query_b,
                                  int permutations = 10000, uint64_t seed = 7);

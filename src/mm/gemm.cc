@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cstring>
+#include <vector>
 
 #include "common/aligned.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 
 #if defined(__AVX2__) && defined(__FMA__)
@@ -133,8 +135,54 @@ GemmParams GemmParams::TailoredTo(uint32_t m, uint32_t n, uint32_t k) const {
   return tailored;
 }
 
+namespace {
+
+/// Runs the macro-kernel for one MC-row block of A: packs the block into
+/// `packed_a` and streams its micro-panels against the already-packed B
+/// panel, accumulating into C. This is the unit of work the parallel path
+/// distributes; `packed_a` and `tile` are scratch owned by one chunk.
+void RunMacroBlock(const Matrix& a, Matrix* c, const GemmParams& params,
+                   bool use_simd, uint32_t ic, uint32_t mb, uint32_t jc,
+                   uint32_t nb, uint32_t pc, uint32_t kb,
+                   const float* packed_b, float* packed_a, float* tile) {
+  const uint32_t mr = params.mr;
+  const uint32_t nr = params.nr;
+  PackA(a, ic, mb, pc, kb, mr, packed_a);
+  // Macro-kernel: stream micro-panels of the packed blocks.
+  for (uint32_t jr = 0; jr < nb; jr += nr) {
+    const uint32_t cols = std::min(nr, nb - jr);
+    const float* b_panel = packed_b + static_cast<size_t>(jr / nr) * kb * nr;
+    for (uint32_t ir = 0; ir < mb; ir += mr) {
+      const uint32_t rows = std::min(mr, mb - ir);
+      const float* a_panel = packed_a + static_cast<size_t>(ir / mr) * kb * mr;
+#ifdef DNLR_GEMM_SIMD
+      if (use_simd) {
+        MicroKernel6x16Avx2(kb, a_panel, b_panel, tile);
+      } else {
+        std::memset(tile, 0, sizeof(float) * mr * nr);
+        MicroKernelScalar(kb, mr, nr, a_panel, b_panel, tile);
+      }
+#else
+      (void)use_simd;
+      std::memset(tile, 0, sizeof(float) * mr * nr);
+      MicroKernelScalar(kb, mr, nr, a_panel, b_panel, tile);
+#endif
+      // Accumulate the valid part of the tile into C.
+      for (uint32_t r = 0; r < rows; ++r) {
+        float* c_row = c->Row(ic + ir + r) + jc + jr;
+        const float* tile_row = tile + static_cast<size_t>(r) * nr;
+        for (uint32_t col = 0; col < cols; ++col) {
+          c_row[col] += tile_row[col];
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
 void GemmWithParams(const Matrix& a, const Matrix& b, Matrix* c,
-                    const GemmParams& raw_params) {
+                    const GemmParams& raw_params, common::ThreadPool* pool) {
   const uint32_t m = a.rows();
   const uint32_t k = a.cols();
   const uint32_t n = b.cols();
@@ -155,50 +203,48 @@ void GemmWithParams(const Matrix& a, const Matrix& b, Matrix* c,
   const bool use_simd = false;
 #endif
 
-  AlignedBuffer packed_a(static_cast<size_t>(RoundUp(params.mc, mr)) *
-                         params.kc);
+  const uint32_t num_ic_blocks = (m + params.mc - 1) / params.mc;
+  // One PackA buffer and one C tile per pool chunk. The packed-B panel is
+  // shared read-only: PackB touches it only between ParallelFor barriers.
+  const uint32_t num_scratch =
+      pool == nullptr
+          ? 1u
+          : std::min(pool->num_threads(),
+                     std::max(1u, num_ic_blocks));
+  const size_t packed_a_floats =
+      static_cast<size_t>(RoundUp(params.mc, mr)) * params.kc;
+  std::vector<AlignedBuffer> packed_a(num_scratch);
+  std::vector<AlignedBuffer> tiles(num_scratch);
+  for (uint32_t s = 0; s < num_scratch; ++s) {
+    packed_a[s].Resize(packed_a_floats);
+    tiles[s].Resize(static_cast<size_t>(mr) * nr);
+  }
   AlignedBuffer packed_b(static_cast<size_t>(params.kc) *
                          RoundUp(params.nc, nr));
-  AlignedBuffer tile(static_cast<size_t>(mr) * nr);
 
   for (uint32_t jc = 0; jc < n; jc += params.nc) {
     const uint32_t nb = std::min(params.nc, n - jc);
     for (uint32_t pc = 0; pc < k; pc += params.kc) {
       const uint32_t kb = std::min(params.kc, k - pc);
       PackB(b, pc, kb, jc, nb, nr, packed_b.data());
-      for (uint32_t ic = 0; ic < m; ic += params.mc) {
-        const uint32_t mb = std::min(params.mc, m - ic);
-        PackA(a, ic, mb, pc, kb, mr, packed_a.data());
-        // Macro-kernel: stream micro-panels of the packed blocks.
-        for (uint32_t jr = 0; jr < nb; jr += nr) {
-          const uint32_t cols = std::min(nr, nb - jr);
-          const float* b_panel =
-              packed_b.data() + static_cast<size_t>(jr / nr) * kb * nr;
-          for (uint32_t ir = 0; ir < mb; ir += mr) {
-            const uint32_t rows = std::min(mr, mb - ir);
-            const float* a_panel =
-                packed_a.data() + static_cast<size_t>(ir / mr) * kb * mr;
-#ifdef DNLR_GEMM_SIMD
-            if (use_simd) {
-              MicroKernel6x16Avx2(kb, a_panel, b_panel, tile.data());
-            } else {
-              std::memset(tile.data(), 0, sizeof(float) * mr * nr);
-              MicroKernelScalar(kb, mr, nr, a_panel, b_panel, tile.data());
-            }
-#else
-            std::memset(tile.data(), 0, sizeof(float) * mr * nr);
-            MicroKernelScalar(kb, mr, nr, a_panel, b_panel, tile.data());
-#endif
-            // Accumulate the valid part of the tile into C.
-            for (uint32_t r = 0; r < rows; ++r) {
-              float* c_row = c->Row(ic + ir + r) + jc + jr;
-              const float* tile_row = tile.data() + static_cast<size_t>(r) * nr;
-              for (uint32_t col = 0; col < cols; ++col) {
-                c_row[col] += tile_row[col];
-              }
-            }
-          }
+      const auto run_blocks = [&](uint32_t scratch, uint64_t block_begin,
+                                  uint64_t block_end) {
+        for (uint64_t block = block_begin; block < block_end; ++block) {
+          const uint32_t ic = static_cast<uint32_t>(block) * params.mc;
+          const uint32_t mb = std::min(params.mc, m - ic);
+          RunMacroBlock(a, c, params, use_simd, ic, mb, jc, nb, pc, kb,
+                        packed_b.data(), packed_a[scratch].data(),
+                        tiles[scratch].data());
         }
+      };
+      if (num_scratch > 1) {
+        // Chunks own disjoint MC-row stripes of C, so there is no write
+        // sharing; the barrier at the end of ParallelFor orders this (jc,
+        // pc) iteration's accumulation before the next PackB reuses the
+        // shared panel.
+        pool->ParallelFor(num_ic_blocks, run_blocks);
+      } else {
+        run_blocks(0, 0, num_ic_blocks);
       }
     }
   }
@@ -207,8 +253,18 @@ void GemmWithParams(const Matrix& a, const Matrix& b, Matrix* c,
   for (size_t i = 0; i < c->size(); ++i) DNLR_DCHECK_FINITE(c->data()[i]);
 }
 
+void GemmWithParams(const Matrix& a, const Matrix& b, Matrix* c,
+                    const GemmParams& raw_params) {
+  GemmWithParams(a, b, c, raw_params, nullptr);
+}
+
 void Gemm(const Matrix& a, const Matrix& b, Matrix* c) {
-  GemmWithParams(a, b, c, GemmParams());
+  GemmWithParams(a, b, c, GemmParams(), nullptr);
+}
+
+void Gemm(const Matrix& a, const Matrix& b, Matrix* c,
+          common::ThreadPool* pool) {
+  GemmWithParams(a, b, c, GemmParams(), pool);
 }
 
 void GemmReference(const Matrix& a, const Matrix& b, Matrix* c) {
@@ -238,14 +294,15 @@ bool GemmHasSimd() {
 }
 
 double MeasureGemmGflops(uint32_t m, uint32_t k, uint32_t n, int repeats,
-                         uint64_t seed) {
+                         uint64_t seed, common::ThreadPool* pool) {
   Rng rng(seed);
   Matrix a(m, k);
   Matrix b(k, n);
   Matrix c(m, n);
   a.FillUniform(rng);
   b.FillUniform(rng);
-  const double micros = TimeMicros([&] { Gemm(a, b, &c); }, repeats);
+  const double micros =
+      TimeMicros([&] { Gemm(a, b, &c, pool); }, repeats);
   const double flops = 2.0 * m * n * k;
   return flops / (micros * 1e-6) / 1e9;
 }

@@ -5,6 +5,10 @@
 
 #include "mm/matrix.h"
 
+namespace dnlr::common {
+class ThreadPool;
+}  // namespace dnlr::common
+
 namespace dnlr::mm {
 
 /// Blocking parameters of the Goto algorithm (Section 4.1 of the paper).
@@ -37,6 +41,20 @@ void Gemm(const Matrix& a, const Matrix& b, Matrix* c);
 void GemmWithParams(const Matrix& a, const Matrix& b, Matrix* c,
                     const GemmParams& params);
 
+/// C = A * B parallelized over the ic macro-blocks of the Goto loop nest:
+/// each pool chunk packs and streams its own range of MC-row blocks of A
+/// (per-chunk PackA and tile scratch) against the shared packed-B panel,
+/// with a barrier per (jc, pc) iteration so the panel can be reused. Every
+/// C element is accumulated by exactly one chunk in the serial kernel's
+/// order, so the result is bitwise identical to the serial path. A null
+/// pool (or a pool of 1) runs the serial kernel.
+void GemmWithParams(const Matrix& a, const Matrix& b, Matrix* c,
+                    const GemmParams& params, common::ThreadPool* pool);
+
+/// Parallel variant of Gemm with default blocking parameters.
+void Gemm(const Matrix& a, const Matrix& b, Matrix* c,
+          common::ThreadPool* pool);
+
 /// Reference triple-loop GEMM (ablation baseline and test oracle).
 void GemmReference(const Matrix& a, const Matrix& b, Matrix* c);
 
@@ -45,9 +63,10 @@ bool GemmHasSimd();
 
 /// Measured GFLOPS of C = A*B at the given shape: runs the multiplication
 /// `repeats` times and reports 2*m*n*k / best_time. Used to build the dense
-/// time predictor's calibration table (Figures 4-6).
+/// time predictor's calibration table (Figures 4-6). A non-null `pool`
+/// measures the parallel kernel (the bench-scaling probe).
 double MeasureGemmGflops(uint32_t m, uint32_t k, uint32_t n, int repeats = 3,
-                         uint64_t seed = 99);
+                         uint64_t seed = 99, common::ThreadPool* pool = nullptr);
 
 }  // namespace dnlr::mm
 

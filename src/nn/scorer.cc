@@ -35,28 +35,37 @@ void NeuralScorer::BiasActivate(const std::vector<float>& bias, bool activate,
 }
 
 void NeuralScorer::ForwardColumns(const mm::Matrix& input_columns,
-                                  float* out) const {
+                                  ForwardScratch* scratch, float* out) const {
   const uint32_t batch = input_columns.cols();
-  mm::Matrix current = input_columns;
+  // Layer 0 reads the packed input in place; each later layer reads the
+  // previous layer's buffer and writes the other one (ping-pong), so no
+  // layer allocates once the scratch reaches its high-water size.
+  const mm::Matrix* current = &input_columns;
+  mm::Matrix* buffers[2] = {&scratch->ping, &scratch->pong};
   for (size_t l = 0; l < weights_.size(); ++l) {
-    mm::Matrix next(weights_[l].rows(), batch);
-    mm::Gemm(weights_[l], current, &next);
-    BiasActivate(biases_[l], /*activate=*/l + 1 < weights_.size(), &next);
-    current = std::move(next);
+    mm::Matrix* next = buffers[l % 2];
+    next->Reshape(weights_[l].rows(), batch);
+    mm::Gemm(weights_[l], *current, next);
+    BiasActivate(biases_[l], /*activate=*/l + 1 < weights_.size(), next);
+    current = next;
   }
   // Final layer has a single output row: the scores.
-  const float* scores = current.Row(0);
+  const float* scores = current->Row(0);
   std::copy(scores, scores + batch, out);
 }
 
-void NeuralScorer::Score(const float* docs, uint32_t count, uint32_t stride,
-                         float* out) const {
+void NeuralScorer::ScoreBatchRange(const float* docs, uint32_t count,
+                                   uint32_t stride, uint64_t batch_begin,
+                                   uint64_t batch_end, float* out) const {
   std::vector<float> normalized(input_dim_);
-  for (uint32_t start = 0; start < count; start += config_.batch_size) {
+  ForwardScratch scratch;
+  mm::Matrix columns;
+  for (uint64_t bi = batch_begin; bi < batch_end; ++bi) {
+    const uint32_t start = static_cast<uint32_t>(bi) * config_.batch_size;
     const uint32_t batch = std::min(config_.batch_size, count - start);
     // Pack documents as columns of B (features x batch), normalizing on the
     // way in.
-    mm::Matrix columns(input_dim_, batch);
+    columns.Reshape(input_dim_, batch);
     for (uint32_t b = 0; b < batch; ++b) {
       const float* row = docs + static_cast<size_t>(start + b) * stride;
       std::copy(row, row + input_dim_, normalized.begin());
@@ -65,8 +74,28 @@ void NeuralScorer::Score(const float* docs, uint32_t count, uint32_t stride,
         columns.At(f, b) = normalized[f];
       }
     }
-    ForwardColumns(columns, out + start);
+    ForwardColumns(columns, &scratch, out + start);
   }
+}
+
+void NeuralScorer::Score(const float* docs, uint32_t count, uint32_t stride,
+                         float* out) const {
+  if (count == 0) return;
+  const uint64_t num_batches =
+      (static_cast<uint64_t>(count) + config_.batch_size - 1) /
+      config_.batch_size;
+  common::ThreadPool* pool = config_.pool;
+  if (pool != nullptr && pool->num_threads() > 1 && num_batches > 1) {
+    // Whole batches are the distribution unit, so every document sees the
+    // same batch boundaries — and therefore bitwise-identical scores — as
+    // the serial path.
+    pool->ParallelFor(num_batches,
+                      [&](uint32_t /*chunk*/, uint64_t begin, uint64_t end) {
+                        ScoreBatchRange(docs, count, stride, begin, end, out);
+                      });
+    return;
+  }
+  ScoreBatchRange(docs, count, stride, 0, num_batches, out);
 }
 
 HybridNeuralScorer::HybridNeuralScorer(const Mlp& mlp,
@@ -76,20 +105,24 @@ HybridNeuralScorer::HybridNeuralScorer(const Mlp& mlp,
       first_layer_(mm::CsrMatrix::FromDense(mlp.layer(0).weight)) {}
 
 void HybridNeuralScorer::ForwardColumns(const mm::Matrix& input_columns,
+                                        ForwardScratch* scratch,
                                         float* out) const {
   const uint32_t batch = input_columns.cols();
-  // First layer: sparse weights x dense input columns.
-  mm::Matrix current(first_layer_.rows(), batch);
-  mm::Sdmm(first_layer_, input_columns, &current);
-  BiasActivate(biases_[0], /*activate=*/weights_.size() > 1, &current);
-  // Remaining layers: dense.
+  mm::Matrix* buffers[2] = {&scratch->ping, &scratch->pong};
+  // First layer: sparse weights x dense input columns, read in place.
+  mm::Matrix* current = buffers[0];
+  current->Reshape(first_layer_.rows(), batch);
+  mm::Sdmm(first_layer_, input_columns, current);
+  BiasActivate(biases_[0], /*activate=*/weights_.size() > 1, current);
+  // Remaining layers: dense, ping-ponging between the two buffers.
   for (size_t l = 1; l < weights_.size(); ++l) {
-    mm::Matrix next(weights_[l].rows(), batch);
-    mm::Gemm(weights_[l], current, &next);
-    BiasActivate(biases_[l], /*activate=*/l + 1 < weights_.size(), &next);
-    current = std::move(next);
+    mm::Matrix* next = buffers[l % 2];
+    next->Reshape(weights_[l].rows(), batch);
+    mm::Gemm(weights_[l], *current, next);
+    BiasActivate(biases_[l], /*activate=*/l + 1 < weights_.size(), next);
+    current = next;
   }
-  const float* scores = current.Row(0);
+  const float* scores = current->Row(0);
   std::copy(scores, scores + batch, out);
 }
 

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "data/normalize.h"
 #include "forest/scorer.h"
 #include "mm/csr.h"
@@ -15,6 +16,21 @@ namespace dnlr::nn {
 /// in batches (n is the GEMM's N dimension); 64 is its sparse sweet spot.
 struct NeuralScorerConfig {
   uint32_t batch_size = 64;
+  /// Intra-request parallelism: when set, Score distributes whole
+  /// batch_size-sized batches across the pool (each chunk runs the serial
+  /// forward pass on its batches, so scores are bitwise identical to the
+  /// serial engine). Null means single-threaded. Not owned; must outlive
+  /// the scorer.
+  common::ThreadPool* pool = nullptr;
+};
+
+/// Per-call scratch of the layer-by-layer forward pass: two activation
+/// matrices used as ping-pong buffers. Reused across every batch of one
+/// Score call, so the steady state allocates nothing per batch (Reshape
+/// reuses storage once the buffers reach the widest layer's size).
+struct ForwardScratch {
+  mm::Matrix ping;
+  mm::Matrix pong;
 };
 
 /// Optimized dense neural inference on CPU: documents are Z-normalized and
@@ -36,14 +52,23 @@ class NeuralScorer : public forest::DocumentScorer {
              float* out) const override;
 
  protected:
-  /// Scores one batch already packed column-major (features x batch).
-  /// Overridden by the hybrid scorer to run the first layer sparse.
+  /// Scores one batch already packed column-major (features x batch). The
+  /// input is read in place (layer 0 consumes it directly; no copy) and the
+  /// remaining layers ping-pong between the scratch buffers. Overridden by
+  /// the hybrid scorer to run the first layer sparse.
   virtual void ForwardColumns(const mm::Matrix& input_columns,
-                              float* out) const;
+                              ForwardScratch* scratch, float* out) const;
 
   /// Applies bias and (optionally) ReLU6 row-wise to a (out x batch) matrix.
   static void BiasActivate(const std::vector<float>& bias, bool activate,
                            mm::Matrix* z);
+
+  /// Scores the contiguous batch range [batch_begin, batch_end) of a Score
+  /// call (batch i covers documents [i * batch_size, ...)). Each pool chunk
+  /// runs one of these with its own scratch.
+  void ScoreBatchRange(const float* docs, uint32_t count, uint32_t stride,
+                       uint64_t batch_begin, uint64_t batch_end,
+                       float* out) const;
 
   std::vector<mm::Matrix> weights_;          // per layer, out x in
   std::vector<std::vector<float>> biases_;   // per layer
@@ -68,7 +93,7 @@ class HybridNeuralScorer : public NeuralScorer {
 
  protected:
   void ForwardColumns(const mm::Matrix& input_columns,
-                      float* out) const override;
+                      ForwardScratch* scratch, float* out) const override;
 
  private:
   mm::CsrMatrix first_layer_;

@@ -1,6 +1,10 @@
 #include "predict/network_time.h"
 
+#include <algorithm>
+
 #include "common/check.h"
+#include "common/thread_pool.h"
+#include "mm/gemm.h"
 
 namespace dnlr::predict {
 
@@ -33,6 +37,34 @@ double PredictSparsitySpeedup(uint32_t m, uint32_t k, double sparsity,
   const double dense_us = dense.PredictGemmMicros(m, k, n);
   const double sparse_us = sparse.PredictMicrosWorstCase(m, k, sparsity, n);
   return sparse_us > 0.0 ? dense_us / sparse_us : 0.0;
+}
+
+ParallelScaling MeasureGemmParallelScaling(common::ThreadPool* pool,
+                                           uint32_t m, uint32_t k, uint32_t n,
+                                           int repeats) {
+  ParallelScaling scaling;
+  if (pool == nullptr || pool->num_threads() <= 1) return scaling;
+  scaling.num_threads = pool->num_threads();
+  const double serial_gflops =
+      mm::MeasureGemmGflops(m, k, n, repeats, /*seed=*/99, nullptr);
+  const double parallel_gflops =
+      mm::MeasureGemmGflops(m, k, n, repeats, /*seed=*/99, pool);
+  if (serial_gflops <= 0.0 || parallel_gflops <= 0.0) {
+    scaling.efficiency = 0.0;
+    return scaling;
+  }
+  // Invert speedup = 1 + e * (T - 1) for e, then clamp: oversubscribed or
+  // noisy measurements must never make predicted times optimistic.
+  const double speedup = parallel_gflops / serial_gflops;
+  const double efficiency =
+      (speedup - 1.0) / static_cast<double>(scaling.num_threads - 1);
+  scaling.efficiency = std::min(1.0, std::max(0.0, efficiency));
+  return scaling;
+}
+
+double ParallelMicrosPerDoc(double serial_us_per_doc,
+                            const ParallelScaling& scaling) {
+  return serial_us_per_doc / scaling.Speedup();
 }
 
 }  // namespace dnlr::predict

@@ -5,6 +5,10 @@
 #include "predict/dense_predictor.h"
 #include "predict/sparse_predictor.h"
 
+namespace dnlr::common {
+class ThreadPool;
+}  // namespace dnlr::common
+
 namespace dnlr::predict {
 
 /// Full scoring-time estimate of a hybrid network (sparse first layer, dense
@@ -37,6 +41,38 @@ HybridTimeEstimate EstimateHybridTime(const Architecture& arch, uint32_t batch,
 double PredictSparsitySpeedup(uint32_t m, uint32_t k, double sparsity,
                               uint32_t n, const DenseTimePredictor& dense,
                               const SparseTimePredictor& sparse);
+
+/// How well multi-threaded scoring actually scales on this machine: a
+/// serial time never shrinks by 1/T in practice (packing barriers, shared
+/// memory bandwidth, the sequential PackB), so predicted times are scaled
+/// by the MEASURED efficiency instead. With efficiency e in [0, 1], the
+/// modeled speed-up at T threads is 1 + e * (T - 1): e = 1 is ideal linear
+/// scaling, e = 0 is no scaling at all (the serial predictor unchanged).
+struct ParallelScaling {
+  uint32_t num_threads = 1;
+  double efficiency = 1.0;
+
+  /// Modeled throughput multiplier over the serial path (>= 1).
+  double Speedup() const {
+    if (num_threads <= 1 || efficiency <= 0.0) return 1.0;
+    return 1.0 + efficiency * (num_threads - 1);
+  }
+};
+
+/// Measures the parallel efficiency of the blocked GEMM on `pool` at a
+/// scoring-shaped problem (m x k weights against a k x n batch panel):
+/// times the serial kernel and the pool kernel on the same matrices and
+/// solves the ParallelScaling model for e. Returns {1, 1.0} for a null or
+/// single-thread pool. Efficiency is clamped to [0, 1]: super-linear
+/// measurement noise must not make predicted times optimistic.
+ParallelScaling MeasureGemmParallelScaling(common::ThreadPool* pool,
+                                           uint32_t m = 256, uint32_t k = 256,
+                                           uint32_t n = 64, int repeats = 3);
+
+/// Serial predicted per-document time scaled by measured parallel
+/// efficiency — the rung cost a multi-threaded ServingEngine budgets with.
+double ParallelMicrosPerDoc(double serial_us_per_doc,
+                            const ParallelScaling& scaling);
 
 }  // namespace dnlr::predict
 

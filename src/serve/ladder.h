@@ -38,6 +38,16 @@ class DegradationLadder {
   Status AddRung(std::string name, const FallibleScorer* scorer,
                  double predicted_us_per_doc);
 
+  /// Appends a rung whose scorer runs with intra-request parallelism:
+  /// `serial_us_per_doc` is the single-thread analytic prediction and
+  /// `scaling` is the machine's measured parallel efficiency
+  /// (predict::MeasureGemmParallelScaling), so the budgeted cost is
+  /// serial / (1 + e * (T - 1)) — never the naive serial / T, which would
+  /// make the engine promise deadlines the hardware cannot keep.
+  Status AddRung(std::string name, const FallibleScorer* scorer,
+                 double serial_us_per_doc,
+                 const predict::ParallelScaling& scaling);
+
   size_t num_rungs() const { return rungs_.size(); }
   const Rung& rung(size_t i) const { return rungs_[i]; }
 

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "common/rng.h"
@@ -14,6 +15,50 @@ TEST(RankTest, DescendingWithStableTies) {
   const std::vector<float> scores{1.0f, 3.0f, 3.0f, 0.5f};
   const auto order = RankByScore(scores);
   EXPECT_EQ(order, (std::vector<uint32_t>{1, 2, 0, 3}));
+}
+
+TEST(RankTest, NanScoresRankLastDeterministically) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const float inf = std::numeric_limits<float>::infinity();
+  const std::vector<float> scores{nan, 2.0f, nan, inf, -inf, 0.5f};
+  const auto order = RankByScore(scores);
+  // Finite and infinite scores descend first; NaNs sink to the bottom in
+  // stable (ascending-index) order instead of corrupting the sort.
+  EXPECT_EQ(order, (std::vector<uint32_t>{3, 1, 5, 4, 0, 2}));
+}
+
+TEST(RankTest, AllNanKeepsInputOrder) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const std::vector<float> scores{nan, nan, nan};
+  EXPECT_EQ(RankByScore(scores), (std::vector<uint32_t>{0, 1, 2}));
+}
+
+TEST(RankTest, ManyInterleavedNansStressStrictWeakOrdering) {
+  // The `a > b` comparator's strict-weak-ordering violation under NaN only
+  // bites std::sort/std::stable_sort above their small-array thresholds, so
+  // hammer a few hundred elements with NaN in every other slot (this is the
+  // regression shape that crashed/garbled before DescendingNanLast).
+  Rng rng(31);
+  std::vector<float> scores(512);
+  for (size_t i = 0; i < scores.size(); ++i) {
+    scores[i] = i % 2 == 0 ? std::numeric_limits<float>::quiet_NaN()
+                           : static_cast<float>(rng.Normal());
+  }
+  const auto order = RankByScore(scores);
+  ASSERT_EQ(order.size(), scores.size());
+  std::vector<bool> seen(scores.size(), false);
+  for (const uint32_t idx : order) {
+    ASSERT_LT(idx, scores.size());
+    EXPECT_FALSE(seen[idx]) << "index ranked twice: " << idx;
+    seen[idx] = true;
+  }
+  // All 256 NaNs occupy the bottom half, in ascending-index order.
+  for (size_t rank = 256; rank < 512; ++rank) {
+    EXPECT_TRUE(std::isnan(scores[order[rank]])) << "rank " << rank;
+    if (rank > 256) {
+      EXPECT_LT(order[rank - 1], order[rank]);
+    }
+  }
 }
 
 TEST(DcgTest, HandComputedExample) {
@@ -30,6 +75,20 @@ TEST(DcgTest, CutoffLimitsPositions) {
   const std::vector<float> labels{1.0f, 1.0f, 1.0f};
   const std::vector<float> scores{3.0f, 2.0f, 1.0f};
   EXPECT_LT(Dcg(labels, scores, 1), Dcg(labels, scores, 3));
+}
+
+TEST(DcgTest, IdealDcgNanLabelsSinkWithoutUb) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  // Enough elements to push std::sort past its insertion-sort threshold,
+  // with NaN labels interleaved (std::greater here was UB before the
+  // DescendingNanLast comparator).
+  std::vector<float> labels(64, 1.0f);
+  for (size_t i = 0; i < labels.size(); i += 3) labels[i] = nan;
+  const double ideal = IdealDcg(labels, 10);
+  EXPECT_TRUE(std::isfinite(ideal));
+  // The top-10 cutoff is filled by the valid grade-1 labels, so NaNs never
+  // contribute gain.
+  EXPECT_NEAR(ideal, IdealDcg(std::vector<float>(43, 1.0f), 10), 1e-12);
 }
 
 TEST(NdcgTest, PerfectRankingIsOne) {
@@ -122,6 +181,25 @@ TEST(AggregateTest, SentinelQueriesSkipped) {
 TEST(AggregateTest, MeanOverValidQueriesEmptyIsZero) {
   const std::vector<double> values{-1.0, -1.0};
   EXPECT_DOUBLE_EQ(MeanOverValidQueries(values), 0.0);
+}
+
+TEST(AggregateTest, SentinelConstantMatchesDocumentedValue) {
+  // The -1.0 sentinel is part of the serialized-metrics contract (external
+  // tooling greps for it); kInvalidQuery must stay exactly -1.0 and every
+  // per-query metric must return it, not some other negative value.
+  EXPECT_DOUBLE_EQ(kInvalidQuery, -1.0);
+  const std::vector<float> labels{0.0f, 0.0f};
+  const std::vector<float> scores{1.0f, 2.0f};
+  EXPECT_DOUBLE_EQ(Ndcg(labels, scores, 10), kInvalidQuery);
+  EXPECT_DOUBLE_EQ(AveragePrecision(labels, scores), kInvalidQuery);
+  EXPECT_DOUBLE_EQ(Err(labels, scores, 10), kInvalidQuery);
+}
+
+TEST(AggregateTest, MeanOverValidQueriesSkipsExactlyTheSentinel) {
+  // 0.0 is a VALID metric value (a query ranked as badly as possible) and
+  // must count toward the mean; only the sentinel is skipped.
+  const std::vector<double> values{0.8, kInvalidQuery, 0.0, 0.4};
+  EXPECT_NEAR(MeanOverValidQueries(values), (0.8 + 0.0 + 0.4) / 3.0, 1e-12);
 }
 
 TEST(ErrTest, SingleMaxGradeDocAtTopGivesHalfIshMass) {

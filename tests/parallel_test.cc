@@ -1,0 +1,386 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <future>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "forest/parallel_scorer.h"
+#include "forest/quickscorer.h"
+#include "gbdt/tree.h"
+#include "mm/gemm.h"
+#include "mm/matrix.h"
+#include "nn/mlp.h"
+#include "nn/scorer.h"
+#include "prune/magnitude.h"
+#include "serve/engine.h"
+#include "serve/ladder.h"
+
+namespace dnlr {
+namespace {
+
+using common::ThreadPool;
+
+// ---------------------------------------------------------------------------
+// ThreadPool semantics.
+
+TEST(ThreadPoolTest, SerialPoolRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  const auto caller = std::this_thread::get_id();
+  uint32_t calls = 0;
+  pool.ParallelFor(10, [&](uint32_t chunk, uint64_t begin, uint64_t end) {
+    ++calls;
+    EXPECT_EQ(chunk, 0u);
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, 10u);
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+  EXPECT_EQ(calls, 1u);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsMeansOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+}
+
+TEST(ThreadPoolTest, ZeroCountIsNoop) {
+  ThreadPool pool(4);
+  pool.ParallelFor(0, [&](uint32_t, uint64_t, uint64_t) {
+    FAIL() << "body must not run for an empty range";
+  });
+}
+
+TEST(ThreadPoolTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  for (const uint64_t count : {1u, 3u, 4u, 5u, 7u, 100u, 1000u}) {
+    std::vector<std::atomic<uint32_t>> hits(count);
+    for (auto& h : hits) h.store(0);
+    pool.ParallelFor(count, [&](uint32_t chunk, uint64_t begin, uint64_t end) {
+      EXPECT_LT(chunk, pool.num_threads());
+      EXPECT_LE(begin, end);
+      EXPECT_LE(end, count);
+      for (uint64_t i = begin; i < end; ++i) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+    for (uint64_t i = 0; i < count; ++i) {
+      EXPECT_EQ(hits[i].load(), 1u) << "index " << i << " of " << count;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ChunksAreBalanced) {
+  ThreadPool pool(4);
+  std::mutex mu;
+  std::vector<uint64_t> sizes;
+  pool.ParallelFor(10, [&](uint32_t, uint64_t begin, uint64_t end) {
+    std::lock_guard<std::mutex> lock(mu);
+    sizes.push_back(end - begin);
+  });
+  ASSERT_EQ(sizes.size(), 4u);
+  uint64_t lo = sizes[0];
+  uint64_t hi = sizes[0];
+  uint64_t total = 0;
+  for (const uint64_t s : sizes) {
+    lo = std::min(lo, s);
+    hi = std::max(hi, s);
+    total += s;
+  }
+  EXPECT_EQ(total, 10u);
+  EXPECT_LE(hi - lo, 1u);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesAndPoolSurvives) {
+  ThreadPool pool(3);
+  EXPECT_THROW(
+      pool.ParallelFor(100,
+                       [&](uint32_t chunk, uint64_t, uint64_t) {
+                         if (chunk == 1) {
+                           throw std::runtime_error("chunk failure");
+                         }
+                       }),
+      std::runtime_error);
+  // The join is exception-safe: the pool keeps working afterwards.
+  std::atomic<uint64_t> sum{0};
+  pool.ParallelFor(100, [&](uint32_t, uint64_t begin, uint64_t end) {
+    sum.fetch_add(end - begin, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), 100u);
+}
+
+// The ServingEngine scenario: several worker threads issue ParallelFor on
+// one shared pool at once. Each call must see its own chunk indices (so
+// per-chunk scratch is exclusive within the call) and join only its own
+// chunks — no deadlock, no cross-call scratch interleaving.
+TEST(ThreadPoolTest, ConcurrentCallersDontDeadlockOrInterleaveScratch) {
+  ThreadPool pool(3);
+  constexpr int kCallers = 4;
+  constexpr int kRounds = 50;
+  constexpr uint64_t kCount = 257;
+
+  std::vector<std::thread> callers;
+  std::vector<uint64_t> totals(kCallers, 0);
+  for (int caller = 0; caller < kCallers; ++caller) {
+    callers.emplace_back([&, caller] {
+      for (int round = 0; round < kRounds; ++round) {
+        // Per-call scratch: one slot per chunk, plus an occupancy flag that
+        // trips if two bodies of the SAME call ever share a chunk index.
+        std::vector<uint64_t> scratch(pool.num_threads(), 0);
+        std::vector<std::atomic<int>> occupied(pool.num_threads());
+        for (auto& o : occupied) o.store(0);
+        pool.ParallelFor(
+            kCount, [&](uint32_t chunk, uint64_t begin, uint64_t end) {
+              ASSERT_EQ(occupied[chunk].fetch_add(1), 0)
+                  << "chunk scratch " << chunk << " used concurrently";
+              for (uint64_t i = begin; i < end; ++i) scratch[chunk] += i;
+              occupied[chunk].fetch_sub(1);
+            });
+        uint64_t sum = 0;
+        for (const uint64_t s : scratch) sum += s;
+        totals[caller] += sum;
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+  const uint64_t expected =
+      static_cast<uint64_t>(kRounds) * (kCount * (kCount - 1) / 2);
+  for (int caller = 0; caller < kCallers; ++caller) {
+    EXPECT_EQ(totals[caller], expected) << "caller " << caller;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel GEMM: bitwise identity with the serial kernel.
+
+/// Shapes chosen to hit every blocking edge case: single element, sub-tile,
+/// ragged tails in all three dimensions, and multiple mc blocks.
+const std::tuple<uint32_t, uint32_t, uint32_t> kGemmShapes[] = {
+    {1, 1, 1},    {5, 7, 3},     {13, 17, 31},
+    {63, 33, 70}, {100, 24, 37}, {130, 40, 65},
+};
+
+TEST(ParallelGemmTest, BitwiseEqualsSerialAcrossShapesAndThreads) {
+  for (const auto& [m, k, n] : kGemmShapes) {
+    Rng rng(static_cast<uint64_t>(m) * 131 + k * 17 + n);
+    mm::Matrix a(m, k);
+    mm::Matrix b(k, n);
+    a.FillNormal(rng);
+    b.FillNormal(rng);
+
+    // Small mc forces several ic macro-blocks even on tiny shapes, so the
+    // parallel path actually splits (default mc=72 would leave most of
+    // these shapes single-block). mr/nr granularity must be respected.
+    mm::GemmParams small_blocks;
+    small_blocks.mc = 12;
+    small_blocks.kc = 16;
+    small_blocks.nc = 32;
+
+    for (const mm::GemmParams& params : {mm::GemmParams(), small_blocks}) {
+      mm::Matrix serial(m, n);
+      mm::GemmWithParams(a, b, &serial, params);
+      for (const uint32_t threads : {1u, 3u, 8u}) {
+        ThreadPool pool(threads);
+        mm::Matrix parallel(m, n);
+        parallel.Fill(-123.0f);  // poison: every element must be written
+        mm::GemmWithParams(a, b, &parallel, params, &pool);
+        ASSERT_EQ(std::memcmp(serial.data(), parallel.data(),
+                              serial.size() * sizeof(float)),
+                  0)
+            << "shape (" << m << "," << k << "," << n << ") threads "
+            << threads << " mc " << params.mc;
+      }
+    }
+  }
+}
+
+TEST(ParallelGemmTest, NullPoolIsSerial) {
+  Rng rng(7);
+  mm::Matrix a(30, 20);
+  mm::Matrix b(20, 10);
+  a.FillNormal(rng);
+  b.FillNormal(rng);
+  mm::Matrix serial(30, 10);
+  mm::Matrix via_null(30, 10);
+  mm::Gemm(a, b, &serial);
+  mm::Gemm(a, b, &via_null, nullptr);
+  EXPECT_EQ(std::memcmp(serial.data(), via_null.data(),
+                        serial.size() * sizeof(float)),
+            0);
+}
+
+// ---------------------------------------------------------------------------
+// Neural scorers: pool chunking preserves scores bitwise.
+
+std::vector<float> RandomDocs(uint32_t count, uint32_t stride, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> docs(static_cast<size_t>(count) * stride);
+  for (float& v : docs) v = static_cast<float>(rng.Normal());
+  return docs;
+}
+
+TEST(ParallelNeuralScorerTest, DenseBitwiseEqualsSerial) {
+  const uint32_t stride = 20;
+  const nn::Mlp mlp(predict::Architecture(stride, {16, 8}), 3);
+  // 130 docs at batch 64: two full batches plus a ragged 2-doc tail.
+  for (const uint32_t count : {130u, 700u}) {
+    const std::vector<float> docs = RandomDocs(count, stride, count);
+    const nn::NeuralScorer serial(mlp, nullptr);
+    std::vector<float> expected(count);
+    serial.Score(docs.data(), count, stride, expected.data());
+
+    for (const uint32_t threads : {3u, 8u}) {
+      ThreadPool pool(threads);
+      nn::NeuralScorerConfig config;
+      config.pool = &pool;
+      const nn::NeuralScorer parallel(mlp, nullptr, config);
+      std::vector<float> actual(count, -123.0f);
+      parallel.Score(docs.data(), count, stride, actual.data());
+      ASSERT_EQ(std::memcmp(expected.data(), actual.data(),
+                            count * sizeof(float)),
+                0)
+          << "count " << count << " threads " << threads;
+    }
+  }
+}
+
+TEST(ParallelNeuralScorerTest, HybridBitwiseEqualsSerial) {
+  const uint32_t stride = 24;
+  nn::Mlp mlp(predict::Architecture(stride, {32, 8}), 4);
+  nn::WeightMasks masks = prune::MakeDenseMasks(mlp);
+  prune::LevelPruneLayer(&mlp, 0, 0.9, &masks);
+
+  const uint32_t count = 300;
+  const std::vector<float> docs = RandomDocs(count, stride, 11);
+  const nn::HybridNeuralScorer serial(mlp, nullptr);
+  std::vector<float> expected(count);
+  serial.Score(docs.data(), count, stride, expected.data());
+
+  ThreadPool pool(3);
+  nn::NeuralScorerConfig config;
+  config.pool = &pool;
+  const nn::HybridNeuralScorer parallel(mlp, nullptr, config);
+  std::vector<float> actual(count, -123.0f);
+  parallel.Score(docs.data(), count, stride, actual.data());
+  EXPECT_EQ(std::memcmp(expected.data(), actual.data(),
+                        count * sizeof(float)),
+            0);
+}
+
+// ---------------------------------------------------------------------------
+// ParallelEnsembleScorer: chunked traversal equals the inner scorer.
+
+/// A small hand-built forest: stumps over distinct features, so scores
+/// depend on every document's values and chunk boundaries would show.
+gbdt::Ensemble MakeStumpForest(uint32_t num_features) {
+  gbdt::Ensemble ensemble(0.1);
+  for (uint32_t f = 0; f < num_features; ++f) {
+    std::vector<gbdt::TreeNode> nodes(1);
+    nodes[0] = {f, 0.0f, gbdt::TreeNode::EncodeLeaf(0),
+                gbdt::TreeNode::EncodeLeaf(1)};
+    ensemble.AddTree(gbdt::RegressionTree(
+        std::move(nodes), {-0.5 * (f + 1), 0.25 * (f + 1)}));
+  }
+  return ensemble;
+}
+
+TEST(ParallelEnsembleScorerTest, BitwiseEqualsInnerScorer) {
+  const uint32_t features = 6;
+  const gbdt::Ensemble ensemble = MakeStumpForest(features);
+  const forest::QuickScorer inner(ensemble, features);
+
+  const uint32_t count = 500;
+  const std::vector<float> docs = RandomDocs(count, features, 23);
+  std::vector<float> expected(count);
+  inner.Score(docs.data(), count, features, expected.data());
+
+  for (const uint32_t threads : {1u, 3u, 8u}) {
+    ThreadPool pool(threads);
+    const forest::ParallelEnsembleScorer wrapper(&inner, &pool,
+                                                 /*min_docs_per_chunk=*/16);
+    std::vector<float> actual(count, -123.0f);
+    wrapper.Score(docs.data(), count, features, actual.data());
+    ASSERT_EQ(std::memcmp(expected.data(), actual.data(),
+                          count * sizeof(float)),
+              0)
+        << "threads " << threads;
+  }
+}
+
+TEST(ParallelEnsembleScorerTest, TinyBlocksStayOnCallingThread) {
+  const uint32_t features = 4;
+  const gbdt::Ensemble ensemble = MakeStumpForest(features);
+  const forest::QuickScorer inner(ensemble, features);
+  ThreadPool pool(4);
+  const forest::ParallelEnsembleScorer wrapper(&inner, &pool,
+                                               /*min_docs_per_chunk=*/64);
+  // 100 docs < 2 * 64: pass-through, still correct.
+  const uint32_t count = 100;
+  const std::vector<float> docs = RandomDocs(count, features, 29);
+  std::vector<float> expected(count);
+  std::vector<float> actual(count);
+  inner.Score(docs.data(), count, features, expected.data());
+  wrapper.Score(docs.data(), count, features, actual.data());
+  EXPECT_EQ(std::memcmp(expected.data(), actual.data(),
+                        count * sizeof(float)),
+            0);
+  EXPECT_EQ(wrapper.name(), "parallel-quickscorer");
+}
+
+// ---------------------------------------------------------------------------
+// Integration: ServingEngine workers driving pool-backed rungs concurrently.
+
+TEST(ParallelServingTest, EngineWorkersSharePoolWithoutDeadlock) {
+  const uint32_t stride = 16;
+  const nn::Mlp mlp(predict::Architecture(stride, {12, 6}), 5);
+
+  ThreadPool pool(2);
+  nn::NeuralScorerConfig config;
+  config.pool = &pool;
+  const nn::NeuralScorer scorer(mlp, nullptr, config);
+  const serve::InfallibleScorerAdapter adapter(&scorer);
+
+  serve::DegradationLadder ladder;
+  ASSERT_TRUE(ladder.AddRung("dense", &adapter, 0.01).ok());
+
+  serve::ServingConfig sc;
+  sc.num_workers = 4;
+  sc.queue_capacity = 256;
+  serve::ServingEngine engine(&ladder, sc);
+
+  // Every engine worker issues pool-chunked Score calls at once; all must
+  // complete (no deadlock) with the serial scorer's exact scores.
+  const uint32_t count = 200;
+  const std::vector<float> docs = RandomDocs(count, stride, 31);
+  const nn::NeuralScorer reference(mlp, nullptr);
+  std::vector<float> expected(count);
+  reference.Score(docs.data(), count, stride, expected.data());
+
+  std::vector<std::future<serve::ServeResponse>> inflight;
+  for (int r = 0; r < 32; ++r) {
+    serve::ServeRequest request;
+    request.docs = docs.data();
+    request.count = count;
+    request.stride = stride;
+    inflight.push_back(engine.Submit(request));
+  }
+  for (auto& future : inflight) {
+    const serve::ServeResponse response = future.get();
+    ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+    ASSERT_EQ(response.scores.size(), count);
+    ASSERT_EQ(std::memcmp(expected.data(), response.scores.data(),
+                          count * sizeof(float)),
+              0);
+  }
+  engine.Stop();
+}
+
+}  // namespace
+}  // namespace dnlr

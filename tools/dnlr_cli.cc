@@ -11,6 +11,10 @@
 //   validate      run the deep invariant validators on a model / data file
 //   serve-bench   load-test the deadline-aware scoring service and emit a
 //                 latency-percentile / rung-distribution JSON report
+//   bench-scaling measure docs/s and GEMM GFLOP/s of the dense, hybrid and
+//                 tree rungs across thread counts and emit a scaling JSON
+//                 report (the multi-core counterpart of the paper's
+//                 single-core efficiency tables)
 //
 // Run `dnlr_cli <subcommand>` with no further arguments for usage.
 
@@ -18,6 +22,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <future>
 #include <map>
@@ -25,9 +30,11 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "core/cascade.h"
 #include "core/pipeline.h"
 #include "core/timing.h"
+#include "forest/parallel_scorer.h"
 #include "data/letor_io.h"
 #include "data/synthetic.h"
 #include "data/validate.h"
@@ -96,6 +103,44 @@ std::string FormatFixed(double value, int precision) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
   return buf;
+}
+
+/// Creates the directory a generated artifact lands in. Bench output lives
+/// under out/ (gitignored) rather than next to the bench sources, so a
+/// fresh checkout needs the directory created on first run.
+bool EnsureParentDir(const std::string& path) {
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  if (parent.empty()) return true;
+  std::error_code ec;
+  std::filesystem::create_directories(parent, ec);
+  if (ec) {
+    std::fprintf(stderr, "cannot create directory %s: %s\n",
+                 parent.string().c_str(), ec.message().c_str());
+    return false;
+  }
+  return true;
+}
+
+/// Parses a comma-separated thread-count list like "1,2,4". Exits on junk.
+std::vector<uint32_t> ParseThreadList(const std::string& csv) {
+  std::vector<uint32_t> threads;
+  std::stringstream stream(csv);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    const int value = std::atoi(item.c_str());
+    if (value < 1) {
+      std::fprintf(stderr, "bad thread count '%s' in --threads\n",
+                   item.c_str());
+      std::exit(2);
+    }
+    threads.push_back(static_cast<uint32_t>(value));
+  }
+  if (threads.empty()) {
+    std::fprintf(stderr, "--threads list is empty\n");
+    std::exit(2);
+  }
+  return threads;
 }
 
 data::Dataset LoadLetorOrDie(const std::string& path) {
@@ -387,12 +432,13 @@ int CmdServeBench(const Args& args) {
   const auto deadline_us =
       static_cast<uint64_t>(args.GetInt("deadline-us", 6000));
   const auto workers = static_cast<uint32_t>(args.GetInt("workers", 4));
+  const auto threads = static_cast<uint32_t>(args.GetInt("threads", 1));
   const double fault_rate = args.GetDouble("fault-rate", 0.2);
   const double spike_rate = args.GetDouble("spike-rate", 0.1);
   const auto spike_us = static_cast<uint64_t>(args.GetInt("spike-us", 2000));
   const double nan_rate = args.GetDouble("nan-rate", 0.05);
   const auto seed = static_cast<uint64_t>(args.GetInt("seed", 42));
-  const std::string out = args.Get("out", "bench/serve_latency.json");
+  const std::string out = args.Get("out", "out/serve_latency.json");
 
   // Synthetic corpus standing in for the ranking candidate sets.
   data::SyntheticConfig config = data::SyntheticConfig::MsnLike(1.0);
@@ -429,9 +475,19 @@ int CmdServeBench(const Args& args) {
   const nn::Mlp small(small_arch, seed + 1);
   data::ZNormalizer normalizer;
   normalizer.Fit(dataset);
-  nn::HybridNeuralScorer hybrid(big, &normalizer);
-  nn::NeuralScorer dense_small(small, &normalizer);
+
+  // Intra-request parallelism: every rung shares one pool. Neural rungs
+  // chunk whole batches across it (bitwise-identical scores); tree rungs
+  // wrap in ParallelEnsembleScorer. `--threads 1` keeps the serial paths.
+  common::ThreadPool pool(std::max(1u, threads));
+  common::ThreadPool* pool_ptr = threads > 1 ? &pool : nullptr;
+  nn::NeuralScorerConfig nn_config;
+  nn_config.pool = pool_ptr;
+  nn::HybridNeuralScorer hybrid(big, &normalizer, nn_config);
+  nn::NeuralScorer dense_small(small, &normalizer, nn_config);
   core::CascadeScorer cascade(&subset_qs, &dense_small, 0.25);
+  forest::ParallelEnsembleScorer par_cascade(&cascade, pool_ptr);
+  forest::ParallelEnsembleScorer par_subset(&subset_qs, pool_ptr);
 
   // Rung costs via the paper's analytic predictors (neural rungs) and
   // direct measurement (tree rungs) — the same numbers the engine budgets
@@ -473,8 +529,18 @@ int CmdServeBench(const Args& args) {
   fic.seed = seed;
   serve::FaultInjectingScorer faulty_hybrid(&hybrid, fic);
   serve::InfallibleScorerAdapter dense_adapter(&dense_small);
-  serve::InfallibleScorerAdapter cascade_adapter(&cascade);
-  serve::InfallibleScorerAdapter subset_adapter(&subset_qs);
+  serve::InfallibleScorerAdapter cascade_adapter(&par_cascade);
+  serve::InfallibleScorerAdapter subset_adapter(&par_subset);
+
+  // Budgeted rung costs scale by the machine's MEASURED parallel
+  // efficiency, never the naive serial / T; with --threads 1 the scaling
+  // struct is the identity.
+  predict::ParallelScaling scaling;
+  if (threads > 1) {
+    scaling = predict::MeasureGemmParallelScaling(pool_ptr);
+    std::fprintf(stderr, "parallel scaling: T=%u efficiency %.2f -> %.2fx\n",
+                 scaling.num_threads, scaling.efficiency, scaling.Speedup());
+  }
 
   serve::DegradationLadder ladder;
   const serve::FallibleScorer* rung_scorers[4] = {
@@ -483,13 +549,15 @@ int CmdServeBench(const Args& args) {
                                "forest-subset"};
   for (int i = 0; i < 4; ++i) {
     const Status status = ladder.AddRung(rung_names[i], rung_scorers[i],
-                                         costs[i]);
+                                         costs[i], scaling);
     if (!status.ok()) {
       std::fprintf(stderr, "%s\n", status.ToString().c_str());
       return 1;
     }
-    std::fprintf(stderr, "rung %d %-14s %8.3f us/doc (raw %.3f)\n", i,
-                 rung_names[i], costs[i], raw_costs[i]);
+    std::fprintf(stderr, "rung %d %-14s %8.3f us/doc (serial %.3f, raw %.3f)\n",
+                 i, rung_names[i],
+                 ladder.rung(static_cast<size_t>(i)).predicted_us_per_doc,
+                 costs[i], raw_costs[i]);
   }
 
   serve::ServingConfig sc;
@@ -537,6 +605,8 @@ int CmdServeBench(const Args& args) {
   json << "  \"benchmark\": \"serve-bench\",\n";
   json << "  \"config\": {\"requests\": " << requests
        << ", \"deadline_us\": " << deadline_us << ", \"workers\": " << workers
+       << ", \"threads\": " << threads << ", \"parallel_efficiency\": "
+       << FormatFixed(scaling.efficiency, 3)
        << ", \"queue_capacity\": " << sc.queue_capacity
        << ", \"fault_rate\": " << fault_rate
        << ", \"spike_rate\": " << spike_rate << ", \"spike_us\": " << spike_us
@@ -545,7 +615,9 @@ int CmdServeBench(const Args& args) {
   for (size_t i = 0; i < ladder.num_rungs(); ++i) {
     const auto& samples = rung_samples[i];
     json << "    {\"index\": " << i << ", \"name\": \"" << rung_names[i]
-         << "\", \"predicted_us_per_doc\": " << FormatFixed(costs[i], 3)
+         << "\", \"predicted_us_per_doc\": "
+         << FormatFixed(ladder.rung(i).predicted_us_per_doc, 3)
+         << ", \"serial_us_per_doc\": " << FormatFixed(costs[i], 3)
          << ", \"raw_predicted_us_per_doc\": " << FormatFixed(raw_costs[i], 3)
          << ", \"served\": " << counters.served_by_rung[i]
          << ", \"p50_us\": " << FormatFixed(serve::Percentile(samples, 50), 1)
@@ -573,6 +645,7 @@ int CmdServeBench(const Args& args) {
        << "}\n";
   json << "}\n";
 
+  if (!EnsureParentDir(out)) return 1;
   std::ofstream file(out);
   file << json.str();
   if (!file) {
@@ -581,6 +654,171 @@ int CmdServeBench(const Args& args) {
   }
   std::printf("%s", json.str().c_str());
   std::printf("wrote %s\n", out.c_str());
+  return 0;
+}
+
+/// Measures GEMM GFLOP/s and end-to-end docs/s of the dense-NN, hybrid-NN
+/// and tree-ensemble rungs at each requested thread count and writes a
+/// scaling JSON report — the multi-core counterpart of the paper's
+/// single-core efficiency tables: the same engines, sped up by the shared
+/// ThreadPool instead of by shrinking the architecture. With
+/// --min-t2-ratio R > 0 the command fails (exit 1) when the dense rung's
+/// T=2 throughput drops below R times its T=1 throughput, which is the CI
+/// smoke gate against threading regressions.
+int CmdBenchScaling(const Args& args) {
+  const auto features = static_cast<uint32_t>(args.GetInt("features", 136));
+  const auto queries = static_cast<uint32_t>(args.GetInt("queries", 60));
+  const double sparsity = args.GetDouble("sparsity", 0.98);
+  const auto num_trees = static_cast<uint32_t>(args.GetInt("trees", 40));
+  const int repeats = args.GetInt("repeats", 3);
+  const auto seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+  const std::vector<uint32_t> thread_counts =
+      ParseThreadList(args.Get("threads", "1,2,4"));
+  const double min_t2_ratio = args.GetDouble("min-t2-ratio", 0.0);
+  const std::string out = args.Get("out", "out/bench_scaling.json");
+
+  auto arch = predict::Architecture::Parse(args.Get("arch", "256x128x64"),
+                                           features);
+  if (!arch.ok()) {
+    std::fprintf(stderr, "%s\n", arch.status().ToString().c_str());
+    return 1;
+  }
+
+  // Synthetic corpus: throughput, not ranking quality, is what this bench
+  // measures, so the neural rungs keep their random initial weights.
+  data::SyntheticConfig config = data::SyntheticConfig::MsnLike(1.0);
+  config.num_queries = queries;
+  config.num_features = features;
+  config.seed = seed;
+  const data::Dataset dataset = data::GenerateSynthetic(config);
+  std::fprintf(stderr, "corpus: %u docs / %u queries / %u features\n",
+               dataset.num_docs(), dataset.num_queries(),
+               dataset.num_features());
+
+  gbdt::BoosterConfig bc;
+  bc.num_trees = num_trees;
+  bc.num_leaves = 32;
+  std::fprintf(stderr, "training %u-tree forest...\n", bc.num_trees);
+  gbdt::Booster booster(bc);
+  const gbdt::Ensemble forest_model = booster.TrainLambdaMart(dataset, nullptr);
+  forest::QuickScorer tree_scorer(forest_model, features);
+
+  nn::Mlp dense_mlp(*arch, seed);
+  nn::Mlp hybrid_mlp(*arch, seed + 1);
+  nn::WeightMasks masks = prune::MakeDenseMasks(hybrid_mlp);
+  prune::LevelPruneLayer(&hybrid_mlp, 0, sparsity, &masks);
+  data::ZNormalizer normalizer;
+  normalizer.Fit(dataset);
+
+  struct Row {
+    uint32_t threads = 1;
+    double gemm_gflops = 0.0;
+    double efficiency = 1.0;
+    double dense_docs_per_s = 0.0;
+    double hybrid_docs_per_s = 0.0;
+    double tree_docs_per_s = 0.0;
+  };
+  std::vector<Row> rows;
+
+  for (const uint32_t t : thread_counts) {
+    common::ThreadPool pool(t);
+    common::ThreadPool* pool_ptr = t > 1 ? &pool : nullptr;
+
+    Row row;
+    row.threads = t;
+    row.gemm_gflops = mm::MeasureGemmGflops(256, 256, 64, repeats, 99,
+                                            pool_ptr);
+    row.efficiency =
+        t > 1
+            ? predict::MeasureGemmParallelScaling(pool_ptr, 256, 256, 64,
+                                                  repeats)
+                  .efficiency
+            : 1.0;
+
+    nn::NeuralScorerConfig nn_config;
+    nn_config.pool = pool_ptr;
+    const nn::NeuralScorer dense(dense_mlp, &normalizer, nn_config);
+    const nn::HybridNeuralScorer hybrid(hybrid_mlp, &normalizer, nn_config);
+    const forest::ParallelEnsembleScorer tree(&tree_scorer, pool_ptr);
+
+    row.dense_docs_per_s =
+        1e6 / core::MeasureScorerMicrosPerDoc(dense, dataset, repeats);
+    row.hybrid_docs_per_s =
+        1e6 / core::MeasureScorerMicrosPerDoc(hybrid, dataset, repeats);
+    row.tree_docs_per_s =
+        1e6 / core::MeasureScorerMicrosPerDoc(tree, dataset, repeats);
+    rows.push_back(row);
+    std::fprintf(stderr,
+                 "T=%u  gemm %7.2f GFLOP/s  dense %9.0f  hybrid %9.0f  "
+                 "tree %9.0f docs/s\n",
+                 t, row.gemm_gflops, row.dense_docs_per_s,
+                 row.hybrid_docs_per_s, row.tree_docs_per_s);
+  }
+
+  const Row* t1 = nullptr;
+  const Row* t2 = nullptr;
+  for (const Row& row : rows) {
+    if (row.threads == 1 && t1 == nullptr) t1 = &row;
+    if (row.threads == 2 && t2 == nullptr) t2 = &row;
+  }
+  const Row& base = t1 != nullptr ? *t1 : rows.front();
+
+  std::ostringstream json;
+  json << "{\n";
+  json << "  \"benchmark\": \"bench-scaling\",\n";
+  json << "  \"config\": {\"features\": " << features
+       << ", \"queries\": " << queries << ", \"arch\": \""
+       << arch->ToString() << "\", \"sparsity\": "
+       << FormatFixed(sparsity, 3) << ", \"trees\": " << num_trees
+       << ", \"repeats\": " << repeats << ", \"seed\": " << seed << "},\n";
+  json << "  \"results\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    json << "    {\"threads\": " << row.threads
+         << ", \"gemm_gflops\": " << FormatFixed(row.gemm_gflops, 3)
+         << ", \"parallel_efficiency\": " << FormatFixed(row.efficiency, 3)
+         << ", \"dense_docs_per_s\": "
+         << FormatFixed(row.dense_docs_per_s, 1)
+         << ", \"dense_speedup\": "
+         << FormatFixed(row.dense_docs_per_s / base.dense_docs_per_s, 3)
+         << ", \"hybrid_docs_per_s\": "
+         << FormatFixed(row.hybrid_docs_per_s, 1)
+         << ", \"hybrid_speedup\": "
+         << FormatFixed(row.hybrid_docs_per_s / base.hybrid_docs_per_s, 3)
+         << ", \"tree_docs_per_s\": " << FormatFixed(row.tree_docs_per_s, 1)
+         << ", \"tree_speedup\": "
+         << FormatFixed(row.tree_docs_per_s / base.tree_docs_per_s, 3)
+         << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n";
+  json << "}\n";
+
+  if (!EnsureParentDir(out)) return 1;
+  std::ofstream file(out);
+  file << json.str();
+  if (!file) {
+    std::fprintf(stderr, "failed to write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("%s", json.str().c_str());
+  std::printf("wrote %s\n", out.c_str());
+
+  if (min_t2_ratio > 0.0) {
+    if (t1 == nullptr || t2 == nullptr) {
+      std::fprintf(stderr,
+                   "--min-t2-ratio needs both 1 and 2 in --threads\n");
+      return 2;
+    }
+    const double ratio = t2->dense_docs_per_s / t1->dense_docs_per_s;
+    if (ratio < min_t2_ratio) {
+      std::fprintf(stderr,
+                   "FAIL: dense rung T=2/T=1 throughput ratio %.3f < %.3f\n",
+                   ratio, min_t2_ratio);
+      return 1;
+    }
+    std::printf("scaling gate ok: dense T=2/T=1 ratio %.3f >= %.3f\n", ratio,
+                min_t2_ratio);
+  }
   return 0;
 }
 
@@ -675,7 +913,10 @@ int Usage() {
       "  validate      [--model M] [--data F] [--features K] [--max-label "
       "L]\n"
       "  serve-bench   [--requests N] [--deadline-us U] [--workers W] "
-      "[--fault-rate P] [--spike-rate P] [--spike-us U] [--nan-rate P] "
+      "[--threads T] [--fault-rate P] [--spike-rate P] [--spike-us U] "
+      "[--nan-rate P] [--out F]\n"
+      "  bench-scaling [--threads 1,2,4] [--arch AxBxC] [--features K] "
+      "[--sparsity S] [--trees N] [--repeats R] [--min-t2-ratio R] "
       "[--out F]\n");
   return 2;
 }
@@ -696,5 +937,6 @@ int main(int argc, char** argv) {
   if (command == "predict-time") return CmdPredictTime(args);
   if (command == "validate") return CmdValidate(args);
   if (command == "serve-bench") return CmdServeBench(args);
+  if (command == "bench-scaling") return CmdBenchScaling(args);
   return Usage();
 }
