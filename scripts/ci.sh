@@ -29,6 +29,17 @@ out/release/tools/dnlr_cli bench-scaling \
   --threads 1,2 --min-t2-ratio 0.9 \
   --out out/bench_scaling_ci.json >/dev/null
 
+# Observability guarantees: scoring with spans enabled must be bitwise
+# identical to scoring with them off (--check 1), and enabled spans may not
+# slow the GEMM microbench by more than 3% (best-of-trials on both sides,
+# so scheduler noise cannot fail the gate spuriously). The exported registry
+# report must round-trip the JSON validator.
+echo "==== [stats] instrumentation gates (bitwise + <3% overhead)"
+out/release/tools/dnlr_cli stats \
+  --check 1 --max-overhead-pct 3 --trials 5 \
+  --queries 8 --out out/obs_stats_ci.json >/dev/null
+out/release/tools/dnlr_cli stats --in out/obs_stats_ci.json >/dev/null
+
 fail=0
 for preset in asan-ubsan tsan; do
   log="out/${preset}/Testing/Temporary/LastTest.log"

@@ -65,6 +65,19 @@ class CheckFailureStream {
 #define DNLR_DCHECK(condition) DNLR_CHECK(condition)
 #endif
 
+/// Comparison forms of DNLR_DCHECK. Like DNLR_DCHECK, the release form
+/// type-checks both operands without evaluating them (the streamed values
+/// sit in the never-taken branch), so DCHECK-only expressions cannot
+/// bit-rot in release builds.
+#define DNLR_DCHECK_OP(op, a, b) \
+  DNLR_DCHECK((a)op(b)) << "(" << (a) << " vs " << (b) << ")"
+#define DNLR_DCHECK_EQ(a, b) DNLR_DCHECK_OP(==, a, b)
+#define DNLR_DCHECK_NE(a, b) DNLR_DCHECK_OP(!=, a, b)
+#define DNLR_DCHECK_LT(a, b) DNLR_DCHECK_OP(<, a, b)
+#define DNLR_DCHECK_LE(a, b) DNLR_DCHECK_OP(<=, a, b)
+#define DNLR_DCHECK_GT(a, b) DNLR_DCHECK_OP(>, a, b)
+#define DNLR_DCHECK_GE(a, b) DNLR_DCHECK_OP(>=, a, b)
+
 /// Aborts when `x` is NaN or infinite. Numeric kernels use this at their
 /// boundaries: a non-finite value entering GEMM/SDMM or a scorer poisons
 /// every downstream score silently.

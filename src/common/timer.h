@@ -1,8 +1,10 @@
 #ifndef DNLR_COMMON_TIMER_H_
 #define DNLR_COMMON_TIMER_H_
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
+#include <vector>
 
 namespace dnlr {
 
@@ -27,22 +29,41 @@ class Timer {
   Clock::time_point start_;
 };
 
+/// Median of `samples` (destructive: partially sorts its argument). Odd
+/// sizes return the middle order statistic; even sizes the mean of the two
+/// central ones. Returns 0 for an empty vector. Exposed separately from
+/// TimeMicros so the selection logic is unit-testable on exact inputs.
+inline double MedianInPlace(std::vector<double>* samples) {
+  if (samples->empty()) return 0.0;
+  const size_t mid = samples->size() / 2;
+  std::nth_element(samples->begin(), samples->begin() + static_cast<long>(mid),
+                   samples->end());
+  const double upper = (*samples)[mid];
+  if (samples->size() % 2 == 1) return upper;
+  // Even size: the lower central element is the max of the left partition.
+  const double lower =
+      *std::max_element(samples->begin(),
+                        samples->begin() + static_cast<long>(mid));
+  return 0.5 * (lower + upper);
+}
+
 /// Runs `fn` repeatedly and returns the median-of-repeats wall time of one
 /// invocation, in microseconds. The first (warm-up) run is discarded so
 /// measurements reflect warm-cache behaviour, matching how the paper times
-/// document scoring.
+/// document scoring. The median (not the minimum) is what the predict::
+/// calibration tables assume: it tracks the typical warm-cache cost and is
+/// robust to the occasional preemption spike in either direction.
 template <typename Fn>
 double TimeMicros(Fn&& fn, int repeats = 5) {
   if (repeats < 1) repeats = 1;
   fn();  // Warm-up: page in code and data.
-  double best = 1e300;
+  std::vector<double> samples(static_cast<size_t>(repeats));
   for (int r = 0; r < repeats; ++r) {
     Timer timer;
     fn();
-    const double us = timer.ElapsedMicros();
-    if (us < best) best = us;
+    samples[static_cast<size_t>(r)] = timer.ElapsedMicros();
   }
-  return best;
+  return MedianInPlace(&samples);
 }
 
 }  // namespace dnlr

@@ -1,5 +1,6 @@
 #include "data/letor_io.h"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 #include <vector>

@@ -7,6 +7,7 @@
 
 #include "common/check.h"
 #include "forest/validate.h"
+#include "obs/trace.h"
 
 namespace dnlr::forest {
 namespace {
@@ -124,6 +125,8 @@ double QuickScorer::ScoreDocument(const float* row) const {
 
 void QuickScorer::Score(const float* docs, uint32_t count, uint32_t stride,
                         float* out) const {
+  DNLR_OBS_COUNT("forest.quickscorer.docs", count);
+  DNLR_OBS_SPAN(score_span, "forest.quickscorer.batch_us");
   std::vector<uint64_t> leaf_index(num_trees_);
   for (uint32_t d = 0; d < count; ++d) {
     std::fill(leaf_index.begin(), leaf_index.end(), ~0ull);
@@ -183,11 +186,15 @@ BlockwiseQuickScorer::BlockwiseQuickScorer(const gbdt::Ensemble& ensemble,
 
 void BlockwiseQuickScorer::Score(const float* docs, uint32_t count,
                                  uint32_t stride, float* out) const {
+  DNLR_OBS_COUNT("forest.blockwise.docs", count);
   std::fill(out, out + count, static_cast<float>(base_score_));
   // Blocks outer, documents inner: each block's structures stay cache
   // resident while the whole batch streams through.
   std::vector<uint64_t> leaf_index;
   for (const QuickScorer& block : blocks_) {
+    // One span per tree block: the per-block traversal cost is the quantity
+    // the BWQS cache-budget trade-off is tuned on.
+    DNLR_OBS_SPAN(block_span, "forest.blockwise.block_us");
     leaf_index.assign(block.num_trees(), ~0ull);
     for (uint32_t d = 0; d < count; ++d) {
       std::fill(leaf_index.begin(), leaf_index.end(), ~0ull);

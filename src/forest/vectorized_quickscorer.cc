@@ -4,6 +4,8 @@
 #include <bit>
 #include <vector>
 
+#include "obs/trace.h"
+
 #if defined(__AVX2__)
 #include <immintrin.h>
 #endif
@@ -75,6 +77,8 @@ void VectorizedQuickScorer::ScoreGroup8(const float* transposed,
 
 void VectorizedQuickScorer::Score(const float* docs, uint32_t count,
                                   uint32_t stride, float* out) const {
+  DNLR_OBS_COUNT("forest.vqs.docs", count);
+  DNLR_OBS_SPAN(score_span, "forest.vqs.batch_us");
   constexpr uint32_t kGroup = 8;
   const uint32_t num_feat = num_features();
   std::vector<float> transposed(static_cast<size_t>(num_feat) * kGroup);

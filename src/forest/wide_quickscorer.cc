@@ -5,6 +5,7 @@
 #include <functional>
 
 #include "common/check.h"
+#include "obs/trace.h"
 
 namespace dnlr::forest {
 namespace {
@@ -144,6 +145,8 @@ double WideQuickScorer::ScoreDocument(const float* row) const {
 
 void WideQuickScorer::Score(const float* docs, uint32_t count, uint32_t stride,
                             float* out) const {
+  DNLR_OBS_COUNT("forest.wide.docs", count);
+  DNLR_OBS_SPAN(score_span, "forest.wide.batch_us");
   std::vector<uint64_t> leaf_index(total_words_);
   for (uint32_t d = 0; d < count; ++d) {
     std::fill(leaf_index.begin(), leaf_index.end(), ~0ull);

@@ -7,6 +7,7 @@
 #include "common/aligned.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "obs/trace.h"
 
 #if defined(__AVX2__) && defined(__FMA__)
 #define DNLR_GEMM_SIMD 1
@@ -147,7 +148,11 @@ void RunMacroBlock(const Matrix& a, Matrix* c, const GemmParams& params,
                    const float* packed_b, float* packed_a, float* tile) {
   const uint32_t mr = params.mr;
   const uint32_t nr = params.nr;
-  PackA(a, ic, mb, pc, kb, mr, packed_a);
+  {
+    DNLR_OBS_SPAN(pack_span, "mm.gemm.pack_a_us");
+    PackA(a, ic, mb, pc, kb, mr, packed_a);
+  }
+  DNLR_OBS_SPAN(kernel_span, "mm.gemm.kernel_us");
   // Macro-kernel: stream micro-panels of the packed blocks.
   for (uint32_t jr = 0; jr < nb; jr += nr) {
     const uint32_t cols = std::min(nr, nb - jr);
@@ -194,6 +199,8 @@ void GemmWithParams(const Matrix& a, const Matrix& b, Matrix* c,
   const uint32_t mr = params.mr;
   const uint32_t nr = params.nr;
 
+  DNLR_OBS_COUNT("mm.gemm.calls", 1);
+  DNLR_OBS_SPAN(gemm_span, "mm.gemm.total_us");
   c->Fill(0.0f);
   if (m == 0 || n == 0 || k == 0) return;
 
@@ -226,7 +233,10 @@ void GemmWithParams(const Matrix& a, const Matrix& b, Matrix* c,
     const uint32_t nb = std::min(params.nc, n - jc);
     for (uint32_t pc = 0; pc < k; pc += params.kc) {
       const uint32_t kb = std::min(params.kc, k - pc);
-      PackB(b, pc, kb, jc, nb, nr, packed_b.data());
+      {
+        DNLR_OBS_SPAN(pack_span, "mm.gemm.pack_b_us");
+        PackB(b, pc, kb, jc, nb, nr, packed_b.data());
+      }
       const auto run_blocks = [&](uint32_t scratch, uint64_t block_begin,
                                   uint64_t block_end) {
         for (uint64_t block = block_begin; block < block_end; ++block) {

@@ -1,5 +1,6 @@
 #include "mm/matrix.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace dnlr::mm {

@@ -1,6 +1,7 @@
 #include "mm/sdmm.h"
 
 #include "common/timer.h"
+#include "obs/trace.h"
 
 #if defined(__AVX2__) && defined(__FMA__)
 #define DNLR_SDMM_SIMD 1
@@ -13,6 +14,8 @@ void Sdmm(const CsrMatrix& a, const Matrix& b, Matrix* c) {
   DNLR_CHECK_EQ(a.cols(), b.rows());
   DNLR_CHECK_EQ(c->rows(), a.rows());
   DNLR_CHECK_EQ(c->cols(), b.cols());
+  DNLR_OBS_COUNT("mm.sdmm.calls", 1);
+  DNLR_OBS_SPAN(sdmm_span, "mm.sdmm.total_us");
   c->Fill(0.0f);
 
   const uint32_t n = b.cols();

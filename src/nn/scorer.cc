@@ -1,8 +1,10 @@
 #include "nn/scorer.h"
 
 #include <algorithm>
+#include <string>
 
 #include "mm/sdmm.h"
+#include "obs/trace.h"
 
 namespace dnlr::nn {
 
@@ -18,7 +20,11 @@ NeuralScorer::NeuralScorer(const Mlp& mlp, const data::ZNormalizer* normalizer,
   for (uint32_t l = 0; l < mlp.num_layers(); ++l) {
     weights_.push_back(mlp.layer(l).weight);
     biases_.push_back(mlp.layer(l).bias);
+    layer_histograms_.push_back(&obs::MetricsRegistry::Global().GetHistogram(
+        "nn.layer" + std::to_string(l) + ".dense_us"));
   }
+  forward_histogram_ =
+      &obs::MetricsRegistry::Global().GetHistogram("nn.forward_us");
 }
 
 void NeuralScorer::BiasActivate(const std::vector<float>& bias, bool activate,
@@ -42,7 +48,9 @@ void NeuralScorer::ForwardColumns(const mm::Matrix& input_columns,
   // layer allocates once the scratch reaches its high-water size.
   const mm::Matrix* current = &input_columns;
   mm::Matrix* buffers[2] = {&scratch->ping, &scratch->pong};
+  obs::TraceSpan forward_span(forward_histogram_);
   for (size_t l = 0; l < weights_.size(); ++l) {
+    obs::TraceSpan layer_span(layer_histograms_[l]);
     mm::Matrix* next = buffers[l % 2];
     next->Reshape(weights_[l].rows(), batch);
     mm::Gemm(weights_[l], *current, next);
@@ -81,6 +89,7 @@ void NeuralScorer::ScoreBatchRange(const float* docs, uint32_t count,
 void NeuralScorer::Score(const float* docs, uint32_t count, uint32_t stride,
                          float* out) const {
   if (count == 0) return;
+  DNLR_OBS_COUNT("nn.docs", count);
   const uint64_t num_batches =
       (static_cast<uint64_t>(count) + config_.batch_size - 1) /
       config_.batch_size;
@@ -102,20 +111,30 @@ HybridNeuralScorer::HybridNeuralScorer(const Mlp& mlp,
                                        const data::ZNormalizer* normalizer,
                                        NeuralScorerConfig config)
     : NeuralScorer(mlp, normalizer, config),
-      first_layer_(mm::CsrMatrix::FromDense(mlp.layer(0).weight)) {}
+      first_layer_(mm::CsrMatrix::FromDense(mlp.layer(0).weight)) {
+  // The first layer runs sparse here: record it under the sparse name so
+  // the stats report shows the sparse / dense split per layer.
+  layer_histograms_[0] =
+      &obs::MetricsRegistry::Global().GetHistogram("nn.layer0.sparse_us");
+}
 
 void HybridNeuralScorer::ForwardColumns(const mm::Matrix& input_columns,
                                         ForwardScratch* scratch,
                                         float* out) const {
   const uint32_t batch = input_columns.cols();
   mm::Matrix* buffers[2] = {&scratch->ping, &scratch->pong};
+  obs::TraceSpan forward_span(forward_histogram_);
   // First layer: sparse weights x dense input columns, read in place.
   mm::Matrix* current = buffers[0];
-  current->Reshape(first_layer_.rows(), batch);
-  mm::Sdmm(first_layer_, input_columns, current);
-  BiasActivate(biases_[0], /*activate=*/weights_.size() > 1, current);
+  {
+    obs::TraceSpan layer_span(layer_histograms_[0]);
+    current->Reshape(first_layer_.rows(), batch);
+    mm::Sdmm(first_layer_, input_columns, current);
+    BiasActivate(biases_[0], /*activate=*/weights_.size() > 1, current);
+  }
   // Remaining layers: dense, ping-ponging between the two buffers.
   for (size_t l = 1; l < weights_.size(); ++l) {
+    obs::TraceSpan layer_span(layer_histograms_[l]);
     mm::Matrix* next = buffers[l % 2];
     next->Reshape(weights_[l].rows(), batch);
     mm::Gemm(weights_[l], *current, next);

@@ -10,6 +10,10 @@
 #include "mm/gemm.h"
 #include "nn/mlp.h"
 
+namespace dnlr::obs {
+class Histogram;
+}  // namespace dnlr::obs
+
 namespace dnlr::nn {
 
 /// Batching configuration of the neural scoring engines. The paper scores
@@ -75,6 +79,15 @@ class NeuralScorer : public forest::DocumentScorer {
   const data::ZNormalizer* normalizer_;
   NeuralScorerConfig config_;
   uint32_t input_dim_;
+
+  /// Observability: per-layer forward-time histograms plus the whole-batch
+  /// forward histogram, resolved from the global registry at construction
+  /// so the forward pass never touches the registry map. Layer 0's name
+  /// marks the sparse / dense split (the hybrid engine re-points it at the
+  /// sparse histogram). Recording is gated on the obs run-time switch and
+  /// never alters scores.
+  std::vector<obs::Histogram*> layer_histograms_;
+  obs::Histogram* forward_histogram_ = nullptr;
 };
 
 /// The paper's hybrid engine: the (heavily pruned) first layer runs as

@@ -1,0 +1,26 @@
+#include "predict/drift.h"
+
+#include "obs/metrics.h"
+
+namespace dnlr::predict {
+
+DriftSample RecordPredictorDrift(std::string_view name, double predicted_us,
+                                 const obs::Histogram& measured) {
+  DriftSample sample;
+  sample.name = std::string(name);
+  sample.predicted_us = predicted_us;
+  sample.sample_count = measured.Count();
+  if (sample.sample_count > 0) sample.measured_us = measured.MeanMicros();
+  if (predicted_us > 0.0 && sample.sample_count > 0) {
+    sample.ratio = sample.measured_us / predicted_us;
+  }
+
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  const std::string prefix = "predict.drift." + sample.name;
+  registry.GetGauge(prefix + ".predicted_us").Set(sample.predicted_us);
+  registry.GetGauge(prefix + ".measured_us").Set(sample.measured_us);
+  registry.GetGauge(prefix + ".ratio").Set(sample.ratio);
+  return sample;
+}
+
+}  // namespace dnlr::predict

@@ -1,0 +1,43 @@
+#ifndef DNLR_PREDICT_DRIFT_H_
+#define DNLR_PREDICT_DRIFT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace dnlr::obs {
+class Histogram;
+}  // namespace dnlr::obs
+
+namespace dnlr::predict {
+
+/// One predicted-vs-measured comparison, the quantity Section 6.1's design
+/// methodology stands on: rung selection is only as good as the cost
+/// predictor, so production deployments track how far reality has drifted
+/// from the model that budgets are computed with.
+struct DriftSample {
+  std::string name;
+  double predicted_us = 0.0;
+  /// Mean of the measured latency histogram (0 when it has no samples).
+  double measured_us = 0.0;
+  /// measured / predicted; 0 when either side is unavailable. A ratio
+  /// persistently above 1 means the predictor is optimistic and the engine
+  /// is budgeting rungs it cannot afford.
+  double ratio = 0.0;
+  uint64_t sample_count = 0;
+};
+
+/// Compares `predicted_us` against the mean of `measured` and publishes the
+/// result as gauges in the global registry:
+///   predict.drift.<name>.predicted_us
+///   predict.drift.<name>.measured_us
+///   predict.drift.<name>.ratio
+/// Gauges are written even when the histogram is empty (ratio 0), so an
+/// exported report always shows which comparisons exist. Returns the sample
+/// for callers that also want it inline (e.g. bench JSON).
+DriftSample RecordPredictorDrift(std::string_view name, double predicted_us,
+                                 const obs::Histogram& measured);
+
+}  // namespace dnlr::predict
+
+#endif  // DNLR_PREDICT_DRIFT_H_

@@ -1,5 +1,6 @@
 #include "prune/schedule.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/check.h"

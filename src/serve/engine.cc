@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "common/check.h"
 
@@ -26,8 +27,7 @@ ServingEngine::ServingEngine(const DegradationLadder* ladder,
     : ladder_(ladder),
       config_(config),
       clock_(clock),
-      counters_(ladder == nullptr ? 0 : ladder->num_rungs()),
-      latencies_(ladder == nullptr ? 0 : ladder->num_rungs()) {
+      counters_(ladder == nullptr ? 0 : ladder->num_rungs()) {
   DNLR_CHECK(ladder_ != nullptr);
   DNLR_CHECK(clock_ != nullptr);
   DNLR_CHECK_GE(ladder_->num_rungs(), 1u);
@@ -35,6 +35,18 @@ ServingEngine::ServingEngine(const DegradationLadder* ladder,
   DNLR_CHECK_GE(config_.queue_capacity, 1u);
   DNLR_CHECK_GT(config_.safety_factor, 0.0);
   DNLR_CHECK_GE(config_.max_attempts_per_rung, 1u);
+  // Bounded latency histograms live in the process-wide registry so they
+  // survive the engine and show up in exported stats. Resolved here, once:
+  // the worker hot path only touches pre-resolved pointers.
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  rung_latency_.reserve(ladder_->num_rungs());
+  for (size_t r = 0; r < ladder_->num_rungs(); ++r) {
+    rung_latency_.push_back(&registry.GetHistogram(
+        "serve.rung" + std::to_string(r) + "." + ladder_->rung(r).name +
+        ".total_us"));
+  }
+  queue_wait_histogram_ = &registry.GetHistogram("serve.queue_wait_us");
+  backoff_histogram_ = &registry.GetHistogram("serve.backoff_us");
   breakers_.resize(ladder_->num_rungs());
   workers_.reserve(config_.num_workers);
   for (uint32_t w = 0; w < config_.num_workers; ++w) {
@@ -123,6 +135,7 @@ ServeResponse ServingEngine::Process(const ServeRequest& request,
   resp.scores.assign(request.count, 0.0f);
   const uint64_t start = clock_->NowMicros();
   resp.queue_micros = start - enqueue_micros;
+  queue_wait_histogram_->Record(static_cast<double>(resp.queue_micros));
 
   const size_t num_rungs = ladder_->num_rungs();
   const auto remaining = [&]() -> int64_t {
@@ -189,6 +202,7 @@ ServeResponse ServingEngine::Process(const ServeRequest& request,
           break;  // not enough budget to wait out a retry
         }
         clock_->SleepMicros(backoff);
+        backoff_histogram_->Record(static_cast<double>(backoff));
         Bump(counters_.retries);
         ++resp.retries;
         // Our own fault may just have opened this rung's breaker.
@@ -219,7 +233,7 @@ ServeResponse ServingEngine::Process(const ServeRequest& request,
       Bump(counters_.served_by_rung[r]);
       if (resp.degraded) Bump(counters_.degraded);
       resp.total_micros = clock_->NowMicros() - start;
-      latencies_.Record(r, static_cast<double>(resp.total_micros));
+      rung_latency_[r]->Record(static_cast<double>(resp.total_micros));
       return resp;
     }
   }

@@ -12,10 +12,10 @@
 
 #include "common/clock.h"
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "serve/counters.h"
 #include "serve/deadline.h"
 #include "serve/ladder.h"
-#include "serve/latency.h"
 
 namespace dnlr::serve {
 
@@ -101,8 +101,22 @@ class ServingEngine {
 
   const DegradationLadder& ladder() const { return *ladder_; }
   const ServeCounters& counters() const { return counters_; }
-  const LatencyRecorder& latencies() const { return latencies_; }
   Clock& clock() const { return *clock_; }
+
+  /// Bounded end-to-end latency histogram of requests served by rung `i`
+  /// (registry name "serve.rung<i>.<name>.total_us"). Replaces the
+  /// unbounded LatencyRecorder sample store: memory stays constant no
+  /// matter how many requests flow, which is what lets the engine run under
+  /// production load with recording always on. Shared through the global
+  /// registry, so engines built over a same-named ladder accumulate into
+  /// the same histogram.
+  const obs::Histogram& rung_latency(size_t i) const {
+    return *rung_latency_[i];
+  }
+  /// Time requests spent queued before a worker picked them up.
+  const obs::Histogram& queue_wait() const { return *queue_wait_histogram_; }
+  /// Backoff sleeps taken before rung retries.
+  const obs::Histogram& retry_backoff() const { return *backoff_histogram_; }
 
   /// Current breaker state of rung `i`. An expired quarantine still reads
   /// kOpen until a request probes it.
@@ -140,7 +154,11 @@ class ServingEngine {
   ServingConfig config_;
   Clock* clock_;
   ServeCounters counters_;
-  LatencyRecorder latencies_;
+  // Registry-owned bounded histograms, resolved once at construction; the
+  // worker hot path records through these pointers without map lookups.
+  std::vector<obs::Histogram*> rung_latency_;
+  obs::Histogram* queue_wait_histogram_ = nullptr;
+  obs::Histogram* backoff_histogram_ = nullptr;
 
   std::mutex queue_mu_;
   std::condition_variable queue_cv_;

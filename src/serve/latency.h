@@ -5,11 +5,17 @@
 #include <mutex>
 #include <vector>
 
+#include "common/check.h"
+
 namespace dnlr::serve {
 
-/// Thread-safe per-rung latency sample store feeding the serve-bench
-/// percentile report. Unbounded by design: serve-bench runs are finite; a
-/// production deployment would swap in a histogram.
+/// Thread-safe per-rung latency sample store for finite, offline
+/// measurement runs where exact percentiles matter (tests, calibration).
+/// Unbounded: memory grows with every Record. The serving engine itself
+/// records into bounded obs::Histogram instances instead (see
+/// ServingEngine::rung_latency), whose footprint is constant under
+/// production load; this class remains the exact-percentile oracle the
+/// histogram quantiles are validated against.
 class LatencyRecorder {
  public:
   explicit LatencyRecorder(size_t num_rungs) : samples_(num_rungs) {}
@@ -19,6 +25,7 @@ class LatencyRecorder {
 
   void Record(size_t rung, double micros) {
     std::lock_guard<std::mutex> lock(mu_);
+    DNLR_DCHECK_LT(rung, samples_.size());
     samples_[rung].push_back(micros);
   }
 

@@ -106,6 +106,39 @@ TEST(RngTest, BelowStaysBelow) {
   for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.Below(17), 17u);
 }
 
+TEST(RngTest, BelowOneIsAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.Below(1), 0u);
+}
+
+TEST(RngTest, BelowHandlesHugeBounds) {
+  // Bounds near 2^64 exercise the multiply-shift's high word and the
+  // rejection threshold; the old modulo reduction was most biased here.
+  Rng rng(10);
+  const uint64_t n = (uint64_t{1} << 63) + 12345;
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.Below(n), n);
+}
+
+// Lemire's rejection sampling must be uniform: a chi-square test over 16
+// bins at 64000 draws. The old `Next() % n` reduction cannot pass an
+// equivalent test for n without a power-of-two structure at this sample
+// size in general; for this deterministic seed the statistic must sit well
+// under the df=15, p=0.001 critical value (37.7).
+TEST(RngTest, BelowIsUniformChiSquare) {
+  constexpr uint64_t kBins = 16;
+  constexpr int kDraws = 64000;
+  Rng rng(12);
+  uint64_t counts[kBins] = {};
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.Below(kBins)];
+  const double expected = static_cast<double>(kDraws) / kBins;
+  double chi2 = 0.0;
+  for (const uint64_t observed : counts) {
+    const double diff = static_cast<double>(observed) - expected;
+    chi2 += diff * diff / expected;
+  }
+  EXPECT_LT(chi2, 37.7) << "Below() bins deviate from uniform";
+}
+
 TEST(RngTest, ShufflePreservesElements) {
   Rng rng(8);
   std::vector<int> items{1, 2, 3, 4, 5, 6, 7};
@@ -181,6 +214,46 @@ TEST(TimerTest, TimeMicrosRunsFunction) {
   const double us = TimeMicros([&] { ++calls; }, 3);
   EXPECT_GE(us, 0.0);
   EXPECT_EQ(calls, 4);  // warm-up + 3 repeats
+}
+
+TEST(TimerTest, MedianInPlaceSelectsOrderStatistics) {
+  std::vector<double> odd{5.0, 1.0, 3.0};
+  EXPECT_EQ(MedianInPlace(&odd), 3.0);
+  std::vector<double> even{4.0, 1.0, 3.0, 2.0};
+  EXPECT_EQ(MedianInPlace(&even), 2.5);
+  std::vector<double> single{7.0};
+  EXPECT_EQ(MedianInPlace(&single), 7.0);
+  std::vector<double> empty;
+  EXPECT_EQ(MedianInPlace(&empty), 0.0);
+  std::vector<double> duplicates{2.0, 2.0, 9.0, 2.0};
+  EXPECT_EQ(MedianInPlace(&duplicates), 2.0);
+  std::vector<double> two{10.0, 20.0};
+  EXPECT_EQ(MedianInPlace(&two), 15.0);
+}
+
+// TimeMicros documents median-of-repeats: one deterministic spike among the
+// repeats must not drag the result toward the spike the way a mean (the old
+// sum/repeats bug) would. The fake workload spins ~200 us on four calls and
+// ~20 ms on exactly one, so the mean would exceed ~4 ms while the median
+// stays near 200 us.
+TEST(TimerTest, TimeMicrosReturnsMedianNotMean) {
+  constexpr double kFastMicros = 200.0;
+  constexpr double kSpikeMicros = 20000.0;
+  int call = 0;
+  const auto spin_for = [](double micros) {
+    Timer timer;
+    while (timer.ElapsedMicros() < micros) {
+    }
+  };
+  const double us = TimeMicros(
+      [&] {
+        ++call;
+        // Call 1 is the discarded warm-up; call 4 (third repeat) spikes.
+        spin_for(call == 4 ? kSpikeMicros : kFastMicros);
+      },
+      5);
+  EXPECT_GE(us, kFastMicros);
+  EXPECT_LT(us, kSpikeMicros / 4.0);
 }
 
 }  // namespace

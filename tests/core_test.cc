@@ -131,12 +131,14 @@ TEST(PipelineTest, EndToEndDistillPruneScore) {
   config.teacher.num_leaves = 16;
   config.teacher.learning_rate = 0.15;
   config.teacher.early_stopping_rounds = 0;
-  config.distill.epochs = 12;
+  // Enough distillation + finetune epochs that the quality assertions hold
+  // for any uniform shuffle stream, not one particular seed's batch order.
+  config.distill.epochs = 36;
   config.distill.batch_size = 128;
   config.distill.adam.learning_rate = 2e-3;
   config.prune.target_sparsity = 0.85;
   config.prune.prune_rounds = 4;
-  config.prune.finetune_epochs = 2;
+  config.prune.finetune_epochs = 8;
   config.prune.train.batch_size = 128;
 
   Pipeline pipeline(config);

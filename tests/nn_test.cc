@@ -204,10 +204,13 @@ TEST_F(DistillFixture, MidpointListsBracketSplitPoints) {
 
 TEST_F(DistillFixture, DistillationApproachesTeacherQuality) {
   TrainConfig config;
-  config.epochs = 30;
+  // Enough epochs that convergence does not hinge on a lucky batch order:
+  // the assertion below must hold for any uniform shuffle stream, not one
+  // particular seed's.
+  config.epochs = 60;
   config.batch_size = 128;
   config.adam.learning_rate = 2e-3;
-  config.gamma_epochs = {20};
+  config.gamma_epochs = {40};
   config.seed = 11;
   Trainer trainer(config);
   Mlp student(Architecture(splits_->train.num_features(), {64, 32}), 11);

@@ -519,6 +519,80 @@ TEST(LatencyTest, PercentileNearestRank) {
   EXPECT_EQ(Percentile({42.0}, 1), 42.0);
 }
 
+TEST(LatencyTest, PercentileZeroIsMinimum) {
+  EXPECT_EQ(Percentile({30.0, 10.0, 20.0}, 0), 10.0);
+  EXPECT_EQ(Percentile({}, 0), 0.0);
+}
+
+TEST(LatencyTest, PercentileSingleSampleEveryP) {
+  for (const double p : {0.0, 1.0, 50.0, 99.0, 100.0}) {
+    EXPECT_EQ(Percentile({7.5}, p), 7.5) << "p=" << p;
+  }
+}
+
+TEST(LatencyTest, PercentileDuplicatesAndUnsortedInput) {
+  const std::vector<double> samples{5.0, 1.0, 5.0, 5.0, 1.0};
+  EXPECT_EQ(Percentile(samples, 0), 1.0);
+  EXPECT_EQ(Percentile(samples, 40), 1.0);
+  EXPECT_EQ(Percentile(samples, 41), 5.0);
+  EXPECT_EQ(Percentile(samples, 100), 5.0);
+}
+
+// ---------------------------------------------------------------------------
+// Bounded latency histograms: the engine's replacement for the unbounded
+// per-rung sample store. Histograms live in the global metrics registry
+// (shared by every engine whose ladder uses the same rung names), so all
+// assertions are on deltas.
+
+TEST(ServingEngineTest, BoundedHistogramsRecordServedRequests) {
+  const std::vector<float> docs = MakeDocs();
+  FakeClock clock;
+  ConstantScorer strong_inner(2.0f);
+  ConstantScorer floor_inner(1.0f);
+  InfallibleScorerAdapter strong(&strong_inner);
+  InfallibleScorerAdapter floor(&floor_inner);
+  DegradationLadder ladder;
+  ASSERT_TRUE(ladder.AddRung("histo-strong", &strong, 10.0).ok());
+  ASSERT_TRUE(ladder.AddRung("histo-floor", &floor, 1.0).ok());
+  ServingEngine engine(&ladder, OneWorkerConfig(), &clock);
+
+  const uint64_t strong_before = engine.rung_latency(0).Count();
+  const uint64_t floor_before = engine.rung_latency(1).Count();
+  const uint64_t queue_before = engine.queue_wait().Count();
+  constexpr int kRequests = 5;
+  for (int i = 0; i < kRequests; ++i) {
+    const ServeResponse resp =
+        engine.ScoreSync(docs.data(), kDocs, kStride, 1'000'000);
+    ASSERT_TRUE(resp.status.ok()) << resp.status.ToString();
+    EXPECT_EQ(resp.rung, 0);
+  }
+
+  EXPECT_EQ(engine.rung_latency(0).Count(), strong_before + kRequests);
+  EXPECT_EQ(engine.rung_latency(1).Count(), floor_before);
+  // Every processed request records its queue wait, served or not.
+  EXPECT_EQ(engine.queue_wait().Count(), queue_before + kRequests);
+}
+
+TEST(ServingEngineTest, RetryBackoffIsRecorded) {
+  const std::vector<float> docs = MakeDocs();
+  FlakyScorer flaky(1, 3.0f);  // first call fails, second succeeds
+  ConstantScorer floor_inner(1.0f);
+  InfallibleScorerAdapter floor(&floor_inner);
+  DegradationLadder ladder;
+  ASSERT_TRUE(ladder.AddRung("backoff-flaky", &flaky, 2.0).ok());
+  ASSERT_TRUE(ladder.AddRung("backoff-floor", &floor, 1.0).ok());
+  FakeClock clock;
+  ServingEngine engine(&ladder, OneWorkerConfig(), &clock);
+
+  const uint64_t sleeps_before = engine.retry_backoff().Count();
+  const ServeResponse resp =
+      engine.ScoreSync(docs.data(), kDocs, kStride, 1'000'000);
+  ASSERT_TRUE(resp.status.ok()) << resp.status.ToString();
+  EXPECT_GE(resp.retries, 1u);
+  EXPECT_EQ(engine.retry_backoff().Count(), sleeps_before + resp.retries);
+  EXPECT_GT(engine.retry_backoff().MaxMicros(), 0.0);
+}
+
 // ---------------------------------------------------------------------------
 // The acceptance scenario: sustained load with a faulty top rung, on the
 // real clock and a real worker pool. With 20% transient faults and 10%

@@ -15,6 +15,11 @@
 //                 tree rungs across thread counts and emit a scaling JSON
 //                 report (the multi-core counterpart of the paper's
 //                 single-core efficiency tables)
+//   stats         exercise the instrumented scoring stack and export the
+//                 metrics registry as JSON; also the CI entry point for the
+//                 instrumentation guarantees (--check: bitwise-identical
+//                 scores with spans on/off; --max-overhead-pct: GEMM span
+//                 overhead gate; --in: validate an exported report)
 //
 // Run `dnlr_cli <subcommand>` with no further arguments for usage.
 
@@ -48,7 +53,9 @@
 #include "gbdt/tuner.h"
 #include "metrics/metrics.h"
 #include "nn/scorer.h"
+#include "obs/metrics.h"
 #include "predict/dense_predictor.h"
+#include "predict/drift.h"
 #include "predict/network_time.h"
 #include "predict/sparse_predictor.h"
 #include "prune/magnitude.h"
@@ -439,6 +446,8 @@ int CmdServeBench(const Args& args) {
   const double nan_rate = args.GetDouble("nan-rate", 0.05);
   const auto seed = static_cast<uint64_t>(args.GetInt("seed", 42));
   const std::string out = args.Get("out", "out/serve_latency.json");
+  const bool obs_spans = args.GetInt("obs", 0) != 0;
+  const std::string obs_out = args.Get("obs-out", "out/obs_stats.json");
 
   // Synthetic corpus standing in for the ranking candidate sets.
   data::SyntheticConfig config = data::SyntheticConfig::MsnLike(1.0);
@@ -565,6 +574,13 @@ int CmdServeBench(const Args& args) {
   sc.queue_capacity = static_cast<uint32_t>(args.GetInt("queue", 128));
   serve::ServingEngine engine(&ladder, sc);
 
+  // With --obs 1 the scoring hot-path spans (mm / nn / forest) record too,
+  // so the exported registry breaks request latency down by stage. The
+  // engine-level histograms (rung totals, queue wait, backoff) always
+  // record: they replace the counters a production service would not turn
+  // off.
+  obs::MetricsRegistry::Global().SetEnabled(obs_spans);
+
   // Round-robin the queries through the engine with a bounded in-flight
   // window so the queue sees sustained pressure without unbounded shedding.
   std::fprintf(stderr, "serving %d requests (deadline %llu us)...\n", requests,
@@ -589,9 +605,9 @@ int CmdServeBench(const Args& args) {
   }
   for (auto& future : inflight) responses.push_back(future.get());
   engine.Stop();
+  obs::MetricsRegistry::Global().SetEnabled(false);
 
   const serve::ServeCountersSnapshot counters = engine.counters().Snapshot();
-  const auto rung_samples = engine.latencies().Samples();
   std::vector<double> ok_latencies;
   uint64_t within_deadline = 0;
   for (const auto& resp : responses) {
@@ -611,21 +627,49 @@ int CmdServeBench(const Args& args) {
        << ", \"fault_rate\": " << fault_rate
        << ", \"spike_rate\": " << spike_rate << ", \"spike_us\": " << spike_us
        << ", \"nan_rate\": " << nan_rate << ", \"seed\": " << seed << "},\n";
+  // Mean batch size of the round-robined corpus: the request count the
+  // predictor drift comparison is evaluated at.
+  const uint32_t mean_docs = std::max(
+      1u, dataset.num_docs() / std::max(1u, dataset.num_queries()));
   json << "  \"rungs\": [\n";
   for (size_t i = 0; i < ladder.num_rungs(); ++i) {
-    const auto& samples = rung_samples[i];
+    // Per-rung latency now comes from the engine's bounded log2 histograms
+    // (constant memory under load) instead of the removed unbounded sample
+    // recorder; percentile estimates are within 2x of exact.
+    const obs::Histogram& rung_hist = engine.rung_latency(i);
+    const predict::DriftSample drift = predict::RecordPredictorDrift(
+        rung_names[i],
+        ladder.PredictedBatchMicros(i, mean_docs, /*safety_factor=*/1.0),
+        rung_hist);
     json << "    {\"index\": " << i << ", \"name\": \"" << rung_names[i]
          << "\", \"predicted_us_per_doc\": "
          << FormatFixed(ladder.rung(i).predicted_us_per_doc, 3)
          << ", \"serial_us_per_doc\": " << FormatFixed(costs[i], 3)
          << ", \"raw_predicted_us_per_doc\": " << FormatFixed(raw_costs[i], 3)
          << ", \"served\": " << counters.served_by_rung[i]
-         << ", \"p50_us\": " << FormatFixed(serve::Percentile(samples, 50), 1)
-         << ", \"p95_us\": " << FormatFixed(serve::Percentile(samples, 95), 1)
-         << ", \"p99_us\": " << FormatFixed(serve::Percentile(samples, 99), 1)
-         << "}" << (i + 1 < ladder.num_rungs() ? "," : "") << "\n";
+         << ", \"p50_us\": "
+         << FormatFixed(rung_hist.ApproxPercentileMicros(50), 1)
+         << ", \"p95_us\": "
+         << FormatFixed(rung_hist.ApproxPercentileMicros(95), 1)
+         << ", \"p99_us\": "
+         << FormatFixed(rung_hist.ApproxPercentileMicros(99), 1)
+         << ", \"mean_us\": " << FormatFixed(rung_hist.MeanMicros(), 1)
+         << ", \"predicted_batch_us\": " << FormatFixed(drift.predicted_us, 1)
+         << ", \"drift_ratio\": " << FormatFixed(drift.ratio, 3) << "}"
+         << (i + 1 < ladder.num_rungs() ? "," : "") << "\n";
   }
   json << "  ],\n";
+  json << "  \"queue\": {\"wait_p50_us\": "
+       << FormatFixed(engine.queue_wait().ApproxPercentileMicros(50), 1)
+       << ", \"wait_p95_us\": "
+       << FormatFixed(engine.queue_wait().ApproxPercentileMicros(95), 1)
+       << ", \"wait_max_us\": "
+       << FormatFixed(engine.queue_wait().MaxMicros(), 1)
+       << ", \"backoff_sleeps\": " << engine.retry_backoff().Count()
+       << ", \"backoff_total_us\": "
+       << FormatFixed(engine.retry_backoff().SumMicros(), 1) << "},\n";
+  json << "  \"obs\": {\"spans_enabled\": " << (obs_spans ? "true" : "false")
+       << ", \"stats_file\": \"" << obs_out << "\"},\n";
   json << "  \"overall\": {\"ok\": " << counters.ok
        << ", \"within_deadline\": " << within_deadline
        << ", \"shed_queue_full\": " << counters.shed_queue_full
@@ -654,6 +698,25 @@ int CmdServeBench(const Args& args) {
   }
   std::printf("%s", json.str().c_str());
   std::printf("wrote %s\n", out.c_str());
+
+  // Full registry export: engine histograms, drift gauges and (with --obs)
+  // the per-stage scoring spans. Checked before writing, so a malformed
+  // report can never land on disk.
+  const std::string obs_json = obs::MetricsRegistry::Global().ToJson();
+  const std::string obs_error = obs::CheckJsonSyntax(obs_json);
+  if (!obs_error.empty()) {
+    std::fprintf(stderr, "exported stats are not valid JSON: %s\n",
+                 obs_error.c_str());
+    return 1;
+  }
+  if (!EnsureParentDir(obs_out)) return 1;
+  std::ofstream obs_file(obs_out);
+  obs_file << obs_json;
+  if (!obs_file) {
+    std::fprintf(stderr, "failed to write %s\n", obs_out.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", obs_out.c_str());
   return 0;
 }
 
@@ -676,6 +739,8 @@ int CmdBenchScaling(const Args& args) {
       ParseThreadList(args.Get("threads", "1,2,4"));
   const double min_t2_ratio = args.GetDouble("min-t2-ratio", 0.0);
   const std::string out = args.Get("out", "out/bench_scaling.json");
+  const bool obs_spans = args.GetInt("obs", 0) != 0;
+  const std::string obs_out = args.Get("obs-out", "out/bench_scaling_obs.json");
 
   auto arch = predict::Architecture::Parse(args.Get("arch", "256x128x64"),
                                            features);
@@ -719,6 +784,12 @@ int CmdBenchScaling(const Args& args) {
     double tree_docs_per_s = 0.0;
   };
   std::vector<Row> rows;
+
+  // With --obs 1 the GEMM / scorer spans record during the measurement
+  // loop, so the report can say where scoring time went (pack vs kernel),
+  // not only how fast it was. Off by default: the gate numbers stay
+  // uninstrumented unless asked.
+  obs::MetricsRegistry::Global().SetEnabled(obs_spans);
 
   for (const uint32_t t : thread_counts) {
     common::ThreadPool pool(t);
@@ -790,8 +861,27 @@ int CmdBenchScaling(const Args& args) {
          << FormatFixed(row.tree_docs_per_s / base.tree_docs_per_s, 3)
          << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
   }
-  json << "  ]\n";
-  json << "}\n";
+  json << "  ]";
+  if (obs_spans) {
+    obs::MetricsRegistry::Global().SetEnabled(false);
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+    const double kernel_us =
+        registry.GetHistogram("mm.gemm.kernel_us").SumMicros();
+    const double pack_us =
+        registry.GetHistogram("mm.gemm.pack_a_us").SumMicros() +
+        registry.GetHistogram("mm.gemm.pack_b_us").SumMicros();
+    const double gemm_us =
+        registry.GetHistogram("mm.gemm.total_us").SumMicros();
+    json << ",\n  \"obs\": {\"gemm_calls\": "
+         << registry.GetCounter("mm.gemm.calls").Value()
+         << ", \"gemm_total_us\": " << FormatFixed(gemm_us, 1)
+         << ", \"gemm_kernel_us\": " << FormatFixed(kernel_us, 1)
+         << ", \"gemm_pack_us\": " << FormatFixed(pack_us, 1)
+         << ", \"gemm_pack_share\": "
+         << FormatFixed(gemm_us > 0.0 ? pack_us / gemm_us : 0.0, 3)
+         << ", \"stats_file\": \"" << obs_out << "\"}";
+  }
+  json << "\n}\n";
 
   if (!EnsureParentDir(out)) return 1;
   std::ofstream file(out);
@@ -802,6 +892,24 @@ int CmdBenchScaling(const Args& args) {
   }
   std::printf("%s", json.str().c_str());
   std::printf("wrote %s\n", out.c_str());
+
+  if (obs_spans) {
+    const std::string obs_json = obs::MetricsRegistry::Global().ToJson();
+    const std::string obs_error = obs::CheckJsonSyntax(obs_json);
+    if (!obs_error.empty()) {
+      std::fprintf(stderr, "exported stats are not valid JSON: %s\n",
+                   obs_error.c_str());
+      return 1;
+    }
+    if (!EnsureParentDir(obs_out)) return 1;
+    std::ofstream obs_file(obs_out);
+    obs_file << obs_json;
+    if (!obs_file) {
+      std::fprintf(stderr, "failed to write %s\n", obs_out.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", obs_out.c_str());
+  }
 
   if (min_t2_ratio > 0.0) {
     if (t1 == nullptr || t2 == nullptr) {
@@ -820,6 +928,147 @@ int CmdBenchScaling(const Args& args) {
                 min_t2_ratio);
   }
   return 0;
+}
+
+/// Exercises the instrumented scoring stack (dense NN, hybrid NN, tree
+/// ensemble over a synthetic corpus) with spans enabled and exports the
+/// metrics registry as JSON. Doubles as the CI entry point for the layer's
+/// two guarantees:
+///   --check 1              scores with spans on must be bitwise identical
+///                          to scores with spans off (exit 1 otherwise);
+///   --max-overhead-pct X   enabled spans may slow the GEMM microbench by
+///                          at most X percent (best-of-trials on both
+///                          sides, so scheduler noise cannot fail the gate
+///                          spuriously).
+/// With --in F it instead validates an exported report file and prints it.
+int CmdStats(const Args& args) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+
+  if (args.Has("in")) {
+    const std::string path = args.Get("in", "");
+    std::ifstream file(path);
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s\n", path.c_str());
+      return 1;
+    }
+    std::stringstream buffer;
+    buffer << file.rdbuf();
+    const std::string error = obs::CheckJsonSyntax(buffer.str());
+    if (!error.empty()) {
+      std::fprintf(stderr, "%s: invalid JSON: %s\n", path.c_str(),
+                   error.c_str());
+      return 1;
+    }
+    std::printf("%s", buffer.str().c_str());
+    std::fprintf(stderr, "%s: valid JSON\n", path.c_str());
+    return 0;
+  }
+
+  const auto features = static_cast<uint32_t>(args.GetInt("features", 64));
+  const auto queries = static_cast<uint32_t>(args.GetInt("queries", 24));
+  const auto seed = static_cast<uint64_t>(args.GetInt("seed", 7));
+  const bool check = args.GetInt("check", 0) != 0;
+  const double max_overhead_pct = args.GetDouble("max-overhead-pct", 0.0);
+  const int trials = args.GetInt("trials", 3);
+  const std::string out = args.Get("out", "-");
+
+  data::SyntheticConfig config = data::SyntheticConfig::MsnLike(1.0);
+  config.num_queries = queries;
+  config.num_features = features;
+  config.seed = seed;
+  const data::Dataset dataset = data::GenerateSynthetic(config);
+
+  // One scorer per instrumented subsystem: the dense MLP drives the GEMM
+  // spans, the hybrid MLP the sparse first-layer split, the QuickScorer
+  // pair the forest traversal spans. Random weights: this command measures
+  // plumbing, not ranking quality.
+  gbdt::BoosterConfig bc;
+  bc.num_trees = 10;
+  bc.num_leaves = 16;
+  gbdt::Booster booster(bc);
+  const gbdt::Ensemble forest_model = booster.TrainLambdaMart(dataset, nullptr);
+  const forest::QuickScorer qs(forest_model, dataset.num_features());
+  const forest::BlockwiseQuickScorer bwqs(forest_model, dataset.num_features());
+  const predict::Architecture arch(dataset.num_features(), {128, 64});
+  nn::Mlp dense_mlp(arch, seed);
+  nn::Mlp hybrid_mlp(arch, seed + 1);
+  nn::WeightMasks masks = prune::MakeDenseMasks(hybrid_mlp);
+  prune::LevelPruneLayer(&hybrid_mlp, 0, 0.95, &masks);
+  data::ZNormalizer normalizer;
+  normalizer.Fit(dataset);
+  const nn::NeuralScorer dense(dense_mlp, &normalizer);
+  const nn::HybridNeuralScorer hybrid(hybrid_mlp, &normalizer);
+
+  const forest::DocumentScorer* scorers[] = {&dense, &hybrid, &qs, &bwqs};
+  int failures = 0;
+
+  if (check) {
+    for (const forest::DocumentScorer* scorer : scorers) {
+      registry.SetEnabled(false);
+      const std::vector<float> off = scorer->ScoreDataset(dataset);
+      registry.SetEnabled(true);
+      const std::vector<float> on = scorer->ScoreDataset(dataset);
+      registry.SetEnabled(false);
+      const bool identical =
+          off.size() == on.size() &&
+          std::memcmp(off.data(), on.data(), off.size() * sizeof(float)) == 0;
+      std::printf("check %-24s %s\n",
+                  std::string(scorer->name()).c_str(),
+                  identical ? "bitwise identical" : "MISMATCH");
+      if (!identical) ++failures;
+    }
+  }
+
+  if (max_overhead_pct > 0.0) {
+    // GFLOPS is best-of-repeats, i.e. min time; taking the best across
+    // trials on both sides compares two near-noise-free minima.
+    double off_gflops = 0.0;
+    double on_gflops = 0.0;
+    for (int trial = 0; trial < std::max(1, trials); ++trial) {
+      registry.SetEnabled(false);
+      off_gflops = std::max(off_gflops, mm::MeasureGemmGflops(256, 256, 64, 5));
+      registry.SetEnabled(true);
+      on_gflops = std::max(on_gflops, mm::MeasureGemmGflops(256, 256, 64, 5));
+    }
+    registry.SetEnabled(false);
+    const double overhead_pct = (off_gflops / on_gflops - 1.0) * 100.0;
+    registry.GetGauge("obs.gemm_overhead_pct").Set(overhead_pct);
+    const bool ok = overhead_pct <= max_overhead_pct;
+    std::printf("gemm span overhead %.2f%% (gate %.2f%%): %s\n", overhead_pct,
+                max_overhead_pct, ok ? "ok" : "FAIL");
+    if (!ok) ++failures;
+  }
+
+  // The exported workload: a few instrumented passes so every per-stage
+  // histogram has samples.
+  registry.SetEnabled(true);
+  for (int pass = 0; pass < 3; ++pass) {
+    for (const forest::DocumentScorer* scorer : scorers) {
+      scorer->ScoreDataset(dataset);
+    }
+  }
+  registry.SetEnabled(false);
+
+  const std::string json = registry.ToJson();
+  const std::string error = obs::CheckJsonSyntax(json);
+  if (!error.empty()) {
+    std::fprintf(stderr, "exported stats are not valid JSON: %s\n",
+                 error.c_str());
+    return 1;
+  }
+  if (out == "-") {
+    std::printf("%s", json.c_str());
+  } else {
+    if (!EnsureParentDir(out)) return 1;
+    std::ofstream file(out);
+    file << json;
+    if (!file) {
+      std::fprintf(stderr, "failed to write %s\n", out.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", out.c_str());
+  }
+  return failures == 0 ? 0 : 1;
 }
 
 /// Prints a validation report with a `what: ` prefix; returns true when the
@@ -914,10 +1163,12 @@ int Usage() {
       "L]\n"
       "  serve-bench   [--requests N] [--deadline-us U] [--workers W] "
       "[--threads T] [--fault-rate P] [--spike-rate P] [--spike-us U] "
-      "[--nan-rate P] [--out F]\n"
+      "[--nan-rate P] [--obs 1] [--obs-out F] [--out F]\n"
       "  bench-scaling [--threads 1,2,4] [--arch AxBxC] [--features K] "
       "[--sparsity S] [--trees N] [--repeats R] [--min-t2-ratio R] "
-      "[--out F]\n");
+      "[--obs 1] [--obs-out F] [--out F]\n"
+      "  stats         [--in F] [--check 1] [--max-overhead-pct X] "
+      "[--trials T] [--features K] [--queries N] [--seed S] [--out F|-]\n");
   return 2;
 }
 
@@ -938,5 +1189,6 @@ int main(int argc, char** argv) {
   if (command == "validate") return CmdValidate(args);
   if (command == "serve-bench") return CmdServeBench(args);
   if (command == "bench-scaling") return CmdBenchScaling(args);
+  if (command == "stats") return CmdStats(args);
   return Usage();
 }
