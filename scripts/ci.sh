@@ -40,6 +40,30 @@ out/release/tools/dnlr_cli stats \
   --queries 8 --out out/obs_stats_ci.json >/dev/null
 out/release/tools/dnlr_cli stats --in out/obs_stats_ci.json >/dev/null
 
+# Bundle gates: pack a bundle from artifacts trained in this run, verify it
+# (magic/version/CRC plus every section re-parsed and run through the
+# invariant suites), then swap bundles under sustained load. serve-bench
+# --reload-every exits non-zero unless every swap completed, the golden-score
+# gate rejected nothing, and no request failed across any swap. The
+# reload-under-load gtest suite additionally runs under tsan above (it
+# carries the `threaded` label).
+echo "==== [bundle] pack -> verify -> reload-under-load smoke"
+out/release/tools/dnlr_cli gen --out out/ci_bundle_data.tsv \
+  --queries 24 --features 16 --seed 7 >/dev/null
+out/release/tools/dnlr_cli train-forest --train out/ci_bundle_data.tsv \
+  --out out/ci_bundle_teacher.txt --trees 5 --leaves 8 >/dev/null
+out/release/tools/dnlr_cli distill --train out/ci_bundle_data.tsv \
+  --teacher out/ci_bundle_teacher.txt --arch 16x8 --epochs 2 \
+  --out out/ci_bundle_student.txt >/dev/null
+out/release/tools/dnlr_cli bundle pack --out out/ci_model.bundle \
+  --teacher out/ci_bundle_teacher.txt --student out/ci_bundle_student.txt \
+  --norm-data out/ci_bundle_data.tsv \
+  --rungs student:student:3.0,cascade:cascade:1.5,floor:teacher-subset:0.5 \
+  >/dev/null
+out/release/tools/dnlr_cli bundle verify --in out/ci_model.bundle >/dev/null
+out/release/tools/dnlr_cli serve-bench --reload-every 25 --requests 100 \
+  --out out/serve_reload_ci.json >/dev/null
+
 fail=0
 for preset in asan-ubsan tsan; do
   log="out/${preset}/Testing/Temporary/LastTest.log"
@@ -51,5 +75,5 @@ for preset in asan-ubsan tsan; do
   fi
 done
 [ "${fail}" -eq 0 ] || exit 1
-echo "ci.sh: release + asan-ubsan + tsan(threaded) + scaling smoke green," \
-     "no sanitizer reports"
+echo "ci.sh: release + asan-ubsan + tsan(threaded) + scaling smoke +" \
+     "bundle verify/reload gates green, no sanitizer reports"

@@ -1,0 +1,385 @@
+#include "bundle/bundle.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <locale>
+#include <sstream>
+
+#include "bundle/crc32.h"
+#include "common/file_util.h"
+
+namespace dnlr::bundle {
+namespace {
+
+/// Canonical order of every known section name. The index doubles as the
+/// sort key SetSection keeps sections_ ordered by.
+constexpr const char* kCanonicalOrder[] = {
+    kTeacherSection, kStudentSection, kNormalizerSection, kRungsSection};
+
+int CanonicalIndex(const std::string& name) {
+  for (size_t i = 0; i < std::size(kCanonicalOrder); ++i) {
+    if (name == kCanonicalOrder[i]) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::string CrcHex(uint32_t crc) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%08x", crc);
+  return buf;
+}
+
+/// Classic-locale numeric stream helpers shared by the rung-config and
+/// normalizer codecs.
+std::ostringstream MakeOut() {
+  std::ostringstream out;
+  out.imbue(std::locale::classic());
+  out.precision(std::numeric_limits<double>::max_digits10);
+  return out;
+}
+
+std::istringstream MakeIn(const std::string& text) {
+  std::istringstream in(text);
+  in.imbue(std::locale::classic());
+  return in;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// RungConfig
+
+// Grammar:
+//   rungs <n>
+//   rung <name> <kind> <us_per_doc>     (n lines, strongest first)
+Result<std::string> RungConfig::Serialize() const {
+  if (rungs.empty()) {
+    return Status::InvalidArgument("rung config has no rungs");
+  }
+  double previous = std::numeric_limits<double>::infinity();
+  for (const RungSpec& rung : rungs) {
+    if (rung.name.empty() || rung.kind.empty()) {
+      return Status::InvalidArgument("rung with empty name or kind");
+    }
+    if (rung.name.find(' ') != std::string::npos ||
+        rung.kind.find(' ') != std::string::npos) {
+      return Status::InvalidArgument("rung name/kind must not contain spaces");
+    }
+    if (!std::isfinite(rung.us_per_doc) || rung.us_per_doc <= 0.0) {
+      return Status::InvalidArgument("rung '" + rung.name +
+                                     "' has non-positive or non-finite cost");
+    }
+    if (rung.us_per_doc > previous) {
+      return Status::InvalidArgument(
+          "rung '" + rung.name +
+          "' is more expensive than its predecessor (rungs must be "
+          "strongest-first with non-increasing cost)");
+    }
+    previous = rung.us_per_doc;
+  }
+  std::ostringstream out = MakeOut();
+  out << "rungs " << rungs.size() << '\n';
+  for (const RungSpec& rung : rungs) {
+    out << "rung " << rung.name << ' ' << rung.kind << ' ' << rung.us_per_doc
+        << '\n';
+  }
+  return out.str();
+}
+
+Result<RungConfig> RungConfig::Deserialize(const std::string& text) {
+  std::istringstream in = MakeIn(text);
+  std::string keyword;
+  size_t count = 0;
+  if (!(in >> keyword >> count) || keyword != "rungs") {
+    return Status::ParseError("expected 'rungs <n>' header");
+  }
+  RungConfig config;
+  config.rungs.resize(count);
+  double previous = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < count; ++i) {
+    RungSpec& rung = config.rungs[i];
+    if (!(in >> keyword >> rung.name >> rung.kind >> rung.us_per_doc) ||
+        keyword != "rung") {
+      return Status::ParseError("bad rung line " + std::to_string(i));
+    }
+    if (!std::isfinite(rung.us_per_doc) || rung.us_per_doc <= 0.0 ||
+        rung.us_per_doc > previous) {
+      return Status::ParseError("rung '" + rung.name +
+                                "' cost is invalid or increases down the "
+                                "ladder");
+    }
+    previous = rung.us_per_doc;
+  }
+  return config;
+}
+
+// ---------------------------------------------------------------------------
+// Normalizer codec
+
+// Grammar:
+//   znorm <num_features>
+//   <num_features means> <num_features stddevs>
+Result<std::string> SerializeNormalizer(const data::ZNormalizer& normalizer) {
+  if (!normalizer.fitted()) {
+    return Status::InvalidArgument("cannot serialize an unfitted normalizer");
+  }
+  const std::vector<float>& mean = normalizer.mean();
+  const std::vector<float>& stddev = normalizer.stddev();
+  for (size_t f = 0; f < mean.size(); ++f) {
+    if (!std::isfinite(mean[f]) || !std::isfinite(stddev[f]) ||
+        stddev[f] <= 0.0f) {
+      return Status::InvalidArgument(
+          "cannot serialize normalizer: bad statistics at feature " +
+          std::to_string(f));
+    }
+  }
+  std::ostringstream out = MakeOut();
+  out << "znorm " << mean.size() << '\n';
+  for (size_t f = 0; f < mean.size(); ++f) {
+    out << mean[f] << (f + 1 == mean.size() ? '\n' : ' ');
+  }
+  for (size_t f = 0; f < stddev.size(); ++f) {
+    out << stddev[f] << (f + 1 == stddev.size() ? '\n' : ' ');
+  }
+  return out.str();
+}
+
+Result<data::ZNormalizer> DeserializeNormalizer(const std::string& text) {
+  std::istringstream in = MakeIn(text);
+  std::string keyword;
+  size_t count = 0;
+  if (!(in >> keyword >> count) || keyword != "znorm" || count == 0) {
+    return Status::ParseError("expected 'znorm <n>' header");
+  }
+  std::vector<float> mean(count);
+  std::vector<float> stddev(count);
+  for (float& m : mean) {
+    if (!(in >> m) || !std::isfinite(m)) {
+      return Status::ParseError("truncated or non-finite normalizer means");
+    }
+  }
+  for (float& s : stddev) {
+    if (!(in >> s) || !std::isfinite(s) || s <= 0.0f) {
+      return Status::ParseError(
+          "truncated or non-positive normalizer stddevs");
+    }
+  }
+  return data::ZNormalizer(std::move(mean), std::move(stddev));
+}
+
+// ---------------------------------------------------------------------------
+// ModelBundle
+
+Status ModelBundle::SetSection(const std::string& name, std::string payload) {
+  const int index = CanonicalIndex(name);
+  if (index < 0) {
+    return Status::InvalidArgument("unknown bundle section '" + name + "'");
+  }
+  for (Section& section : sections_) {
+    if (section.name == name) {
+      section.payload = std::move(payload);
+      return Status::Ok();
+    }
+  }
+  Section section{name, std::move(payload)};
+  const auto pos = std::find_if(
+      sections_.begin(), sections_.end(), [index](const Section& s) {
+        return CanonicalIndex(s.name) > index;
+      });
+  sections_.insert(pos, std::move(section));
+  return Status::Ok();
+}
+
+Status ModelBundle::SetTeacher(const gbdt::Ensemble& teacher) {
+  Result<std::string> text = teacher.Serialize();
+  if (!text.ok()) return text.status();
+  return SetSection(kTeacherSection, std::move(*text));
+}
+
+Status ModelBundle::SetStudent(const nn::Mlp& student) {
+  Result<std::string> text = student.Serialize();
+  if (!text.ok()) return text.status();
+  return SetSection(kStudentSection, std::move(*text));
+}
+
+Status ModelBundle::SetNormalizer(const data::ZNormalizer& normalizer) {
+  Result<std::string> text = SerializeNormalizer(normalizer);
+  if (!text.ok()) return text.status();
+  return SetSection(kNormalizerSection, std::move(*text));
+}
+
+Status ModelBundle::SetRungs(const RungConfig& rungs) {
+  Result<std::string> text = rungs.Serialize();
+  if (!text.ok()) return text.status();
+  return SetSection(kRungsSection, std::move(*text));
+}
+
+bool ModelBundle::HasSection(const std::string& name) const {
+  return FindSection(name) != nullptr;
+}
+
+const std::string* ModelBundle::FindSection(const std::string& name) const {
+  for (const Section& section : sections_) {
+    if (section.name == name) return &section.payload;
+  }
+  return nullptr;
+}
+
+Result<gbdt::Ensemble> ModelBundle::Teacher() const {
+  const std::string* payload = FindSection(kTeacherSection);
+  if (payload == nullptr) {
+    return Status::NotFound("bundle has no teacher section");
+  }
+  return gbdt::Ensemble::Deserialize(*payload);
+}
+
+Result<nn::Mlp> ModelBundle::Student() const {
+  const std::string* payload = FindSection(kStudentSection);
+  if (payload == nullptr) {
+    return Status::NotFound("bundle has no student section");
+  }
+  return nn::Mlp::Deserialize(*payload);
+}
+
+Result<data::ZNormalizer> ModelBundle::Normalizer() const {
+  const std::string* payload = FindSection(kNormalizerSection);
+  if (payload == nullptr) {
+    return Status::NotFound("bundle has no normalizer section");
+  }
+  return DeserializeNormalizer(*payload);
+}
+
+Result<RungConfig> ModelBundle::Rungs() const {
+  const std::string* payload = FindSection(kRungsSection);
+  if (payload == nullptr) {
+    return Status::NotFound("bundle has no rungs section");
+  }
+  return RungConfig::Deserialize(*payload);
+}
+
+std::string ModelBundle::Serialize() const {
+  std::ostringstream out;
+  out.imbue(std::locale::classic());
+  out << kMagic << ' ' << kFormatVersion << ' ' << sections_.size() << '\n';
+  for (const Section& section : sections_) {
+    out << "section " << section.name << ' ' << section.payload.size() << ' '
+        << CrcHex(Crc32(section.payload)) << '\n';
+  }
+  out << "payload\n";
+  for (const Section& section : sections_) {
+    out << section.payload;
+  }
+  return out.str();
+}
+
+Result<ModelBundle> ModelBundle::Deserialize(const std::string& bytes) {
+  // Header lines are parsed off an istream; payload bytes are then sliced
+  // out of `bytes` directly so binary payloads pass through untouched.
+  std::istringstream in = MakeIn(bytes);
+  std::string magic;
+  uint32_t version = 0;
+  size_t num_sections = 0;
+  if (!(in >> magic) || magic != kMagic) {
+    return Status::ParseError("not a dnlr bundle (bad magic)");
+  }
+  if (!(in >> version >> num_sections)) {
+    return Status::ParseError("malformed bundle header");
+  }
+  if (version != kFormatVersion) {
+    return Status::ParseError("unsupported bundle version " +
+                              std::to_string(version) + " (this build reads " +
+                              std::to_string(kFormatVersion) + ")");
+  }
+
+  struct Declared {
+    std::string name;
+    size_t size = 0;
+    uint32_t crc = 0;
+  };
+  std::vector<Declared> declared(num_sections);
+  int previous_index = -1;
+  for (size_t s = 0; s < num_sections; ++s) {
+    std::string keyword;
+    std::string crc_hex;
+    if (!(in >> keyword >> declared[s].name >> declared[s].size >> crc_hex) ||
+        keyword != "section") {
+      return Status::ParseError("malformed section header " +
+                                std::to_string(s));
+    }
+    char* end = nullptr;
+    declared[s].crc =
+        static_cast<uint32_t>(std::strtoul(crc_hex.c_str(), &end, 16));
+    if (crc_hex.empty() || end == nullptr || *end != '\0') {
+      return Status::ParseError("malformed crc in section header '" +
+                                declared[s].name + "'");
+    }
+    const int index = CanonicalIndex(declared[s].name);
+    if (index < 0) {
+      return Status::ParseError("unknown bundle section '" +
+                                declared[s].name + "'");
+    }
+    if (index == previous_index) {
+      return Status::ParseError("duplicate bundle section '" +
+                                declared[s].name + "'");
+    }
+    if (index < previous_index) {
+      return Status::ParseError(
+          "bundle section '" + declared[s].name +
+          "' out of canonical order (teacher, student, normalizer, rungs)");
+    }
+    previous_index = index;
+  }
+
+  std::string keyword;
+  if (!(in >> keyword) || keyword != "payload") {
+    return Status::ParseError("missing payload marker");
+  }
+  // The payload starts right after the newline terminating the marker line.
+  const size_t marker = bytes.find("\npayload\n");
+  if (marker == std::string::npos) {
+    return Status::ParseError("missing payload marker");
+  }
+  size_t offset = marker + std::string("\npayload\n").size();
+
+  ModelBundle bundle;
+  for (const Declared& decl : declared) {
+    if (offset + decl.size > bytes.size()) {
+      return Status::ParseError(
+          "truncated section '" + decl.name + "' (declares " +
+          std::to_string(decl.size) + " bytes, " +
+          std::to_string(bytes.size() - offset) + " remain)");
+    }
+    std::string payload = bytes.substr(offset, decl.size);
+    offset += decl.size;
+    const uint32_t actual = Crc32(payload);
+    if (actual != decl.crc) {
+      return Status::ParseError("crc mismatch in section '" + decl.name +
+                                "' (header " + CrcHex(decl.crc) +
+                                ", payload " + CrcHex(actual) + ")");
+    }
+    // Declarations are already validated as canonical-ordered and unique,
+    // so appending preserves the invariant SetSection maintains.
+    bundle.sections_.push_back(Section{decl.name, std::move(payload)});
+  }
+  if (offset != bytes.size()) {
+    return Status::ParseError("trailing bytes after the last section (" +
+                              std::to_string(bytes.size() - offset) +
+                              " unaccounted)");
+  }
+  return bundle;
+}
+
+Status ModelBundle::SaveToFile(const std::string& path) const {
+  return AtomicWriteFile(path, Serialize());
+}
+
+Result<ModelBundle> ModelBundle::LoadFromFile(const std::string& path) {
+  Result<std::string> bytes = ReadFileToString(path);
+  if (!bytes.ok()) return bytes.status();
+  return Deserialize(*bytes);
+}
+
+}  // namespace dnlr::bundle

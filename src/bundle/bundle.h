@@ -1,0 +1,120 @@
+#ifndef DNLR_BUNDLE_BUNDLE_H_
+#define DNLR_BUNDLE_BUNDLE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "data/normalize.h"
+#include "gbdt/ensemble.h"
+#include "nn/mlp.h"
+
+namespace dnlr::bundle {
+
+/// Bundle-format constants. A bundle is the single deployable unit the
+/// paper's pipeline produces per rollout: the LambdaMART teacher, the
+/// distilled (possibly pruned) student MLP, the feature normalizer the
+/// student was trained behind, and the serve-rung configuration the
+/// DegradationLadder was budgeted with — versioned and checksummed so the
+/// whole family rolls (and rolls back) together.
+inline constexpr char kMagic[] = "dnlrbundle";
+inline constexpr uint32_t kFormatVersion = 1;
+
+/// Canonical section names, in the only order a valid bundle may declare
+/// them. Any subset is allowed; reordering is a distinct parse error so a
+/// tampered or hand-edited bundle never half-loads.
+inline constexpr char kTeacherSection[] = "teacher";
+inline constexpr char kStudentSection[] = "student";
+inline constexpr char kNormalizerSection[] = "normalizer";
+inline constexpr char kRungsSection[] = "rungs";
+
+/// One rung of the serve configuration as budgeted offline: which model the
+/// rung runs (`kind`: "student", "teacher", "cascade" or "teacher-subset")
+/// and the predicted per-document cost the engine budgets with.
+struct RungSpec {
+  std::string name;
+  std::string kind;
+  double us_per_doc = 0.0;
+};
+
+/// The degradation-ladder configuration carried inside a bundle. Rungs are
+/// ordered strongest-first with non-increasing costs, mirroring
+/// serve::DegradationLadder::AddRung's contract.
+struct RungConfig {
+  std::vector<RungSpec> rungs;
+
+  /// Classic-locale text form; rejects non-finite or non-positive costs and
+  /// costs that increase down the ladder.
+  Result<std::string> Serialize() const;
+  static Result<RungConfig> Deserialize(const std::string& text);
+};
+
+/// A named, CRC-checksummed byte payload inside a bundle.
+struct Section {
+  std::string name;
+  std::string payload;
+};
+
+/// The versioned model-bundle container.
+///
+/// On-disk layout (header is line-oriented ASCII, payload is raw bytes):
+///
+///   dnlrbundle <format-version> <num-sections>\n
+///   section <name> <payload-bytes> <crc32-hex8>\n     (one per section,
+///                                                      canonical order)
+///   payload\n
+///   <section payloads, concatenated in declared order>
+///
+/// Deserialize verifies the magic, version, section order and every
+/// section's length and CRC32 before any model parser runs, and each
+/// corruption mode yields a distinct ParseError (bad magic, unsupported
+/// version, malformed header, section out of order, truncated section, crc
+/// mismatch) — a corrupt bundle can never be mistaken for a model.
+/// SaveToFile is crash-safe (temp file + flush + fsync + atomic rename), so
+/// a crash at any point during save leaves the published path untouched.
+class ModelBundle {
+ public:
+  /// Typed setters: each serializes its object into the matching section
+  /// (replacing any previous payload) and fails without touching the bundle
+  /// when the object cannot serialize (e.g. non-finite weights).
+  Status SetTeacher(const gbdt::Ensemble& teacher);
+  Status SetStudent(const nn::Mlp& student);
+  Status SetNormalizer(const data::ZNormalizer& normalizer);
+  Status SetRungs(const RungConfig& rungs);
+
+  bool HasSection(const std::string& name) const;
+  /// Raw payload of a section, or nullptr when absent.
+  const std::string* FindSection(const std::string& name) const;
+  const std::vector<Section>& sections() const { return sections_; }
+
+  /// Typed getters: parse the matching section. NotFound when the section
+  /// is absent; the model parsers' ParseError otherwise.
+  Result<gbdt::Ensemble> Teacher() const;
+  Result<nn::Mlp> Student() const;
+  Result<data::ZNormalizer> Normalizer() const;
+  Result<RungConfig> Rungs() const;
+
+  std::string Serialize() const;
+  static Result<ModelBundle> Deserialize(const std::string& bytes);
+
+  /// Crash-safe save via common::AtomicWriteFile.
+  Status SaveToFile(const std::string& path) const;
+  static Result<ModelBundle> LoadFromFile(const std::string& path);
+
+ private:
+  /// Inserts or replaces `name`, keeping sections_ in canonical order.
+  Status SetSection(const std::string& name, std::string payload);
+
+  std::vector<Section> sections_;
+};
+
+/// Classic-locale (de)serialization of the Z-normalizer statistics, so the
+/// student's preprocessing travels with the model instead of being re-fit
+/// from whatever data happens to be at hand at load time.
+Result<std::string> SerializeNormalizer(const data::ZNormalizer& normalizer);
+Result<data::ZNormalizer> DeserializeNormalizer(const std::string& text);
+
+}  // namespace dnlr::bundle
+
+#endif  // DNLR_BUNDLE_BUNDLE_H_

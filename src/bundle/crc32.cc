@@ -1,0 +1,39 @@
+#include "bundle/crc32.h"
+
+#include <array>
+
+namespace dnlr::bundle {
+namespace {
+
+constexpr uint32_t kPolynomial = 0xEDB88320u;
+
+constexpr std::array<uint32_t, 256> MakeTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1u) != 0 ? (crc >> 1) ^ kPolynomial : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr std::array<uint32_t, 256> kTable = MakeTable();
+
+}  // namespace
+
+uint32_t Crc32Update(uint32_t crc, const void* data, size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  crc = ~crc;
+  for (size_t i = 0; i < size; ++i) {
+    crc = kTable[(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+uint32_t Crc32(std::string_view data) {
+  return Crc32Update(0, data.data(), data.size());
+}
+
+}  // namespace dnlr::bundle

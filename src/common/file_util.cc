@@ -1,10 +1,30 @@
 #include "common/file_util.h"
 
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
 namespace dnlr {
+namespace {
+
+std::string ErrnoDetail() {
+  return errno != 0 ? std::string(": ") + std::strerror(errno) : std::string();
+}
+
+/// Writes [data, data + size) to `file`, returning false on short writes.
+bool WriteAll(std::FILE* file, const char* data, size_t size) {
+  return size == 0 || std::fwrite(data, 1, size, file) == size;
+}
+
+}  // namespace
 
 Result<std::string> ReadFileToString(const std::string& path) {
   // An ifstream on a directory opens successfully on POSIX but every read
@@ -22,6 +42,75 @@ Result<std::string> ReadFileToString(const std::string& path) {
     return Status::IoError("read of '" + path + "' failed");
   }
   return std::move(buffer).str();
+}
+
+Status AtomicWriteFile(const std::string& path, std::string_view contents,
+                       const AtomicWriteOptions& options) {
+  // Unique temp name next to the destination so the rename never crosses a
+  // filesystem boundary (rename(2) is only atomic within one filesystem).
+  // The counter disambiguates concurrent writers of the same path.
+  static std::atomic<uint64_t> counter{0};
+  const std::string tmp_path =
+      path + ".tmp." + std::to_string(counter.fetch_add(1));
+
+  errno = 0;
+  std::FILE* file = std::fopen(tmp_path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::IoError("cannot open temp file '" + tmp_path +
+                           "' for writing" + ErrnoDetail());
+  }
+  if (options.crash_point == WriteCrashPoint::kAfterOpen) {
+    std::fclose(file);  // release the handle; a real crash releases it too
+    return Status::IoError("simulated crash after opening '" + tmp_path + "'");
+  }
+
+  if (options.crash_point == WriteCrashPoint::kMidWrite) {
+    const size_t half = contents.size() / 2;
+    WriteAll(file, contents.data(), half);
+    std::fflush(file);
+    std::fclose(file);
+    return Status::IoError("simulated crash mid-write to '" + tmp_path + "'");
+  }
+
+  if (!WriteAll(file, contents.data(), contents.size())) {
+    std::fclose(file);
+    std::remove(tmp_path.c_str());
+    return Status::IoError("write to temp file '" + tmp_path + "' failed" +
+                           ErrnoDetail());
+  }
+  if (std::fflush(file) != 0) {
+    std::fclose(file);
+    std::remove(tmp_path.c_str());
+    return Status::IoError("flush of temp file '" + tmp_path + "' failed" +
+                           ErrnoDetail());
+  }
+#ifndef _WIN32
+  if (options.sync && fsync(fileno(file)) != 0) {
+    std::fclose(file);
+    std::remove(tmp_path.c_str());
+    return Status::IoError("fsync of temp file '" + tmp_path + "' failed" +
+                           ErrnoDetail());
+  }
+#endif
+  if (std::fclose(file) != 0) {
+    std::remove(tmp_path.c_str());
+    return Status::IoError("close of temp file '" + tmp_path + "' failed" +
+                           ErrnoDetail());
+  }
+
+  if (options.crash_point == WriteCrashPoint::kBeforeRename) {
+    return Status::IoError("simulated crash before renaming '" + tmp_path +
+                           "' over '" + path + "'");
+  }
+
+  // The atomic publish: readers see either the old file or the complete new
+  // one, never a mix. std::rename maps to rename(2) on POSIX.
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return Status::IoError("rename '" + tmp_path + "' -> '" + path +
+                           "' failed" + ErrnoDetail());
+  }
+  return Status::Ok();
 }
 
 }  // namespace dnlr

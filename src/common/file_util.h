@@ -2,6 +2,7 @@
 #define DNLR_COMMON_FILE_UTIL_H_
 
 #include <string>
+#include <string_view>
 
 #include "common/status.h"
 
@@ -14,6 +15,40 @@ namespace dnlr {
 /// (which would otherwise hand a silently truncated model or dataset to the
 /// parsers). An empty regular file reads as an empty string.
 Result<std::string> ReadFileToString(const std::string& path);
+
+/// Where AtomicWriteFile simulates a `kill -9` for crash-safety tests. Each
+/// point abandons the write exactly as a hard crash at that stage would:
+/// the temp file is left behind in whatever state it reached and the
+/// published path is never touched.
+enum class WriteCrashPoint {
+  kNone = 0,
+  /// Crash right after the temp file is created: an empty temp file exists.
+  kAfterOpen,
+  /// Crash with roughly half the payload written to the temp file.
+  kMidWrite,
+  /// Crash after the payload is fully written and flushed but before the
+  /// rename publishes it — the narrowest window a non-atomic writer loses.
+  kBeforeRename,
+};
+
+struct AtomicWriteOptions {
+  /// Fault-injection hook (tests only): simulate a hard crash at this point.
+  WriteCrashPoint crash_point = WriteCrashPoint::kNone;
+  /// fsync the temp file before the rename so the payload is durable before
+  /// it becomes visible. Tests may turn it off for speed; production
+  /// writers (model bundles) keep it on.
+  bool sync = true;
+};
+
+/// Crash-safe whole-file write: the contents land in a uniquely named temp
+/// file next to `path`, are flushed (and fsynced, see AtomicWriteOptions),
+/// and only then atomically renamed over `path`. A crash or error at any
+/// point leaves the published path untouched — either the old content is
+/// intact or the file does not exist yet; readers can never observe a
+/// torn or truncated file. Every stream/OS failure returns IoError; on
+/// real (non-injected) failures the temp file is removed.
+Status AtomicWriteFile(const std::string& path, std::string_view contents,
+                       const AtomicWriteOptions& options = {});
 
 }  // namespace dnlr
 

@@ -138,11 +138,9 @@ std::string ToLetorString(const Dataset& dataset) {
 }
 
 Status WriteLetorFile(const Dataset& dataset, const std::string& path) {
-  std::ofstream file(path);
-  if (!file) return Status::IoError("cannot open '" + path + "' for writing");
-  file << ToLetorString(dataset);
-  if (!file) return Status::IoError("write to '" + path + "' failed");
-  return Status::Ok();
+  // Crash-safe like the model writers: a crash or full disk mid-write never
+  // leaves a truncated dataset at the live path.
+  return AtomicWriteFile(path, ToLetorString(dataset));
 }
 
 }  // namespace dnlr::data

@@ -1,7 +1,9 @@
 #include "gbdt/ensemble.h"
 
 #include <algorithm>
-#include <fstream>
+#include <cmath>
+#include <limits>
+#include <locale>
 #include <set>
 #include <sstream>
 
@@ -57,9 +59,34 @@ std::vector<std::vector<float>> Ensemble::SplitPointsPerFeature(
 //   tree <num_nodes> <num_leaves>
 //   node <feature> <threshold> <left> <right>     (num_nodes lines)
 //   leaf <value>                                  (num_leaves lines)
-std::string Ensemble::Serialize() const {
+Result<std::string> Ensemble::Serialize() const {
+  if (!std::isfinite(base_score_)) {
+    return Status::InvalidArgument(
+        "cannot serialize ensemble: non-finite base score");
+  }
+  for (size_t t = 0; t < trees_.size(); ++t) {
+    const RegressionTree& tree = trees_[t];
+    for (const TreeNode& node : tree.nodes()) {
+      if (!std::isfinite(node.threshold)) {
+        return Status::InvalidArgument(
+            "cannot serialize ensemble: non-finite threshold in tree " +
+            std::to_string(t));
+      }
+    }
+    for (const double value : tree.leaf_values()) {
+      if (!std::isfinite(value)) {
+        return Status::InvalidArgument(
+            "cannot serialize ensemble: non-finite leaf value in tree " +
+            std::to_string(t));
+      }
+    }
+  }
   std::ostringstream out;
-  out.precision(17);
+  // The classic locale pins the decimal separator to '.' no matter what the
+  // process-global locale says, and max_digits10 (17 for double) guarantees
+  // a bitwise-exact round-trip of thresholds and leaf values.
+  out.imbue(std::locale::classic());
+  out.precision(std::numeric_limits<double>::max_digits10);
   out << "ensemble " << trees_.size() << ' ' << base_score_ << '\n';
   for (const RegressionTree& tree : trees_) {
     out << "tree " << tree.num_nodes() << ' ' << tree.num_leaves() << '\n';
@@ -76,6 +103,9 @@ std::string Ensemble::Serialize() const {
 
 Result<Ensemble> Ensemble::Deserialize(const std::string& text) {
   std::istringstream in(text);
+  // Parse under the classic locale so a comma-decimal global locale cannot
+  // corrupt thresholds and leaf values.
+  in.imbue(std::locale::classic());
   std::string keyword;
   size_t num_trees = 0;
   double base_score = 0.0;
@@ -115,11 +145,9 @@ Result<Ensemble> Ensemble::Deserialize(const std::string& text) {
 }
 
 Status Ensemble::SaveToFile(const std::string& path) const {
-  std::ofstream file(path);
-  if (!file) return Status::IoError("cannot open '" + path + "' for writing");
-  file << Serialize();
-  if (!file) return Status::IoError("write to '" + path + "' failed");
-  return Status::Ok();
+  Result<std::string> text = Serialize();
+  if (!text.ok()) return text.status();
+  return AtomicWriteFile(path, *text);
 }
 
 Result<Ensemble> Ensemble::LoadFromFile(const std::string& path) {

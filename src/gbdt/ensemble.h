@@ -55,10 +55,18 @@ class Ensemble {
       uint32_t num_features) const;
 
   /// Plain-text serialization (stable across versions; see ensemble.cc for
-  /// the grammar).
-  std::string Serialize() const;
+  /// the grammar). Both directions use the classic "C" locale regardless of
+  /// the process-global locale, and values print with max_digits10
+  /// precision, so a save/load round-trip is bitwise exact. Serialize
+  /// rejects non-finite thresholds, leaf values or base score with
+  /// InvalidArgument instead of emitting tokens the parser cannot read
+  /// back.
+  Result<std::string> Serialize() const;
   static Result<Ensemble> Deserialize(const std::string& text);
 
+  /// Crash-safe save: serialized, written to a temp file and atomically
+  /// renamed over `path` (common::AtomicWriteFile), so a crash or full disk
+  /// mid-save never leaves a torn model at the live path.
   Status SaveToFile(const std::string& path) const;
   static Result<Ensemble> LoadFromFile(const std::string& path);
 

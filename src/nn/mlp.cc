@@ -1,7 +1,8 @@
 #include "nn/mlp.h"
 
 #include <cmath>
-#include <fstream>
+#include <limits>
+#include <locale>
 #include <sstream>
 
 #include "common/file_util.h"
@@ -78,9 +79,30 @@ double Mlp::WeightSparsity() const {
 //   mlp <input_dim> <num_hidden> <h1> ... <hd>
 //   layer <out> <in>
 //   <out*in weights> <out biases>
-std::string Mlp::Serialize() const {
+Result<std::string> Mlp::Serialize() const {
+  for (uint32_t l = 0; l < num_layers(); ++l) {
+    const LinearLayer& layer = layers_[l];
+    for (size_t i = 0; i < layer.weight.size(); ++i) {
+      if (!std::isfinite(layer.weight.data()[i])) {
+        return Status::InvalidArgument(
+            "cannot serialize mlp: non-finite weight at layer " +
+            std::to_string(l) + " index " + std::to_string(i));
+      }
+    }
+    for (size_t i = 0; i < layer.bias.size(); ++i) {
+      if (!std::isfinite(layer.bias[i])) {
+        return Status::InvalidArgument(
+            "cannot serialize mlp: non-finite bias at layer " +
+            std::to_string(l) + " index " + std::to_string(i));
+      }
+    }
+  }
   std::ostringstream out;
-  out.precision(9);
+  // The classic locale pins the decimal separator to '.' no matter what the
+  // process-global locale says (a comma-decimal locale would corrupt every
+  // weight), and max_digits10 guarantees a bitwise-exact float round-trip.
+  out.imbue(std::locale::classic());
+  out.precision(std::numeric_limits<float>::max_digits10);
   out << "mlp " << arch_.input_dim << ' ' << arch_.hidden.size();
   for (const uint32_t h : arch_.hidden) out << ' ' << h;
   out << '\n';
@@ -98,6 +120,9 @@ std::string Mlp::Serialize() const {
 
 Result<Mlp> Mlp::Deserialize(const std::string& text) {
   std::istringstream in(text);
+  // Parse under the classic locale so a comma-decimal global locale cannot
+  // silently truncate "0.5" to 0 (operator>> stops at the unexpected '.').
+  in.imbue(std::locale::classic());
   std::string keyword;
   uint32_t input_dim = 0;
   size_t num_hidden = 0;
@@ -140,11 +165,9 @@ Result<Mlp> Mlp::Deserialize(const std::string& text) {
 }
 
 Status Mlp::SaveToFile(const std::string& path) const {
-  std::ofstream file(path);
-  if (!file) return Status::IoError("cannot open '" + path + "' for writing");
-  file << Serialize();
-  if (!file) return Status::IoError("write to '" + path + "' failed");
-  return Status::Ok();
+  Result<std::string> text = Serialize();
+  if (!text.ok()) return text.status();
+  return AtomicWriteFile(path, *text);
 }
 
 Result<Mlp> Mlp::LoadFromFile(const std::string& path) {

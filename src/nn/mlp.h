@@ -56,10 +56,18 @@ class Mlp {
   /// Overall weight sparsity (fraction of exact zeros).
   double WeightSparsity() const;
 
-  /// Text (de)serialization, including the architecture.
-  std::string Serialize() const;
+  /// Text (de)serialization, including the architecture. Both directions
+  /// use the classic "C" locale regardless of the process-global locale, and
+  /// floats print with max_digits10 precision, so a save/load round-trip is
+  /// bitwise exact. Serialize rejects non-finite weights or biases with
+  /// InvalidArgument: a model carrying NaN/Inf must fail loudly at save
+  /// time, not as a misleading parse error on the next load.
+  Result<std::string> Serialize() const;
   static Result<Mlp> Deserialize(const std::string& text);
 
+  /// Crash-safe save: the model is serialized, written to a temp file and
+  /// atomically renamed over `path` (common::AtomicWriteFile), so a crash
+  /// or full disk mid-save never leaves a torn model at the live path.
   Status SaveToFile(const std::string& path) const;
   static Result<Mlp> LoadFromFile(const std::string& path);
 

@@ -23,6 +23,9 @@ struct ServeCountersSnapshot {
   uint64_t circuit_opens = 0;
   uint64_t circuit_closes = 0;
   uint64_t circuit_probes = 0;
+  uint64_t swaps_attempted = 0;      // SwapModel calls
+  uint64_t swaps_completed = 0;      // new model published
+  uint64_t swaps_rejected = 0;       // validation gate kept the old model
   std::vector<uint64_t> served_by_rung;
 };
 
@@ -54,6 +57,9 @@ class ServeCounters {
     snap.circuit_opens = circuit_opens.load(std::memory_order_relaxed);
     snap.circuit_closes = circuit_closes.load(std::memory_order_relaxed);
     snap.circuit_probes = circuit_probes.load(std::memory_order_relaxed);
+    snap.swaps_attempted = swaps_attempted.load(std::memory_order_relaxed);
+    snap.swaps_completed = swaps_completed.load(std::memory_order_relaxed);
+    snap.swaps_rejected = swaps_rejected.load(std::memory_order_relaxed);
     snap.served_by_rung.reserve(served_by_rung.size());
     for (const auto& c : served_by_rung) {
       snap.served_by_rung.push_back(c.load(std::memory_order_relaxed));
@@ -75,6 +81,9 @@ class ServeCounters {
   std::atomic<uint64_t> circuit_opens{0};
   std::atomic<uint64_t> circuit_closes{0};
   std::atomic<uint64_t> circuit_probes{0};
+  std::atomic<uint64_t> swaps_attempted{0};
+  std::atomic<uint64_t> swaps_completed{0};
+  std::atomic<uint64_t> swaps_rejected{0};
   std::vector<std::atomic<uint64_t>> served_by_rung;
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <string>
+#include <utility>
 
 #include "common/check.h"
 
@@ -22,32 +23,52 @@ void Bump(std::atomic<uint64_t>& counter) {
 
 }  // namespace
 
+std::shared_ptr<const ServingEngine::LadderState> ServingEngine::BuildState(
+    std::shared_ptr<const DegradationLadder> ladder, uint64_t version) {
+  auto state = std::make_shared<LadderState>();
+  // Bounded latency histograms live in the process-wide registry so they
+  // survive the engine and any particular model generation. Resolved here,
+  // once per publication: the worker hot path only touches pre-resolved
+  // pointers.
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  state->rung_latency.reserve(ladder->num_rungs());
+  for (size_t r = 0; r < ladder->num_rungs(); ++r) {
+    state->rung_latency.push_back(&registry.GetHistogram(
+        "serve.rung" + std::to_string(r) + "." + ladder->rung(r).name +
+        ".total_us"));
+  }
+  state->ladder = std::move(ladder);
+  state->version = version;
+  return state;
+}
+
 ServingEngine::ServingEngine(const DegradationLadder* ladder,
                              ServingConfig config, Clock* clock)
-    : ladder_(ladder),
-      config_(config),
+    : ServingEngine(
+          // Non-owning alias: the caller keeps the ladder alive.
+          std::shared_ptr<const DegradationLadder>(ladder,
+                                                   [](const auto*) {}),
+          config, clock) {}
+
+ServingEngine::ServingEngine(std::shared_ptr<const DegradationLadder> ladder,
+                             ServingConfig config, Clock* clock)
+    : config_(config),
       clock_(clock),
       counters_(ladder == nullptr ? 0 : ladder->num_rungs()) {
-  DNLR_CHECK(ladder_ != nullptr);
+  DNLR_CHECK(ladder != nullptr);
   DNLR_CHECK(clock_ != nullptr);
-  DNLR_CHECK_GE(ladder_->num_rungs(), 1u);
+  DNLR_CHECK_GE(ladder->num_rungs(), 1u);
   DNLR_CHECK_GE(config_.num_workers, 1u);
   DNLR_CHECK_GE(config_.queue_capacity, 1u);
   DNLR_CHECK_GT(config_.safety_factor, 0.0);
   DNLR_CHECK_GE(config_.max_attempts_per_rung, 1u);
-  // Bounded latency histograms live in the process-wide registry so they
-  // survive the engine and show up in exported stats. Resolved here, once:
-  // the worker hot path only touches pre-resolved pointers.
+  const size_t num_rungs = ladder->num_rungs();
+  state_.store(BuildState(std::move(ladder), /*version=*/1),
+               std::memory_order_release);
   obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
-  rung_latency_.reserve(ladder_->num_rungs());
-  for (size_t r = 0; r < ladder_->num_rungs(); ++r) {
-    rung_latency_.push_back(&registry.GetHistogram(
-        "serve.rung" + std::to_string(r) + "." + ladder_->rung(r).name +
-        ".total_us"));
-  }
   queue_wait_histogram_ = &registry.GetHistogram("serve.queue_wait_us");
   backoff_histogram_ = &registry.GetHistogram("serve.backoff_us");
-  breakers_.resize(ladder_->num_rungs());
+  breakers_.resize(num_rungs);
   workers_.reserve(config_.num_workers);
   for (uint32_t w = 0; w < config_.num_workers; ++w) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -66,6 +87,48 @@ void ServingEngine::Stop() {
     if (worker.joinable()) worker.join();
   }
   workers_.clear();
+}
+
+Status ServingEngine::SwapModel(std::shared_ptr<const DegradationLadder> next,
+                                const SwapValidator& validate) {
+  Bump(counters_.swaps_attempted);
+  if (next == nullptr) {
+    Bump(counters_.swaps_rejected);
+    return Status::InvalidArgument("SwapModel: candidate ladder is null");
+  }
+  // Breakers, per-rung counters and the degraded semantics are all shaped
+  // by rung count; a swap is a model replacement, not a topology change.
+  const size_t current_rungs = CurrentState()->ladder->num_rungs();
+  if (next->num_rungs() != current_rungs) {
+    Bump(counters_.swaps_rejected);
+    return Status::InvalidArgument(
+        "SwapModel: candidate has " + std::to_string(next->num_rungs()) +
+        " rungs, engine is serving " + std::to_string(current_rungs));
+  }
+  if (validate) {
+    // The gate runs outside swap_mu_ on the candidate only: serving and
+    // concurrent swaps proceed while a (possibly slow) validation runs.
+    Status verdict = validate(*next);
+    if (!verdict.ok()) {
+      Bump(counters_.swaps_rejected);
+      return Status::FailedPrecondition(
+          "SwapModel: candidate rejected by validation: " +
+          verdict.message());
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(swap_mu_);
+    auto state = BuildState(std::move(next), CurrentState()->version + 1);
+    state_.store(std::move(state), std::memory_order_release);
+  }
+  {
+    // A fresh model starts with fresh health: faults accumulated by the
+    // old generation must not quarantine the new one.
+    std::lock_guard<std::mutex> lock(breaker_mu_);
+    for (Breaker& breaker : breakers_) breaker = Breaker{};
+  }
+  Bump(counters_.swaps_completed);
+  return Status::Ok();
 }
 
 std::future<ServeResponse> ServingEngine::Submit(const ServeRequest& request) {
@@ -125,19 +188,28 @@ void ServingEngine::WorkerLoop() {
       item = std::move(queue_.front());
       queue_.pop_front();
     }
-    item.promise.set_value(Process(item.request, item.enqueue_micros));
+    // The model generation is pinned once per request: a SwapModel landing
+    // mid-request cannot change what this request scores with, and the
+    // shared_ptr keeps the old generation alive until the last in-flight
+    // holder releases it.
+    std::shared_ptr<const LadderState> state = CurrentState();
+    item.promise.set_value(
+        Process(*state, item.request, item.enqueue_micros));
   }
 }
 
-ServeResponse ServingEngine::Process(const ServeRequest& request,
+ServeResponse ServingEngine::Process(const LadderState& state,
+                                     const ServeRequest& request,
                                      uint64_t enqueue_micros) {
+  const DegradationLadder& ladder = *state.ladder;
   ServeResponse resp;
+  resp.model_version = state.version;
   resp.scores.assign(request.count, 0.0f);
   const uint64_t start = clock_->NowMicros();
   resp.queue_micros = start - enqueue_micros;
   queue_wait_histogram_->Record(static_cast<double>(resp.queue_micros));
 
-  const size_t num_rungs = ladder_->num_rungs();
+  const size_t num_rungs = ladder.num_rungs();
   const auto remaining = [&]() -> int64_t {
     return request.deadline.RemainingMicros(*clock_);
   };
@@ -155,8 +227,8 @@ ServeResponse ServingEngine::Process(const ServeRequest& request,
   // Strongest rung that fits the initial budget irrespective of breaker
   // state: the reference point for the degraded flag.
   const int strongest_feasible =
-      ladder_->PickRung(static_cast<double>(initial_remaining), request.count,
-                        config_.safety_factor);
+      ladder.PickRung(static_cast<double>(initial_remaining), request.count,
+                      config_.safety_factor);
   if (strongest_feasible < 0) {
     // Even the cheapest rung cannot fit: shed instead of starting work that
     // is doomed to miss its deadline.
@@ -174,15 +246,15 @@ ServeResponse ServingEngine::Process(const ServeRequest& request,
        ++r) {
     const int64_t rung_budget = remaining();
     if (rung_budget <= 0) break;
-    if (ladder_->PredictedBatchMicros(r, request.count,
-                                      config_.safety_factor) >
+    if (ladder.PredictedBatchMicros(r, request.count,
+                                    config_.safety_factor) >
         static_cast<double>(rung_budget)) {
       continue;  // this rung no longer fits what is left
     }
-    if (!AcquireRung(r, clock_->NowMicros())) continue;  // quarantined
+    if (!AcquireRung(state, r, clock_->NowMicros())) continue;  // quarantined
 
     for (uint32_t attempt = 0;; ++attempt) {
-      const Status status = ladder_->rung(r).scorer->TryScore(
+      const Status status = ladder.rung(r).scorer->TryScore(
           request.docs, request.count, request.stride, resp.scores.data());
       const uint64_t now = clock_->NowMicros();
       const bool past_deadline = request.deadline.Expired(*clock_);
@@ -190,7 +262,7 @@ ServeResponse ServingEngine::Process(const ServeRequest& request,
 
       if (!status.ok()) {
         Bump(counters_.transient_faults);
-        OnRungFault(r, now);
+        OnRungFault(state, r, now);
         if (past_deadline || attempt + 1 >= config_.max_attempts_per_rung) {
           break;  // next rung down
         }
@@ -206,7 +278,7 @@ ServeResponse ServingEngine::Process(const ServeRequest& request,
         Bump(counters_.retries);
         ++resp.retries;
         // Our own fault may just have opened this rung's breaker.
-        if (!AcquireRung(r, clock_->NowMicros())) break;
+        if (!AcquireRung(state, r, clock_->NowMicros())) break;
         continue;
       }
 
@@ -214,26 +286,26 @@ ServeResponse ServingEngine::Process(const ServeRequest& request,
         // The rung finished, but too late to be useful: a slow rung is a
         // faulty rung as far as the breaker is concerned.
         Bump(counters_.timeouts);
-        OnRungFault(r, now);
+        OnRungFault(state, r, now);
         break;
       }
       if (!AllFinite(resp.scores)) {
         // Never propagate NaN/Inf; fall to the next rung instead.
         Bump(counters_.non_finite_batches);
-        OnRungFault(r, now);
+        OnRungFault(state, r, now);
         break;
       }
 
-      OnRungSuccess(r);
+      OnRungSuccess(state, r);
       resp.status = Status::Ok();
       resp.rung = static_cast<int>(r);
-      resp.rung_name = ladder_->rung(r).name;
+      resp.rung_name = ladder.rung(r).name;
       resp.degraded = static_cast<int>(r) != strongest_feasible;
       Bump(counters_.ok);
       Bump(counters_.served_by_rung[r]);
       if (resp.degraded) Bump(counters_.degraded);
       resp.total_micros = clock_->NowMicros() - start;
-      rung_latency_[r]->Record(static_cast<double>(resp.total_micros));
+      state.rung_latency[r]->Record(static_cast<double>(resp.total_micros));
       return resp;
     }
   }
@@ -261,8 +333,9 @@ CircuitState ServingEngine::rung_state(size_t i) const {
   return breakers_[i].state;
 }
 
-bool ServingEngine::AcquireRung(size_t i, uint64_t now_micros) {
-  if (i + 1 == ladder_->num_rungs()) return true;  // floor: always answers
+bool ServingEngine::AcquireRung(const LadderState& state, size_t i,
+                                uint64_t now_micros) {
+  if (i + 1 == state.ladder->num_rungs()) return true;  // floor: always answers
   std::lock_guard<std::mutex> lock(breaker_mu_);
   Breaker& breaker = breakers_[i];
   switch (breaker.state) {
@@ -287,8 +360,8 @@ bool ServingEngine::AcquireRung(size_t i, uint64_t now_micros) {
   return false;
 }
 
-void ServingEngine::OnRungSuccess(size_t i) {
-  if (i + 1 == ladder_->num_rungs()) return;
+void ServingEngine::OnRungSuccess(const LadderState& state, size_t i) {
+  if (i + 1 == state.ladder->num_rungs()) return;
   std::lock_guard<std::mutex> lock(breaker_mu_);
   Breaker& breaker = breakers_[i];
   breaker.consecutive_failures = 0;
@@ -299,8 +372,9 @@ void ServingEngine::OnRungSuccess(size_t i) {
   }
 }
 
-void ServingEngine::OnRungFault(size_t i, uint64_t now_micros) {
-  if (i + 1 == ladder_->num_rungs()) return;
+void ServingEngine::OnRungFault(const LadderState& state, size_t i,
+                                uint64_t now_micros) {
+  if (i + 1 == state.ladder->num_rungs()) return;
   std::lock_guard<std::mutex> lock(breaker_mu_);
   Breaker& breaker = breakers_[i];
   ++breaker.consecutive_failures;
@@ -316,6 +390,75 @@ void ServingEngine::OnRungFault(size_t i, uint64_t now_micros) {
     breaker.open_until_micros = now_micros + config_.circuit_open_micros;
     Bump(counters_.circuit_opens);
   }
+}
+
+Status RunGoldenSmoke(const DegradationLadder& ladder, const float* docs,
+                      uint32_t count, uint32_t stride,
+                      const std::vector<std::vector<float>>* golden) {
+  if (docs == nullptr && count > 0) {
+    return Status::InvalidArgument("golden smoke: null docs with count > 0");
+  }
+  if (golden != nullptr) {
+    if (golden->size() != ladder.num_rungs()) {
+      return Status::InvalidArgument(
+          "golden smoke: golden has " + std::to_string(golden->size()) +
+          " rungs, ladder has " + std::to_string(ladder.num_rungs()));
+    }
+    for (const std::vector<float>& g : *golden) {
+      if (g.size() != count) {
+        return Status::InvalidArgument(
+            "golden smoke: golden rung has " + std::to_string(g.size()) +
+            " scores, probe batch has " + std::to_string(count));
+      }
+    }
+  }
+  std::vector<float> scores(count, 0.0f);
+  for (size_t r = 0; r < ladder.num_rungs(); ++r) {
+    const Rung& rung = ladder.rung(r);
+    Status status = rung.scorer->TryScore(docs, count, stride, scores.data());
+    if (!status.ok()) {
+      return Status::FailedPrecondition("golden smoke: rung " +
+                                        std::to_string(r) + " (" + rung.name +
+                                        ") faulted: " + status.message());
+    }
+    for (uint32_t d = 0; d < count; ++d) {
+      if (!std::isfinite(scores[d])) {
+        return Status::FailedPrecondition(
+            "golden smoke: rung " + std::to_string(r) + " (" + rung.name +
+            ") produced a non-finite score for doc " + std::to_string(d));
+      }
+      // Bitwise comparison on purpose: two bundles of the same model must
+      // reproduce scores exactly, not approximately.
+      if (golden != nullptr && scores[d] != (*golden)[r][d]) {
+        return Status::FailedPrecondition(
+            "golden smoke: rung " + std::to_string(r) + " (" + rung.name +
+            ") diverged from golden at doc " + std::to_string(d) + ": got " +
+            std::to_string(scores[d]) + ", want " +
+            std::to_string((*golden)[r][d]));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<std::vector<float>>> CaptureGoldenScores(
+    const DegradationLadder& ladder, const float* docs, uint32_t count,
+    uint32_t stride) {
+  if (docs == nullptr && count > 0) {
+    return Status::InvalidArgument("golden capture: null docs with count > 0");
+  }
+  std::vector<std::vector<float>> golden(ladder.num_rungs());
+  for (size_t r = 0; r < ladder.num_rungs(); ++r) {
+    golden[r].assign(count, 0.0f);
+    Status status = ladder.rung(r).scorer->TryScore(docs, count, stride,
+                                                    golden[r].data());
+    if (!status.ok()) {
+      return Status::FailedPrecondition(
+          "golden capture: rung " + std::to_string(r) + " (" +
+          ladder.rung(r).name + ") faulted: " + status.message());
+    }
+  }
+  return golden;
 }
 
 }  // namespace dnlr::serve

@@ -1,10 +1,13 @@
 #ifndef DNLR_SERVE_ENGINE_H_
 #define DNLR_SERVE_ENGINE_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -32,7 +35,10 @@ struct ServeRequest {
 /// The engine's answer. `rung` stamps which ladder rung actually served the
 /// request (-1 when none did); `degraded` marks responses served below the
 /// strongest rung that fit the original budget — the signal a production
-/// system alerts on when the degradation rate climbs.
+/// system alerts on when the degradation rate climbs. `model_version`
+/// stamps which published model generation scored the request: every
+/// response is served end-to-end by exactly one coherent model, even while
+/// SwapModel is publishing a new one.
 struct ServeResponse {
   Status status;
   std::vector<float> scores;
@@ -42,6 +48,7 @@ struct ServeResponse {
   uint32_t retries = 0;
   uint64_t queue_micros = 0;
   uint64_t total_micros = 0;
+  uint64_t model_version = 0;
 };
 
 struct ServingConfig {
@@ -79,12 +86,28 @@ enum class CircuitState { kClosed, kOpen, kHalfOpen };
 /// The last ladder rung is the always-answer floor: it is exempt from
 /// quarantine, so the engine keeps answering as long as the floor fits the
 /// budget and does not fault.
+///
+/// Hot reload: the serving ladder is published RCU-style through an atomic
+/// shared_ptr. SwapModel validates a candidate ladder and, on success,
+/// publishes it atomically: requests already in flight finish on the model
+/// generation they started with (the old ladder stays alive until its last
+/// reader drops it), new requests see the new generation, and no request is
+/// ever failed or torn across generations.
 class ServingEngine {
  public:
-  /// Neither the ladder nor the clock is owned; both must outlive the
-  /// engine. The ladder must have at least one rung.
+  /// Non-owning construction: the ladder and clock must outlive the engine
+  /// (the original deployment-as-one-process mode). The ladder must have at
+  /// least one rung.
   ServingEngine(const DegradationLadder* ladder, ServingConfig config,
                 Clock* clock = Clock::Real());
+
+  /// Owning construction: the engine shares ownership of the ladder, which
+  /// is what hot reload needs — after a swap the previous ladder (and
+  /// whatever model objects its shared_ptr keeps alive, e.g. a
+  /// serve::Servable) is released only when the last in-flight request
+  /// finishes with it.
+  ServingEngine(std::shared_ptr<const DegradationLadder> ladder,
+                ServingConfig config, Clock* clock = Clock::Real());
   ~ServingEngine();
 
   ServingEngine(const ServingEngine&) = delete;
@@ -99,7 +122,42 @@ class ServingEngine {
   ServeResponse ScoreSync(const float* docs, uint32_t count, uint32_t stride,
                           uint64_t budget_micros);
 
-  const DegradationLadder& ladder() const { return *ladder_; }
+  /// Validation gate run on a candidate ladder before promotion. Returning
+  /// non-OK keeps the old model serving.
+  using SwapValidator = std::function<Status(const DegradationLadder&)>;
+
+  /// Atomically replaces the serving ladder (RCU-style hot swap).
+  ///
+  /// The candidate must be non-null and have the same number of rungs as
+  /// the current ladder (the breaker array, per-rung counters and latency
+  /// histograms are shaped by rung count); otherwise InvalidArgument and
+  /// the old model keeps serving. When `validate` is provided it runs on
+  /// the candidate first — typically the dnlr::validate invariant suite
+  /// plus a golden-score smoke (see RunGoldenSmoke); a non-OK verdict
+  /// rejects the swap, counts counters().swaps_rejected, and leaves the old
+  /// model serving untouched.
+  ///
+  /// On success the new ladder is published atomically: in-flight requests
+  /// complete on the generation they started with, new requests score on
+  /// the new one, and every response stamps its model_version. Circuit
+  /// breakers reset to closed (a fresh model starts with fresh health).
+  /// Safe to call concurrently with scoring from any thread; concurrent
+  /// SwapModel calls serialize.
+  Status SwapModel(std::shared_ptr<const DegradationLadder> next,
+                   const SwapValidator& validate = nullptr);
+
+  /// Generation of the currently published model (1 for the construction
+  /// ladder, +1 per completed swap).
+  uint64_t model_version() const { return CurrentState()->version; }
+
+  /// The currently published ladder. With hot reload in play prefer
+  /// ladder_ptr(): the reference is only guaranteed alive while no swap
+  /// retires the generation it came from.
+  const DegradationLadder& ladder() const { return *CurrentState()->ladder; }
+  std::shared_ptr<const DegradationLadder> ladder_ptr() const {
+    return CurrentState()->ladder;
+  }
+
   const ServeCounters& counters() const { return counters_; }
   Clock& clock() const { return *clock_; }
 
@@ -109,9 +167,10 @@ class ServingEngine {
   /// matter how many requests flow, which is what lets the engine run under
   /// production load with recording always on. Shared through the global
   /// registry, so engines built over a same-named ladder accumulate into
-  /// the same histogram.
+  /// the same histogram — and a hot swap whose rung names match keeps
+  /// recording into the same series.
   const obs::Histogram& rung_latency(size_t i) const {
-    return *rung_latency_[i];
+    return *CurrentState()->rung_latency[i];
   }
   /// Time requests spent queued before a worker picked them up.
   const obs::Histogram& queue_wait() const { return *queue_wait_histogram_; }
@@ -127,6 +186,15 @@ class ServingEngine {
   void Stop();
 
  private:
+  /// One published model generation: the ladder plus everything resolved
+  /// from it that the worker hot path needs without extra lookups.
+  /// Immutable after publication — workers share it by shared_ptr.
+  struct LadderState {
+    std::shared_ptr<const DegradationLadder> ladder;
+    std::vector<obs::Histogram*> rung_latency;
+    uint64_t version = 1;
+  };
+
   struct QueueItem {
     ServeRequest request;
     std::promise<ServeResponse> promise;
@@ -140,23 +208,33 @@ class ServingEngine {
     bool probe_in_flight = false;
   };
 
+  static std::shared_ptr<const LadderState> BuildState(
+      std::shared_ptr<const DegradationLadder> ladder, uint64_t version);
+  std::shared_ptr<const LadderState> CurrentState() const {
+    return state_.load(std::memory_order_acquire);
+  }
+
   void WorkerLoop();
-  ServeResponse Process(const ServeRequest& request, uint64_t enqueue_micros);
+  ServeResponse Process(const LadderState& state, const ServeRequest& request,
+                        uint64_t enqueue_micros);
 
   /// Breaker gate: may this worker try rung `i` right now? Acquiring a
   /// half-open rung claims its single probe slot; every successful acquire
   /// must be resolved by exactly one OnRungSuccess / OnRungFault.
-  bool AcquireRung(size_t i, uint64_t now_micros);
-  void OnRungSuccess(size_t i);
-  void OnRungFault(size_t i, uint64_t now_micros);
+  bool AcquireRung(const LadderState& state, size_t i, uint64_t now_micros);
+  void OnRungSuccess(const LadderState& state, size_t i);
+  void OnRungFault(const LadderState& state, size_t i, uint64_t now_micros);
 
-  const DegradationLadder* ladder_;
   ServingConfig config_;
   Clock* clock_;
   ServeCounters counters_;
-  // Registry-owned bounded histograms, resolved once at construction; the
-  // worker hot path records through these pointers without map lookups.
-  std::vector<obs::Histogram*> rung_latency_;
+
+  /// RCU publication point: workers acquire-load the current generation
+  /// once per request; SwapModel release-stores the next one.
+  std::atomic<std::shared_ptr<const LadderState>> state_;
+  /// Serializes writers (SwapModel callers) only; readers never take it.
+  std::mutex swap_mu_;
+
   obs::Histogram* queue_wait_histogram_ = nullptr;
   obs::Histogram* backoff_histogram_ = nullptr;
 
@@ -170,6 +248,22 @@ class ServingEngine {
 
   std::vector<std::thread> workers_;
 };
+
+/// Golden-score smoke test for a candidate ladder: scores `count` probe
+/// documents through every rung, failing on any non-OK rung, any non-finite
+/// score, or — when `golden` is non-null — any score that differs bitwise
+/// from golden[rung][doc]. Pair with CaptureGoldenScores on a trusted
+/// ladder to assert that a reloaded bundle reproduces the exact scores of
+/// the model it replaces.
+Status RunGoldenSmoke(const DegradationLadder& ladder, const float* docs,
+                      uint32_t count, uint32_t stride,
+                      const std::vector<std::vector<float>>* golden = nullptr);
+
+/// Scores the probe batch on every rung of a trusted ladder, returning one
+/// score vector per rung (the `golden` input of RunGoldenSmoke).
+Result<std::vector<std::vector<float>>> CaptureGoldenScores(
+    const DegradationLadder& ladder, const float* docs, uint32_t count,
+    uint32_t stride);
 
 }  // namespace dnlr::serve
 

@@ -250,7 +250,7 @@ TEST(EnsembleTest, SplitPointsPerFeature) {
 TEST(EnsembleTest, SerializeRoundTrip) {
   Ensemble ensemble(0.25);
   ensemble.AddTree(HandBuiltTree());
-  auto parsed = Ensemble::Deserialize(ensemble.Serialize());
+  auto parsed = Ensemble::Deserialize(*ensemble.Serialize());
   ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
   EXPECT_EQ(parsed->num_trees(), 1u);
   EXPECT_DOUBLE_EQ(parsed->base_score(), 0.25);

@@ -72,7 +72,7 @@ TEST(MlpTest, ForwardBatchMatchesForwardOne) {
 
 TEST(MlpTest, SerializeRoundTrip) {
   Mlp mlp(Architecture(6, {4, 2}), 9);
-  auto parsed = Mlp::Deserialize(mlp.Serialize());
+  auto parsed = Mlp::Deserialize(*mlp.Serialize());
   ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
   Rng rng(10);
   mm::Matrix batch(4, 6);

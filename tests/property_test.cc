@@ -137,7 +137,7 @@ TEST_P(RandomEnsembleTest, SerializationPreservesScores) {
   Rng rng(static_cast<uint64_t>(GetParam()) * 31 + 5);
   const uint32_t num_features = 4;
   const gbdt::Ensemble ensemble = RandomEnsemble(rng, 8, 32, num_features);
-  auto restored = gbdt::Ensemble::Deserialize(ensemble.Serialize());
+  auto restored = gbdt::Ensemble::Deserialize(*ensemble.Serialize());
   ASSERT_TRUE(restored.ok());
   for (uint32_t d = 0; d < 20; ++d) {
     std::vector<float> row(num_features);

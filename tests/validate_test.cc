@@ -372,7 +372,7 @@ TEST(EndToEndValidationTest, TrainedArtifactsPassAllValidators) {
   EXPECT_TRUE(status.ok()) << status.ToString();
 
   // The serialized form round-trips through the validating parse boundary.
-  auto reloaded = gbdt::Ensemble::Deserialize(teacher.Serialize());
+  auto reloaded = gbdt::Ensemble::Deserialize(*teacher.Serialize());
   ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
   status = gbdt::ValidateEnsemble(*reloaded, dataset.num_features());
   EXPECT_TRUE(status.ok()) << status.ToString();
@@ -391,7 +391,7 @@ TEST(EndToEndValidationTest, TrainedArtifactsPassAllValidators) {
       mm::CsrMatrix::FromDense(student.layer(0).weight));
   EXPECT_TRUE(status.ok()) << status.ToString();
 
-  auto student_reloaded = nn::Mlp::Deserialize(student.Serialize());
+  auto student_reloaded = nn::Mlp::Deserialize(*student.Serialize());
   ASSERT_TRUE(student_reloaded.ok()) << student_reloaded.status().ToString();
   status = nn::ValidateMlp(*student_reloaded);
   EXPECT_TRUE(status.ok()) << status.ToString();

@@ -10,7 +10,12 @@
 //   predict-time  estimate an architecture's scoring time analytically
 //   validate      run the deep invariant validators on a model / data file
 //   serve-bench   load-test the deadline-aware scoring service and emit a
-//                 latency-percentile / rung-distribution JSON report
+//                 latency-percentile / rung-distribution JSON report; with
+//                 --reload-every N, hot-swap a model bundle into the engine
+//                 under load instead
+//   bundle        pack / unpack / verify the single-file model bundle
+//                 (teacher + student + normalizer + serve rungs, versioned
+//                 and CRC-checksummed)
 //   bench-scaling measure docs/s and GEMM GFLOP/s of the dense, hybrid and
 //                 tree rungs across thread counts and emit a scaling JSON
 //                 report (the multi-core counterpart of the paper's
@@ -31,10 +36,13 @@
 #include <fstream>
 #include <future>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "bundle/bundle.h"
+#include "common/file_util.h"
 #include "common/thread_pool.h"
 #include "core/cascade.h"
 #include "core/pipeline.h"
@@ -62,6 +70,7 @@
 #include "serve/engine.h"
 #include "serve/fault_injection.h"
 #include "serve/latency.h"
+#include "serve/servable.h"
 
 namespace dnlr::cli {
 namespace {
@@ -428,11 +437,237 @@ int CmdPredictTime(const Args& args) {
   return 0;
 }
 
+/// Hot-reload load test (serve-bench --reload-every N): packs a freshly
+/// trained teacher + random student into a model bundle, serves it through
+/// a Servable-backed engine, and every N requests re-loads the bundle from
+/// disk and atomically SwapModels it in while traffic keeps flowing. Every
+/// swap loads the same bundle, so the golden-score validation gate demands
+/// bitwise-identical scores across generations; the JSON report carries the
+/// swap counters, the model-version span observed on responses, and the
+/// failed-request count (which must be zero: a hot swap may never drop
+/// traffic).
+int CmdServeBenchReload(const Args& args) {
+  const auto features = static_cast<uint32_t>(args.GetInt("features", 64));
+  const auto queries = static_cast<uint32_t>(args.GetInt("queries", 60));
+  const int requests = args.GetInt("requests", 200);
+  const int reload_every = args.GetInt("reload-every", 25);
+  const auto deadline_us =
+      static_cast<uint64_t>(args.GetInt("deadline-us", 20000));
+  const auto workers = static_cast<uint32_t>(args.GetInt("workers", 4));
+  const auto seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+  const std::string out = args.Get("out", "out/serve_reload.json");
+  const std::string bundle_path =
+      args.Get("bundle", "out/serve_reload.bundle");
+
+  data::SyntheticConfig config = data::SyntheticConfig::MsnLike(1.0);
+  config.num_queries = queries;
+  config.num_features = features;
+  config.seed = seed;
+  const data::Dataset dataset = data::GenerateSynthetic(config);
+  std::fprintf(stderr, "corpus: %u docs / %u queries / %u features\n",
+               dataset.num_docs(), dataset.num_queries(),
+               dataset.num_features());
+
+  gbdt::BoosterConfig bc;
+  bc.num_trees = static_cast<uint32_t>(args.GetInt("trees", 20));
+  bc.num_leaves = 16;
+  std::fprintf(stderr, "training %u-tree teacher...\n", bc.num_trees);
+  gbdt::Booster booster(bc);
+  const gbdt::Ensemble teacher = booster.TrainLambdaMart(dataset, nullptr);
+  const predict::Architecture student_arch(features, {64, 32});
+  const nn::Mlp student(student_arch, seed + 1);
+  data::ZNormalizer normalizer;
+  normalizer.Fit(dataset);
+
+  // Measured rung costs, clamped non-increasing as the ladder (and the
+  // bundle's rung grammar) require.
+  serve::ServableOptions sopt;
+  sopt.num_features = features;
+  gbdt::Ensemble subset(teacher.base_score());
+  const uint32_t subset_trees =
+      std::max(1u, teacher.num_trees() / sopt.subset_tree_divisor);
+  for (uint32_t t = 0; t < subset_trees; ++t) subset.AddTree(teacher.tree(t));
+  const forest::QuickScorer subset_qs(subset, features);
+  const nn::NeuralScorer student_scorer(student, &normalizer);
+  const double student_cost =
+      core::MeasureScorerMicrosPerDocSynthetic(student_scorer, 2048, features);
+  const double subset_cost =
+      core::MeasureScorerMicrosPerDocSynthetic(subset_qs, 2048, features);
+  double costs[3] = {
+      student_cost,
+      serve::PredictCascadeMicrosPerDoc(subset_cost, student_cost,
+                                        sopt.cascade_rescore_fraction),
+      subset_cost};
+  for (int i = 1; i < 3; ++i) costs[i] = std::min(costs[i], costs[i - 1]);
+
+  bundle::RungConfig rungs;
+  rungs.rungs = {{"student", "student", costs[0]},
+                 {"cascade", "cascade", costs[1]},
+                 {"forest-subset", "teacher-subset", costs[2]}};
+  bundle::ModelBundle pack;
+  Status status = pack.SetTeacher(teacher);
+  if (status.ok()) status = pack.SetStudent(student);
+  if (status.ok()) status = pack.SetNormalizer(normalizer);
+  if (status.ok()) status = pack.SetRungs(rungs);
+  if (status.ok() && !EnsureParentDir(bundle_path)) return 1;
+  if (status.ok()) status = pack.SaveToFile(bundle_path);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "packed bundle %s\n", bundle_path.c_str());
+
+  auto servable = serve::Servable::LoadFromFile(bundle_path, sopt);
+  if (!servable.ok()) {
+    std::fprintf(stderr, "%s\n", servable.status().ToString().c_str());
+    return 1;
+  }
+  std::shared_ptr<const serve::Servable> initial(std::move(servable).value());
+  auto ladder = serve::Servable::LadderHandle(initial);
+  for (size_t i = 0; i < ladder->num_rungs(); ++i) {
+    std::fprintf(stderr, "rung %zu %-14s %8.3f us/doc\n", i,
+                 ladder->rung(i).name.c_str(),
+                 ladder->rung(i).predicted_us_per_doc);
+  }
+
+  // The swap gate's golden probe: scores captured on the first generation;
+  // every candidate must reproduce them bitwise before it may serve.
+  const float* probe_docs = dataset.Row(dataset.QueryBegin(0));
+  const uint32_t probe_count = std::min(dataset.QuerySize(0), 64u);
+  auto golden =
+      serve::CaptureGoldenScores(*ladder, probe_docs, probe_count, features);
+  if (!golden.ok()) {
+    std::fprintf(stderr, "%s\n", golden.status().ToString().c_str());
+    return 1;
+  }
+
+  serve::ServingConfig sc;
+  sc.num_workers = workers;
+  sc.queue_capacity = static_cast<uint32_t>(args.GetInt("queue", 128));
+  serve::ServingEngine engine(std::move(ladder), sc);
+  const serve::ServingEngine::SwapValidator gate =
+      [&](const serve::DegradationLadder& candidate) {
+        return serve::RunGoldenSmoke(candidate, probe_docs, probe_count,
+                                     features, &*golden);
+      };
+
+  std::fprintf(stderr, "serving %d requests, reloading every %d...\n",
+               requests, reload_every);
+  std::vector<std::future<serve::ServeResponse>> inflight;
+  std::vector<serve::ServeResponse> responses;
+  responses.reserve(static_cast<size_t>(requests));
+  const size_t window = static_cast<size_t>(workers) * 4;
+  uint64_t reload_failures = 0;
+  for (int r = 0; r < requests; ++r) {
+    const uint32_t q = static_cast<uint32_t>(r) % dataset.num_queries();
+    serve::ServeRequest request;
+    request.docs = dataset.Row(dataset.QueryBegin(q));
+    request.count = dataset.QuerySize(q);
+    request.stride = dataset.num_features();
+    request.deadline =
+        serve::Deadline::AfterMicros(engine.clock(), deadline_us);
+    inflight.push_back(engine.Submit(request));
+    if (inflight.size() >= window) {
+      responses.push_back(inflight.front().get());
+      inflight.erase(inflight.begin());
+    }
+    if ((r + 1) % reload_every == 0) {
+      auto candidate = serve::Servable::LoadFromFile(bundle_path, sopt);
+      if (!candidate.ok()) {
+        std::fprintf(stderr, "reload: %s\n",
+                     candidate.status().ToString().c_str());
+        ++reload_failures;
+        continue;
+      }
+      const Status swapped = engine.SwapModel(
+          serve::Servable::LadderHandle(std::move(candidate).value()), gate);
+      if (!swapped.ok()) {
+        std::fprintf(stderr, "swap: %s\n", swapped.ToString().c_str());
+        ++reload_failures;
+      }
+    }
+  }
+  for (auto& future : inflight) responses.push_back(future.get());
+  engine.Stop();
+
+  const serve::ServeCountersSnapshot counters = engine.counters().Snapshot();
+  uint64_t failed_requests = 0;
+  uint64_t min_version = ~0ull;
+  uint64_t max_version = 0;
+  std::vector<double> ok_latencies;
+  for (const auto& resp : responses) {
+    if (!resp.status.ok()) {
+      ++failed_requests;
+      continue;
+    }
+    ok_latencies.push_back(static_cast<double>(resp.total_micros));
+    min_version = std::min(min_version, resp.model_version);
+    max_version = std::max(max_version, resp.model_version);
+  }
+
+  std::ostringstream json;
+  json << "{\n";
+  json << "  \"benchmark\": \"serve-bench-reload\",\n";
+  json << "  \"config\": {\"requests\": " << requests
+       << ", \"reload_every\": " << reload_every
+       << ", \"deadline_us\": " << deadline_us
+       << ", \"workers\": " << workers << ", \"seed\": " << seed
+       << ", \"bundle\": \"" << bundle_path << "\"},\n";
+  json << "  \"swaps\": {\"attempted\": " << counters.swaps_attempted
+       << ", \"completed\": " << counters.swaps_completed
+       << ", \"rejected\": " << counters.swaps_rejected
+       << ", \"reload_failures\": " << reload_failures
+       << ", \"final_model_version\": " << engine.model_version()
+       << ", \"min_response_version\": "
+       << (max_version == 0 ? 0 : min_version)
+       << ", \"max_response_version\": " << max_version << "},\n";
+  json << "  \"overall\": {\"ok\": " << counters.ok
+       << ", \"failed_requests\": " << failed_requests
+       << ", \"shed_queue_full\": " << counters.shed_queue_full
+       << ", \"shed_deadline\": " << counters.shed_deadline
+       << ", \"deadline_exceeded\": " << counters.deadline_exceeded
+       << ", \"degraded\": " << counters.degraded
+       << ", \"p50_us\": " << FormatFixed(serve::Percentile(ok_latencies, 50), 1)
+       << ", \"p99_us\": " << FormatFixed(serve::Percentile(ok_latencies, 99), 1)
+       << "}\n";
+  json << "}\n";
+
+  if (!EnsureParentDir(out)) return 1;
+  std::ofstream file(out);
+  file << json.str();
+  if (!file) {
+    std::fprintf(stderr, "failed to write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("%s", json.str().c_str());
+  std::printf("wrote %s\n", out.c_str());
+
+  // Gates: swaps must actually happen, none may be rejected (it is the
+  // same bundle every time), and no request may fail during the swaps.
+  if (counters.swaps_completed == 0 || counters.swaps_rejected != 0 ||
+      reload_failures != 0 || failed_requests != 0) {
+    std::fprintf(stderr,
+                 "FAIL: completed=%llu rejected=%llu reload_failures=%llu "
+                 "failed_requests=%llu\n",
+                 static_cast<unsigned long long>(counters.swaps_completed),
+                 static_cast<unsigned long long>(counters.swaps_rejected),
+                 static_cast<unsigned long long>(reload_failures),
+                 static_cast<unsigned long long>(failed_requests));
+    return 1;
+  }
+  std::printf("reload gate ok: %llu swaps, %zu responses, 0 failures\n",
+              static_cast<unsigned long long>(counters.swaps_completed),
+              responses.size());
+  return 0;
+}
+
 /// Load-tests the deadline-aware serving engine over a synthetic corpus and
 /// a four-rung degradation ladder (hybrid sparse NN > dense NN > cascade >
 /// tree subset), with optional fault injection on the top rung, and writes a
-/// latency-percentile + rung-distribution JSON report.
+/// latency-percentile + rung-distribution JSON report. With --reload-every N
+/// it instead runs the bundle hot-reload load test (see CmdServeBenchReload).
 int CmdServeBench(const Args& args) {
+  if (args.GetInt("reload-every", 0) > 0) return CmdServeBenchReload(args);
   const auto features = static_cast<uint32_t>(args.GetInt("features", 136));
   const auto queries = static_cast<uint32_t>(args.GetInt("queries", 80));
   const int requests = args.GetInt("requests", 300);
@@ -1144,6 +1379,197 @@ int CmdValidate(const Args& args) {
   return ok ? 0 : 1;
 }
 
+/// Parses a --rungs spec "name:kind:us_per_doc,..." (kinds: student,
+/// teacher, cascade, teacher-subset; costs non-increasing). Exits on junk
+/// shape; semantic validation happens in RungConfig::Serialize.
+bundle::RungConfig ParseRungSpec(const std::string& csv) {
+  bundle::RungConfig config;
+  std::stringstream stream(csv);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    const size_t first = item.find(':');
+    const size_t second = first == std::string::npos
+                              ? std::string::npos
+                              : item.find(':', first + 1);
+    if (second == std::string::npos) {
+      std::fprintf(stderr, "bad rung '%s' in --rungs (want name:kind:us)\n",
+                   item.c_str());
+      std::exit(2);
+    }
+    bundle::RungSpec spec;
+    spec.name = item.substr(0, first);
+    spec.kind = item.substr(first + 1, second - first - 1);
+    spec.us_per_doc = std::atof(item.c_str() + second + 1);
+    config.rungs.push_back(std::move(spec));
+  }
+  if (config.rungs.empty()) {
+    std::fprintf(stderr, "--rungs spec is empty\n");
+    std::exit(2);
+  }
+  return config;
+}
+
+/// bundle pack: collects a teacher ensemble, a student MLP, normalizer
+/// statistics (fitted on --norm-data) and a rung configuration into one
+/// checksummed bundle file, written crash-safely.
+int CmdBundlePack(const Args& args) {
+  const std::string out = args.Require("out");
+  bundle::ModelBundle pack;
+
+  if (args.Has("teacher")) {
+    auto teacher = gbdt::Ensemble::LoadFromFile(args.Get("teacher", ""));
+    if (!teacher.ok()) {
+      std::fprintf(stderr, "%s\n", teacher.status().ToString().c_str());
+      return 1;
+    }
+    const Status status = pack.SetTeacher(*teacher);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+  if (args.Has("student")) {
+    auto student = nn::Mlp::LoadFromFile(args.Get("student", ""));
+    if (!student.ok()) {
+      std::fprintf(stderr, "%s\n", student.status().ToString().c_str());
+      return 1;
+    }
+    const Status status = pack.SetStudent(*student);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+  if (args.Has("norm-data")) {
+    const data::Dataset dataset = LoadLetorOrDie(args.Get("norm-data", ""));
+    data::ZNormalizer normalizer;
+    normalizer.Fit(dataset);
+    const Status status = pack.SetNormalizer(normalizer);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+  if (args.Has("rungs")) {
+    const Status status = pack.SetRungs(ParseRungSpec(args.Get("rungs", "")));
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+  if (pack.sections().empty()) {
+    std::fprintf(stderr,
+                 "nothing to pack: give --teacher / --student / --norm-data "
+                 "/ --rungs\n");
+    return 2;
+  }
+
+  if (!EnsureParentDir(out)) return 1;
+  const Status status = pack.SaveToFile(out);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("packed %zu section(s) into %s\n", pack.sections().size(),
+              out.c_str());
+  for (const bundle::Section& section : pack.sections()) {
+    std::printf("  %-10s %zu bytes\n", section.name.c_str(),
+                section.payload.size());
+  }
+  return 0;
+}
+
+/// bundle unpack: verifies a bundle and writes each section back out as the
+/// standalone per-model text file it was packed from (crash-safely, so an
+/// interrupted unpack never leaves torn model files either).
+int CmdBundleUnpack(const Args& args) {
+  const std::string in = args.Require("in");
+  const std::string dir = args.Get("out-dir", ".");
+  auto loaded = bundle::ModelBundle::LoadFromFile(in);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  if (loaded->sections().empty()) {
+    std::fprintf(stderr, "%s: bundle has no sections\n", in.c_str());
+    return 1;
+  }
+  for (const bundle::Section& section : loaded->sections()) {
+    const std::string path =
+        (std::filesystem::path(dir) / (section.name + ".txt")).string();
+    if (!EnsureParentDir(path)) return 1;
+    const Status status = AtomicWriteFile(path, section.payload);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s (%zu bytes)\n", path.c_str(),
+                section.payload.size());
+  }
+  return 0;
+}
+
+/// bundle verify: structural check (magic, version, section order, lengths,
+/// CRC32s) plus a full parse and deep validation of every section it can
+/// type — the CI gate proving a packed artifact is servable.
+int CmdBundleVerify(const Args& args) {
+  const std::string in = args.Require("in");
+  const auto features = static_cast<uint32_t>(args.GetInt("features", 0));
+  auto loaded = bundle::ModelBundle::LoadFromFile(in);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "%s: %s\n", in.c_str(),
+                 loaded.status().ToString().c_str());
+    return 1;
+  }
+  bool ok = true;
+  for (const bundle::Section& section : loaded->sections()) {
+    std::string verdict = "ok";
+    if (section.name == bundle::kTeacherSection) {
+      auto teacher = loaded->Teacher();
+      if (teacher.ok()) {
+        validate::Report report;
+        gbdt::ValidateEnsemble(*teacher, features,
+                               validate::Checker(&report, "teacher"));
+        if (!report.ok()) verdict = report.ToString();
+      } else {
+        verdict = teacher.status().ToString();
+      }
+    } else if (section.name == bundle::kStudentSection) {
+      auto student = loaded->Student();
+      if (student.ok()) {
+        validate::Report report;
+        nn::ValidateMlp(*student, validate::Checker(&report, "student"));
+        if (!report.ok()) verdict = report.ToString();
+      } else {
+        verdict = student.status().ToString();
+      }
+    } else if (section.name == bundle::kNormalizerSection) {
+      auto normalizer = loaded->Normalizer();
+      if (!normalizer.ok()) verdict = normalizer.status().ToString();
+    } else if (section.name == bundle::kRungsSection) {
+      auto rungs = loaded->Rungs();
+      if (!rungs.ok()) verdict = rungs.status().ToString();
+    } else {
+      verdict = "unknown section";
+    }
+    std::printf("%-10s %8zu bytes  %s\n", section.name.c_str(),
+                section.payload.size(), verdict.c_str());
+    if (verdict != "ok") ok = false;
+  }
+  std::printf("%s: %s (%zu section(s))\n", in.c_str(),
+              ok ? "bundle ok" : "bundle INVALID", loaded->sections().size());
+  return ok ? 0 : 1;
+}
+
+int CmdBundle(const std::string& sub, const Args& args) {
+  if (sub == "pack") return CmdBundlePack(args);
+  if (sub == "unpack") return CmdBundleUnpack(args);
+  if (sub == "verify") return CmdBundleVerify(args);
+  std::fprintf(stderr, "unknown bundle subcommand '%s' "
+                       "(want pack|unpack|verify)\n", sub.c_str());
+  return 2;
+}
+
 int Usage() {
   std::fprintf(
       stderr,
@@ -1163,7 +1589,12 @@ int Usage() {
       "L]\n"
       "  serve-bench   [--requests N] [--deadline-us U] [--workers W] "
       "[--threads T] [--fault-rate P] [--spike-rate P] [--spike-us U] "
-      "[--nan-rate P] [--obs 1] [--obs-out F] [--out F]\n"
+      "[--nan-rate P] [--obs 1] [--obs-out F] [--out F] "
+      "[--reload-every N [--bundle F]]\n"
+      "  bundle pack   --out B [--teacher M] [--student M] [--norm-data F] "
+      "[--rungs name:kind:us,...]\n"
+      "  bundle unpack --in B [--out-dir D]\n"
+      "  bundle verify --in B [--features K]\n"
       "  bench-scaling [--threads 1,2,4] [--arch AxBxC] [--features K] "
       "[--sparsity S] [--trees N] [--repeats R] [--min-t2-ratio R] "
       "[--obs 1] [--obs-out F] [--out F]\n"
@@ -1179,6 +1610,10 @@ int main(int argc, char** argv) {
   using namespace dnlr::cli;
   if (argc < 2) return Usage();
   const std::string command = argv[1];
+  if (command == "bundle") {
+    if (argc < 3) return Usage();
+    return CmdBundle(argv[2], Args(argc, argv, 3));
+  }
   const Args args(argc, argv, 2);
   if (command == "gen") return CmdGen(args);
   if (command == "train-forest") return CmdTrainForest(args);
