@@ -1,0 +1,460 @@
+#!/usr/bin/env python3
+"""dnlr_lint: project-specific static checks clang-tidy cannot express.
+
+Rules (all scoped to src/**/*.h, src/**/*.cc):
+
+  dnlr-atomic-order        Every atomic load/store/RMW names an explicit
+                           std::memory_order argument AND is covered by a
+                           justifying comment (same line or within the
+                           preceding 10 lines) that mentions the ordering
+                           rationale (relaxed/acquire/release/... or
+                           "ordering"). Defaulted seq_cst hides intent;
+                           unexplained relaxed hides bugs.
+  dnlr-naked-mutex         Outside src/common/, the std::mutex family
+                           (mutex, lock_guard, unique_lock, scoped_lock,
+                           condition_variable) is banned: all locking goes
+                           through common::Mutex / MutexLock / CondVar so
+                           every lock site carries thread-safety
+                           annotations.
+  dnlr-discarded-status    src/common/status.h must declare Status and
+                           Result [[nodiscard]] (the compiler then rejects
+                           silently dropped Status anywhere), and any
+                           explicit `(void)` discard needs a justifying
+                           comment on the same line.
+  dnlr-raw-alloc           No `new` / `malloc` / `calloc` / `realloc` /
+                           `free` in src/ — containers, arenas and RAII
+                           only. (std::aligned_alloc pairs with std::free
+                           inside the arena implementations; those sites
+                           carry NOLINT with a reason.)
+  dnlr-dcheck-side-effect  DNLR_DCHECK* arguments must be side-effect
+                           free: the macro compiles out under NDEBUG, so a
+                           mutation inside it changes release behavior.
+  dnlr-nolint-reason       Every NOLINT comment must name its check and
+                           carry a reason: `// NOLINT(<check>): <why>`.
+
+Suppression: append `// NOLINT(dnlr-<rule>): <reason>` to the offending
+line (or `// NOLINTNEXTLINE(dnlr-<rule>): <reason>` on the line above).
+The reason is mandatory — enforced by dnlr-nolint-reason itself.
+
+Usage:
+  tools/lint/dnlr_lint.py [--root REPO_ROOT] [paths...]   # lint (default src/)
+  tools/lint/dnlr_lint.py --self-test                     # fixture suite
+  tools/lint/dnlr_lint.py --list-rules
+
+Exit status: 0 clean, 1 findings (or failed self-test), 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+from dataclasses import dataclass
+
+RULES = (
+    "dnlr-atomic-order",
+    "dnlr-naked-mutex",
+    "dnlr-discarded-status",
+    "dnlr-raw-alloc",
+    "dnlr-dcheck-side-effect",
+    "dnlr-nolint-reason",
+)
+
+ATOMIC_OPS = re.compile(
+    r"(?:\.|->)\s*(load|store|exchange|fetch_add|fetch_sub|fetch_and|"
+    r"fetch_or|fetch_xor|compare_exchange_weak|compare_exchange_strong)"
+    r"\s*\("
+)
+
+# Words that make a nearby comment count as an ordering justification.
+ORDER_JUSTIFICATION = re.compile(
+    r"relaxed|acquire|release|acq_rel|seq_cst|order|rcu|publication|"
+    r"monotonic|statistic|visib|synchroniz",
+    re.IGNORECASE,
+)
+
+MUTEX_TOKENS = re.compile(
+    r"std\s*::\s*(mutex|timed_mutex|recursive_mutex|recursive_timed_mutex|"
+    r"shared_mutex|shared_timed_mutex|lock_guard|unique_lock|scoped_lock|"
+    r"shared_lock|condition_variable|condition_variable_any)\b"
+)
+
+RAW_ALLOC = re.compile(
+    r"(?:^|[^\w.])(?:new\b|malloc\s*\(|calloc\s*\(|"
+    r"realloc\s*\(|aligned_alloc\s*\(|free\s*\()"
+)
+
+VOID_DISCARD = re.compile(r"\(\s*void\s*\)\s*[A-Za-z_:]")
+
+DCHECK_CALL = re.compile(r"\bDNLR_DCHECK(?:_[A-Z]+)*\s*\(")
+
+MUTATING_CALL = re.compile(
+    r"(?:\.|->)\s*(push_back|push_front|pop_back|pop_front|erase|insert|"
+    r"emplace|emplace_back|clear|reset|release|resize|assign|swap)\s*\("
+)
+
+NOLINT_ANY = re.compile(r"NOLINT(NEXTLINE)?")
+NOLINT_WELL_FORMED = re.compile(
+    r"NOLINT(?:NEXTLINE)?\(([A-Za-z0-9_.\-*,: ]+?)\)\s*:\s*\S"
+)
+NOLINT_DIRECTIVE = re.compile(r"NOLINT(NEXTLINE)?\(([^)]*)\)")
+
+
+@dataclass
+class Finding:
+    path: str
+    line: int  # 1-based
+    rule: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def split_code_and_comments(text: str) -> tuple[list[str], list[str]]:
+    """Returns (code_lines, comment_lines): per source line, the code with
+    comments and string/char literal contents blanked, and the comment text
+    with everything else blanked. Column positions are preserved."""
+    code: list[list[str]] = [[]]
+    comment: list[list[str]] = [[]]
+    state = "code"  # code | line_comment | block_comment | string | char
+    i = 0
+    n = len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "\n":
+            code.append([])
+            comment.append([])
+            if state == "line_comment":
+                state = "code"
+            i += 1
+            continue
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                comment[-1].append("//")
+                code[-1].append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                comment[-1].append("/*")
+                code[-1].append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+            elif c == "'":
+                state = "char"
+            code[-1].append(c)
+            comment[-1].append(" ")
+            i += 1
+            continue
+        if state == "line_comment":
+            comment[-1].append(c)
+            code[-1].append(" ")
+            i += 1
+            continue
+        if state == "block_comment":
+            if c == "*" and nxt == "/":
+                comment[-1].append("*/")
+                code[-1].append("  ")
+                state = "code"
+                i += 2
+                continue
+            comment[-1].append(c)
+            code[-1].append(" ")
+            i += 1
+            continue
+        # string / char literal: blank the contents in both channels so
+        # neither rule patterns nor justification words match inside them.
+        if c == "\\" and nxt:
+            code[-1].append("  ")
+            comment[-1].append("  ")
+            i += 2
+            continue
+        if (state == "string" and c == '"') or (state == "char" and c == "'"):
+            state = "code"
+            code[-1].append(c)
+        else:
+            code[-1].append(" " if c != "\n" else c)
+        comment[-1].append(" ")
+        i += 1
+    return ["".join(l) for l in code], ["".join(l) for l in comment]
+
+
+def suppressed(rule: str, line_idx: int, comment_lines: list[str]) -> bool:
+    """True when `rule` is NOLINT-suppressed at line_idx (0-based)."""
+    for text, want_nextline in (
+        (comment_lines[line_idx], False),
+        (comment_lines[line_idx - 1] if line_idx > 0 else "", True),
+    ):
+        for m in NOLINT_DIRECTIVE.finditer(text):
+            is_nextline = m.group(1) == "NEXTLINE"
+            if is_nextline != want_nextline:
+                continue
+            checks = [c.strip() for c in m.group(2).split(",")]
+            if rule in checks or "*" in checks:
+                return True
+    return False
+
+
+def balanced_span(code_lines: list[str], line_idx: int, col: int,
+                  max_lines: int = 12) -> str:
+    """Text of a parenthesized call starting at code_lines[line_idx][col]
+    (col points at the opening paren), spanning up to max_lines lines."""
+    depth = 0
+    out: list[str] = []
+    for li in range(line_idx, min(line_idx + max_lines, len(code_lines))):
+        segment = code_lines[li][col if li == line_idx else 0:]
+        for ci, ch in enumerate(segment):
+            if ch == "(":
+                depth += 1
+            elif ch == ")":
+                depth -= 1
+                if depth == 0:
+                    out.append(segment[: ci + 1])
+                    return "".join(out)
+        out.append(segment)
+    return "".join(out)  # unbalanced within the window; caller decides
+
+
+def relpath_in(path: str, root: str) -> str:
+    try:
+        return os.path.relpath(path, root)
+    except ValueError:
+        return path
+
+
+class Linter:
+    def __init__(self, root: str):
+        self.root = root
+        self.findings: list[Finding] = []
+
+    def lint_file(self, path: str) -> None:
+        rel = relpath_in(path, self.root).replace(os.sep, "/")
+        try:
+            with open(path, "r", encoding="utf-8") as f:
+                text = f.read()
+        except (OSError, UnicodeDecodeError) as e:
+            self.findings.append(Finding(rel, 1, "dnlr-io", f"unreadable: {e}"))
+            return
+        code, comments = split_code_and_comments(text)
+
+        self._check_atomic_order(rel, code, comments)
+        self._check_naked_mutex(rel, code, comments)
+        self._check_void_discard(rel, code, comments)
+        self._check_raw_alloc(rel, code, comments)
+        self._check_dcheck_side_effect(rel, code, comments)
+        self._check_nolint_reason(rel, comments)
+        if rel.endswith("common/status.h"):
+            self._check_nodiscard_status(rel, code)
+
+    def _emit(self, rel: str, idx: int, rule: str, msg: str,
+              comments: list[str]) -> None:
+        if not suppressed(rule, idx, comments):
+            self.findings.append(Finding(rel, idx + 1, rule, msg))
+
+    def _check_atomic_order(self, rel: str, code: list[str],
+                            comments: list[str]) -> None:
+        for idx, line in enumerate(code):
+            for m in ATOMIC_OPS.finditer(line):
+                op = m.group(1)
+                call = balanced_span(code, idx, m.end() - 1)
+                if "memory_order" not in call:
+                    self._emit(
+                        rel, idx, "dnlr-atomic-order",
+                        f"atomic {op}() without an explicit std::memory_order "
+                        "(defaulted seq_cst hides intent)", comments)
+                    continue
+                window = comments[max(0, idx - 10): idx + 1]
+                if not any(ORDER_JUSTIFICATION.search(c) for c in window):
+                    self._emit(
+                        rel, idx, "dnlr-atomic-order",
+                        f"atomic {op}() lacks a justifying comment within the "
+                        "10 preceding lines (say why this ordering is "
+                        "sufficient)", comments)
+
+    def _check_naked_mutex(self, rel: str, code: list[str],
+                           comments: list[str]) -> None:
+        if rel.startswith("src/common/") or rel.startswith("common/"):
+            return
+        for idx, line in enumerate(code):
+            m = MUTEX_TOKENS.search(line)
+            if m:
+                self._emit(
+                    rel, idx, "dnlr-naked-mutex",
+                    f"std::{m.group(1)} outside common/ — use common::Mutex / "
+                    "common::MutexLock / common::CondVar (annotated for "
+                    "thread-safety analysis)", comments)
+
+    def _check_void_discard(self, rel: str, code: list[str],
+                            comments: list[str]) -> None:
+        for idx, line in enumerate(code):
+            if VOID_DISCARD.search(line):
+                has_reason = comments[idx].strip() or (
+                    idx > 0 and "NOLINTNEXTLINE" in comments[idx - 1])
+                if not has_reason:
+                    self._emit(
+                        rel, idx, "dnlr-discarded-status",
+                        "explicit (void) discard without a same-line comment "
+                        "explaining why the result is safe to drop", comments)
+
+    def _check_raw_alloc(self, rel: str, code: list[str],
+                         comments: list[str]) -> None:
+        for idx, line in enumerate(code):
+            # `#include <new>` and friends are not allocations.
+            if line.lstrip().startswith("#"):
+                continue
+            m = RAW_ALLOC.search(line)
+            if m:
+                self._emit(
+                    rel, idx, "dnlr-raw-alloc",
+                    "raw allocation (new/malloc/free family) in src/ — use "
+                    "containers, arenas, or RAII wrappers", comments)
+
+    def _check_dcheck_side_effect(self, rel: str, code: list[str],
+                                  comments: list[str]) -> None:
+        for idx, line in enumerate(code):
+            for m in DCHECK_CALL.finditer(line):
+                args = balanced_span(code, idx, m.end() - 1)
+                if MUTATING_CALL.search(args):
+                    self._emit(
+                        rel, idx, "dnlr-dcheck-side-effect",
+                        "DNLR_DCHECK argument calls a mutating method — the "
+                        "check compiles out under NDEBUG", comments)
+                    continue
+                if self._has_assignment_or_incdec(args):
+                    self._emit(
+                        rel, idx, "dnlr-dcheck-side-effect",
+                        "DNLR_DCHECK argument contains an assignment or "
+                        "++/-- — the check compiles out under NDEBUG",
+                        comments)
+
+    @staticmethod
+    def _has_assignment_or_incdec(args: str) -> bool:
+        if "++" in args or "--" in args:
+            return True
+        # Blank out comparison operators, then any surviving '=' is an
+        # assignment (including compound ones like += and |=).
+        cleaned = re.sub(r"==|!=|<=|>=", "  ", args)
+        return "=" in cleaned
+
+    def _check_nolint_reason(self, rel: str, comments: list[str]) -> None:
+        for idx, text in enumerate(comments):
+            for m in NOLINT_ANY.finditer(text):
+                rest = text[m.start():]
+                if not NOLINT_WELL_FORMED.match(rest):
+                    # Can't be NOLINT-suppressed: a malformed NOLINT is the
+                    # finding itself.
+                    self.findings.append(Finding(
+                        rel, idx + 1, "dnlr-nolint-reason",
+                        "NOLINT must name its check and carry a reason: "
+                        "`NOLINT(<check>): <why>`"))
+
+    def _check_nodiscard_status(self, rel: str, code: list[str]) -> None:
+        text = "\n".join(code)
+        for cls in ("Status", "Result"):
+            if not re.search(
+                    rf"class\s+\[\[nodiscard\]\]\s+{cls}\b", text):
+                self.findings.append(Finding(
+                    rel, 1, "dnlr-discarded-status",
+                    f"class {cls} must be declared [[nodiscard]] so a "
+                    "dropped error is a compile-time warning"))
+
+
+def collect_files(root: str, paths: list[str]) -> list[str]:
+    if not paths:
+        paths = [os.path.join(root, "src")]
+    out: list[str] = []
+    for p in paths:
+        if os.path.isfile(p):
+            out.append(p)
+            continue
+        for dirpath, _dirnames, filenames in os.walk(p):
+            for name in sorted(filenames):
+                if name.endswith((".h", ".cc", ".cpp", ".hpp")):
+                    out.append(os.path.join(dirpath, name))
+    return sorted(out)
+
+
+def run_lint(root: str, paths: list[str]) -> int:
+    linter = Linter(root)
+    files = collect_files(root, paths)
+    if not files:
+        print("dnlr_lint: no input files", file=sys.stderr)
+        return 2
+    for f in files:
+        linter.lint_file(f)
+    for finding in linter.findings:
+        print(finding)
+    if linter.findings:
+        print(f"dnlr_lint: {len(linter.findings)} finding(s) in "
+              f"{len(files)} file(s)", file=sys.stderr)
+        return 1
+    print(f"dnlr_lint: clean ({len(files)} files)")
+    return 0
+
+
+def run_self_test() -> int:
+    """Each rule has a good/bad fixture pair under fixtures/: the bad file
+    must trigger exactly that rule, the good file must be fully clean."""
+    fixtures = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                            "fixtures")
+    failures: list[str] = []
+    cases = 0
+    for rule in RULES:
+        stem = rule.removeprefix("dnlr-").replace("-", "_")
+        for kind in ("good", "bad"):
+            path = os.path.join(fixtures, f"{stem}_{kind}.cc")
+            if not os.path.exists(path):
+                failures.append(f"{rule}: missing fixture {path}")
+                continue
+            cases += 1
+            # Fixtures lint with rel = bare filename, so the path-scoped
+            # exemption for src/common/ does not apply — every rule is live.
+            linter = Linter(fixtures)
+            linter.lint_file(path)
+            hits = {f.rule for f in linter.findings}
+            if kind == "bad" and rule not in hits:
+                failures.append(
+                    f"{rule}: bad fixture produced no {rule} finding "
+                    f"(got: {sorted(hits) or 'none'})")
+            if kind == "good" and hits:
+                failures.append(
+                    f"{rule}: good fixture is not clean (got: {sorted(hits)})")
+    if failures:
+        for f in failures:
+            print(f"SELF-TEST FAIL: {f}", file=sys.stderr)
+        return 1
+    print(f"dnlr_lint self-test: {cases} fixture cases OK")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        prog="dnlr_lint.py",
+        description="Project-specific static checks (see module docstring).")
+    parser.add_argument("--root", default=None,
+                        help="repository root (default: two levels up)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the good/bad fixture suite and exit")
+    parser.add_argument("--list-rules", action="store_true")
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories (default: <root>/src)")
+    args = parser.parse_args()
+
+    if args.list_rules:
+        print("\n".join(RULES))
+        return 0
+    if args.self_test:
+        return run_self_test()
+    root = args.root or os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))
+    return run_lint(root, args.paths)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,24 @@
+// dnlr-atomic-order BAD fixture: one defaulted-order op, one explicit op
+// with no justifying comment anywhere near it.
+#include <atomic>
+
+std::atomic<int> g_count{0};
+std::atomic<int> g_other{0};
+
+int DefaultedOrder() {
+  return g_count.load();  // no memory_order argument at all
+}
+
+void ExplicitButUnjustified() {
+  int x = 1;
+  int y = 2;
+  int z = x + y;
+  (void)z;  // arithmetic filler so no nearby text explains the op below
+  int a = 3;
+  int b = 4;
+  int c = a + b;
+  (void)c;  // more filler
+  int d = 5;
+  int e = 6;
+  g_other.store(d + e, std::memory_order_relaxed);
+}

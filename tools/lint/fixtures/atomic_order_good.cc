@@ -1,0 +1,16 @@
+// dnlr-atomic-order GOOD fixture: explicit orders, each with a nearby
+// justification.
+#include <atomic>
+
+std::atomic<int> g_count{0};
+
+int Read() {
+  // Relaxed is enough: the counter is an independent statistic, not a
+  // synchronization point.
+  return g_count.load(std::memory_order_relaxed);
+}
+
+void Bump() {
+  // Relaxed increment: monotonic event count, readers tolerate staleness.
+  g_count.fetch_add(1, std::memory_order_relaxed);
+}

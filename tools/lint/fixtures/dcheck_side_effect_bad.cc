@@ -1,0 +1,11 @@
+// dnlr-dcheck-side-effect BAD fixture: mutations inside DNLR_DCHECK — they
+// vanish under NDEBUG and change release behavior.
+#include <vector>
+
+#define DNLR_DCHECK(cond) ((void)(cond))
+#define DNLR_DCHECK_GT(a, b) ((void)((a) > (b)))
+
+void Bad(std::vector<int>& v, int& counter) {
+  DNLR_DCHECK(++counter > 0);
+  DNLR_DCHECK_GT(v.erase(v.begin()) != v.end(), false);
+}

@@ -1,0 +1,13 @@
+// dnlr-dcheck-side-effect GOOD fixture: pure reads inside the check; the
+// mutation happens outside it.
+#include <vector>
+
+#define DNLR_DCHECK(cond) ((void)(cond))
+#define DNLR_DCHECK_GT(a, b) ((void)((a) > (b)))
+
+void Good(std::vector<int>& v, int& counter) {
+  ++counter;
+  DNLR_DCHECK(counter > 0);
+  DNLR_DCHECK_GT(v.size(), 0u);
+  DNLR_DCHECK(v.front() <= v.back());
+}

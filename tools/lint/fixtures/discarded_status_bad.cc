@@ -1,0 +1,6 @@
+// dnlr-discarded-status BAD fixture: a (void) discard with no explanation.
+int ComputeChecksum();
+
+void Ignore() {
+  (void)ComputeChecksum();
+}

@@ -1,0 +1,6 @@
+// dnlr-discarded-status GOOD fixture: the discard explains itself.
+int ComputeChecksum();
+
+void Ignore() {
+  (void)ComputeChecksum();  // warm-up call: only the second checksum is used
+}

@@ -1,0 +1,10 @@
+// dnlr-naked-mutex BAD fixture: std::mutex family used outside common/.
+#include <mutex>
+
+std::mutex g_mu;
+int g_value = 0;
+
+void Set(int v) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  g_value = v;
+}

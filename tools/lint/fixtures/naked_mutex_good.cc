@@ -1,0 +1,11 @@
+// dnlr-naked-mutex GOOD fixture: locking through the annotated wrapper.
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+dnlr::common::Mutex g_mu;
+int g_value DNLR_GUARDED_BY(g_mu) = 0;
+
+void Set(int v) {
+  dnlr::common::MutexLock lock(g_mu);
+  g_value = v;
+}

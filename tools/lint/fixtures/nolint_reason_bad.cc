@@ -1,0 +1,4 @@
+// dnlr-nolint-reason BAD fixture: bare and reason-less suppressions.
+int Implicit(int v) { return v; }  // NOLINT
+
+int AlsoImplicit(int v) { return v; }  // NOLINT(runtime/explicit)

@@ -1,0 +1,6 @@
+// dnlr-nolint-reason GOOD fixture: every suppression names its check and
+// says why it is justified.
+int Implicit(int v) { return v; }  // NOLINT(google-explicit-constructor): value-to-Result implicit conversion is the API
+
+// NOLINTNEXTLINE(readability-identifier-naming): mirrors the paper's symbol
+int kPaperSymbol_q = 0;

@@ -1,0 +1,9 @@
+// dnlr-raw-alloc BAD fixture: naked new/malloc/free.
+#include <cstdlib>
+
+int* Allocate() {
+  int* a = new int[16];
+  void* b = std::malloc(64);
+  std::free(b);
+  return a;
+}

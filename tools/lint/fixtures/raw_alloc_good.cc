@@ -1,0 +1,14 @@
+// dnlr-raw-alloc GOOD fixture: containers and smart pointers only; one
+// unavoidable raw site carries the mandatory suppression-with-reason.
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+std::vector<int> MakeVector() { return std::vector<int>(16, 0); }
+
+std::unique_ptr<int[]> MakeOwned() { return std::make_unique<int[]>(16); }
+
+void* AlignedArena(size_t bytes) {
+  // NOLINTNEXTLINE(dnlr-raw-alloc): SIMD arena needs 64-byte alignment
+  return std::aligned_alloc(64, bytes);
+}
