@@ -1,0 +1,87 @@
+#ifndef DNLR_COMMON_MUTEX_H_
+#define DNLR_COMMON_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace dnlr::common {
+
+/// The project's only mutex. A thin wrapper over std::mutex whose methods
+/// carry Clang Thread Safety Analysis annotations, so every lock site in
+/// src/ participates in the compile-time lock-discipline proof (see
+/// common/thread_annotations.h). Outside common/ the raw std::mutex family
+/// is banned by tools/lint/dnlr_lint.py — use Mutex + MutexLock + CondVar.
+///
+/// Same semantics and cost as std::mutex: non-recursive, unfair, no
+/// timeouts. Lock/Unlock are exposed for the rare manual pattern; prefer
+/// the scoped MutexLock.
+class DNLR_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() DNLR_ACQUIRE() { mu_.lock(); }
+  void Unlock() DNLR_RELEASE() { mu_.unlock(); }
+  bool TryLock() DNLR_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;  // CondVar::Wait re-blocks on the native handle
+
+  std::mutex mu_;  // NOLINT(dnlr-naked-mutex): the one wrapping site
+};
+
+/// RAII lock for Mutex, annotated as a scoped capability: the analysis
+/// knows the mutex is held from construction to scope exit.
+class DNLR_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) DNLR_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() DNLR_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable paired with common::Mutex.
+///
+/// No predicate-lambda overloads on purpose: Clang's analysis cannot see
+/// through a lambda that touches guarded members, so waits are written as
+/// the classic explicit loop, which annotates cleanly:
+///
+///   common::MutexLock lock(mu_);
+///   while (!ReadyLocked()) cv_.Wait(mu_);   // ReadyLocked: DNLR_REQUIRES(mu_)
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, blocks until notified, and re-acquires `mu`
+  /// before returning. Spurious wakeups happen; always wait in a loop.
+  void Wait(Mutex& mu) DNLR_REQUIRES(mu) {
+    // Adopt the already-held native mutex for the duration of the wait and
+    // release ownership before the unique_lock unwinds, so the caller's
+    // MutexLock remains the one true owner as far as both the RAII types
+    // and the static analysis are concerned.
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+  }
+
+  /// Wakes one / all waiters. Callers may signal with or without the mutex
+  /// held; waiters re-check their predicate either way.
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace dnlr::common
+
+#endif  // DNLR_COMMON_MUTEX_H_

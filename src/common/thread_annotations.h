@@ -1,0 +1,74 @@
+#ifndef DNLR_COMMON_THREAD_ANNOTATIONS_H_
+#define DNLR_COMMON_THREAD_ANNOTATIONS_H_
+
+/// Clang Thread Safety Analysis attributes (no-ops on other compilers).
+///
+/// These macros let the locking discipline of the concurrent subsystems —
+/// common::ThreadPool, serve::ServingEngine, the RCU swap path, the obs
+/// registry — be *proved* at compile time instead of sampled at run time by
+/// TSan. On Clang, building with -Wthread-safety (the DNLR_THREAD_SAFETY
+/// option wires it up, promoted to an error) rejects any access to a
+/// DNLR_GUARDED_BY member without its mutex held, any call to a
+/// DNLR_REQUIRES function without the capability, and any scope that
+/// acquires a capability it does not release. On GCC and other compilers
+/// everything expands to nothing, so the annotated code is portable.
+///
+/// Conventions (see DESIGN.md "Static analysis"):
+///  - Shared mutable members are annotated DNLR_GUARDED_BY(mu_) at the
+///    declaration, right next to the mutex that protects them.
+///  - Private helpers that expect a lock already held are annotated
+///    DNLR_REQUIRES(mu_) instead of re-locking.
+///  - Only common::Mutex / common::MutexLock / common::CondVar (common/
+///    mutex.h) carry acquire/release annotations; the rest of src/ never
+///    touches std::mutex directly (enforced by tools/lint/dnlr_lint.py).
+
+#if defined(__clang__) && (!defined(SWIG))
+#define DNLR_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define DNLR_THREAD_ANNOTATION_(x)  // no-op on non-Clang
+#endif
+
+/// Declares a type to be a capability ("mutex") the analysis tracks.
+#define DNLR_CAPABILITY(x) DNLR_THREAD_ANNOTATION_(capability(x))
+
+/// Declares an RAII type whose lifetime acquires/releases a capability.
+#define DNLR_SCOPED_CAPABILITY DNLR_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Member may only be read or written while `x` is held.
+#define DNLR_GUARDED_BY(x) DNLR_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer member: the *pointee* may only be accessed while `x` is held.
+#define DNLR_PT_GUARDED_BY(x) DNLR_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Function requires the capability(ies) to be held on entry (and does not
+/// release them).
+#define DNLR_REQUIRES(...) \
+  DNLR_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Function acquires the capability(ies) and holds them on return.
+#define DNLR_ACQUIRE(...) \
+  DNLR_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability(ies); they must be held on entry.
+#define DNLR_RELEASE(...) \
+  DNLR_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability when it returns `ret` (e.g. TryLock).
+#define DNLR_TRY_ACQUIRE(...) \
+  DNLR_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/// Function must NOT be called with the capability(ies) held (deadlock
+/// guard for self-locking public entry points).
+#define DNLR_EXCLUDES(...) \
+  DNLR_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Returns a reference to the capability that guards the returned data.
+#define DNLR_RETURN_CAPABILITY(x) DNLR_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch: the function's locking cannot be expressed to the
+/// analysis. Every use needs a comment explaining why (lint-enforced
+/// convention, see DESIGN.md).
+#define DNLR_NO_THREAD_SAFETY_ANALYSIS \
+  DNLR_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // DNLR_COMMON_THREAD_ANNOTATIONS_H_

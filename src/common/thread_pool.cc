@@ -16,14 +16,14 @@ ThreadPool::ThreadPool(uint32_t num_threads)
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    MutexLock lock(queue_mu_);
     stopping_ = true;
     // Every live ParallelFor call holds its Batch on the caller's stack and
     // waits for its chunks, so the queue can only be non-empty here if a
     // caller destroyed the pool mid-call — a usage bug worth failing loudly.
     DNLR_CHECK(queue_.empty()) << "ThreadPool destroyed with queued work";
   }
-  queue_cv_.notify_all();
+  queue_cv_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
@@ -51,22 +51,22 @@ void ThreadPool::RunChunk(Batch* batch, uint32_t chunk) {
   } catch (...) {
     error = std::current_exception();
   }
-  std::lock_guard<std::mutex> lock(batch->mu);
+  MutexLock lock(batch->mu);
   if (error != nullptr && batch->error == nullptr) batch->error = error;
   --batch->pending;
   // Notify under the lock: the Batch lives on the caller's stack, and the
   // caller is free to destroy it the moment it observes pending == 0. It can
   // only observe that after this lock is released, at which point the batch
   // is no longer touched here.
-  if (batch->pending == 0) batch->done_cv.notify_one();
+  if (batch->pending == 0) batch->done_cv.NotifyOne();
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
     Task task;
     {
-      std::unique_lock<std::mutex> lock(queue_mu_);
-      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(queue_mu_);
+      while (!stopping_ && queue_.empty()) queue_cv_.Wait(queue_mu_);
       if (queue_.empty()) return;  // stopping_ and nothing left to run
       task = queue_.front();
       queue_.pop_front();
@@ -89,23 +89,28 @@ void ThreadPool::ParallelFor(uint64_t count, const ChunkFn& body) {
   batch.body = &body;
   batch.count = count;
   batch.num_chunks = num_chunks;
-  batch.pending = num_chunks;
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    // No worker can see the batch yet; the lock is for the analysis (and
+    // costs nothing uncontended), not for a real race.
+    MutexLock lock(batch.mu);
+    batch.pending = num_chunks;
+  }
+  {
+    MutexLock lock(queue_mu_);
     DNLR_CHECK(!stopping_) << "ParallelFor on a destroyed ThreadPool";
     for (uint32_t chunk = 1; chunk < num_chunks; ++chunk) {
       queue_.push_back(Task{&batch, chunk});
     }
   }
-  queue_cv_.notify_all();
+  queue_cv_.NotifyAll();
 
   // The caller contributes chunk 0, then waits for the workers. Workers
   // never wait on other chunks, so this cannot deadlock no matter how many
   // threads call ParallelFor concurrently.
   RunChunk(&batch, 0);
   {
-    std::unique_lock<std::mutex> lock(batch.mu);
-    batch.done_cv.wait(lock, [&batch] { return batch.pending == 0; });
+    MutexLock lock(batch.mu);
+    while (batch.pending != 0) batch.done_cv.Wait(batch.mu);
     if (batch.error != nullptr) std::rethrow_exception(batch.error);
   }
 }

@@ -1,13 +1,15 @@
 #ifndef DNLR_COMMON_THREAD_POOL_H_
 #define DNLR_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace dnlr::common {
 
@@ -30,6 +32,11 @@ namespace dnlr::common {
 ///    call and always < num_threads(), so callers can hand each chunk its
 ///    own scratch buffer (the per-thread PackA/tile buffers of the parallel
 ///    GEMM) without any locking.
+///
+/// The locking discipline is annotated for Clang Thread Safety Analysis
+/// (common/thread_annotations.h): queue state is DNLR_GUARDED_BY(queue_mu_)
+/// and per-call join state by its Batch mutex, so an unguarded access is a
+/// compile error on the clang presets, not a TSan roll of the dice.
 ///
 /// Exceptions thrown by a chunk body are captured and the first one is
 /// rethrown on the calling thread after every chunk has finished, so the
@@ -54,7 +61,8 @@ class ThreadPool {
   /// near-equal size and runs `body` on every chunk, using the calling
   /// thread for the first chunk. Blocks until all chunks are done; rethrows
   /// the first chunk exception. A count of 0 returns immediately.
-  void ParallelFor(uint64_t count, const ChunkFn& body);
+  void ParallelFor(uint64_t count, const ChunkFn& body)
+      DNLR_EXCLUDES(queue_mu_);
 
   /// std::thread::hardware_concurrency with a floor of 1 (the standard
   /// allows it to return 0 on machines it cannot probe).
@@ -62,14 +70,17 @@ class ThreadPool {
 
  private:
   /// Join state of one ParallelFor call, owned by the caller's stack frame.
+  /// body/count/num_chunks are written before the batch is published to the
+  /// queue (under queue_mu_) and immutable afterwards, so workers read them
+  /// without mu; only the join state itself is guarded.
   struct Batch {
     const ChunkFn* body = nullptr;
     uint64_t count = 0;
     uint32_t num_chunks = 0;
-    uint32_t pending = 0;  // guarded by mu
-    std::exception_ptr error;  // first failure, guarded by mu
-    std::mutex mu;
-    std::condition_variable done_cv;
+    Mutex mu;
+    CondVar done_cv;
+    uint32_t pending DNLR_GUARDED_BY(mu) = 0;
+    std::exception_ptr error DNLR_GUARDED_BY(mu);  // first failure
   };
 
   struct Task {
@@ -80,13 +91,13 @@ class ThreadPool {
   static void ChunkRange(uint64_t count, uint32_t num_chunks, uint32_t chunk,
                          uint64_t* begin, uint64_t* end);
   static void RunChunk(Batch* batch, uint32_t chunk);
-  void WorkerLoop();
+  void WorkerLoop() DNLR_EXCLUDES(queue_mu_);
 
   const uint32_t num_threads_;
-  std::mutex queue_mu_;
-  std::condition_variable queue_cv_;
-  std::deque<Task> queue_;
-  bool stopping_ = false;
+  Mutex queue_mu_;
+  CondVar queue_cv_;
+  std::deque<Task> queue_ DNLR_GUARDED_BY(queue_mu_);
+  bool stopping_ DNLR_GUARDED_BY(queue_mu_) = false;
   std::vector<std::thread> workers_;
 };
 

@@ -9,7 +9,8 @@
 namespace dnlr::obs {
 namespace {
 
-/// Relaxed-CAS update of a running minimum / maximum.
+/// Relaxed-CAS update of a running minimum: atomicity keeps the extremum
+/// exact under contention, and no other data is published through it.
 void UpdateMin(std::atomic<uint64_t>& slot, uint64_t value) {
   uint64_t current = slot.load(std::memory_order_relaxed);
   while (value < current &&
@@ -18,6 +19,8 @@ void UpdateMin(std::atomic<uint64_t>& slot, uint64_t value) {
   }
 }
 
+// Relaxed CAS as above: the extremum is a standalone statistic; the loop
+// re-reads on failure so no ordering stronger than atomicity is needed.
 void UpdateMax(std::atomic<uint64_t>& slot, uint64_t value) {
   uint64_t current = slot.load(std::memory_order_relaxed);
   while (value > current &&
@@ -70,6 +73,8 @@ void Histogram::Record(double micros) {
   const double nanos_d = micros * 1000.0;
   const uint64_t nanos =
       nanos_d >= 1.8e19 ? UINT64_MAX : static_cast<uint64_t>(nanos_d);
+  // Relaxed ordering throughout: each aggregate is an independent
+  // statistic; readers accept per-field (not cross-field) consistency.
   buckets_[BucketOf(nanos)].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
   sum_nanos_.fetch_add(nanos, std::memory_order_relaxed);
@@ -77,6 +82,8 @@ void Histogram::Record(double micros) {
   UpdateMax(max_nanos_, nanos);
 }
 
+// Relaxed loads: extrema are standalone statistics and may lag concurrent
+// Record calls by design.
 double Histogram::MinMicros() const {
   const uint64_t nanos = min_nanos_.load(std::memory_order_relaxed);
   return nanos == UINT64_MAX ? 0.0 : static_cast<double>(nanos) * 1e-3;
@@ -120,12 +127,14 @@ void Histogram::Reset() {
 }
 
 MetricsRegistry& MetricsRegistry::Global() {
-  static MetricsRegistry* registry = new MetricsRegistry();  // never destroyed
+  // Intentionally leaked so metrics outlive every static destructor.
+  // NOLINTNEXTLINE(dnlr-raw-alloc): deliberate never-freed singleton
+  static MetricsRegistry* registry = new MetricsRegistry();
   return *registry;
 }
 
 Counter& MetricsRegistry::GetCounter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(std::string(name), std::make_unique<Counter>())
@@ -135,7 +144,7 @@ Counter& MetricsRegistry::GetCounter(std::string_view name) {
 }
 
 Gauge& MetricsRegistry::GetGauge(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
@@ -144,7 +153,7 @@ Gauge& MetricsRegistry::GetGauge(std::string_view name) {
 }
 
 Histogram& MetricsRegistry::GetHistogram(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
@@ -154,13 +163,13 @@ Histogram& MetricsRegistry::GetHistogram(std::string_view name) {
 }
 
 const Histogram* MetricsRegistry::FindHistogram(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   const auto it = histograms_.find(name);
   return it == histograms_.end() ? nullptr : it->second.get();
 }
 
 std::string MetricsRegistry::ToJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   std::ostringstream json;
   json << "{\n  \"enabled\": " << (enabled() ? "true" : "false") << ",\n";
 
@@ -215,7 +224,7 @@ std::string MetricsRegistry::ToJson() const {
 }
 
 void MetricsRegistry::ResetValues() {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   for (const auto& [name, counter] : counters_) counter->Reset();
   for (const auto& [name, gauge] : gauges_) gauge->Reset();
   for (const auto& [name, histogram] : histograms_) histogram->Reset();

@@ -6,9 +6,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace dnlr::obs {
 
@@ -28,6 +30,8 @@ class Counter {
 /// 64-bit atomic, so Set/Value are single lock-free loads and stores).
 class Gauge {
  public:
+  // Relaxed ordering: last-writer-wins sample; readers need the latest-ish
+  // value only and no other data is published through the gauge.
   void Set(double value) {
     bits_.store(std::bit_cast<uint64_t>(value), std::memory_order_relaxed);
   }
@@ -60,6 +64,9 @@ class Histogram {
   /// negative).
   void Record(double micros);
 
+  // Relaxed loads on every aggregate below: each is an independent
+  // statistic; snapshots are per-field consistent, which is all the
+  // exporters need.
   uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
   double SumMicros() const {
     return static_cast<double>(sum_nanos_.load(std::memory_order_relaxed)) *
@@ -74,6 +81,7 @@ class Histogram {
   double MaxMicros() const;
 
   uint64_t BucketCount(size_t b) const {
+    // Relaxed: independent per-bucket statistic, as above.
     return buckets_[b].load(std::memory_order_relaxed);
   }
   /// Inclusive upper bound of bucket `b`, in microseconds.
@@ -116,13 +124,17 @@ class MetricsRegistry {
  public:
   static MetricsRegistry& Global();
 
-  Counter& GetCounter(std::string_view name);
-  Gauge& GetGauge(std::string_view name);
-  Histogram& GetHistogram(std::string_view name);
+  Counter& GetCounter(std::string_view name) DNLR_EXCLUDES(mu_);
+  Gauge& GetGauge(std::string_view name) DNLR_EXCLUDES(mu_);
+  Histogram& GetHistogram(std::string_view name) DNLR_EXCLUDES(mu_);
 
   /// Looks up an already-registered histogram; nullptr when absent.
-  const Histogram* FindHistogram(std::string_view name) const;
+  const Histogram* FindHistogram(std::string_view name) const
+      DNLR_EXCLUDES(mu_);
 
+  // Relaxed ordering on the flag: it only gates whether spans record; a
+  // thread seeing the old value for a few more samples is harmless and the
+  // flag publishes no other data.
   void SetEnabled(bool enabled) {
     enabled_.store(enabled, std::memory_order_relaxed);
   }
@@ -133,20 +145,23 @@ class MetricsRegistry {
   /// sorted by name, histograms with only their nonzero buckets. Safe to
   /// call while recorders are live (values are read atomically; the
   /// snapshot is per-metric, not cross-metric consistent).
-  std::string ToJson() const;
+  std::string ToJson() const DNLR_EXCLUDES(mu_);
 
   /// Zeroes every registered metric's value (registrations persist, so
   /// cached pointers stay valid). Same quiescence caveat as
   /// Histogram::Reset.
-  void ResetValues();
+  void ResetValues() DNLR_EXCLUDES(mu_);
 
  private:
   MetricsRegistry() = default;
 
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  mutable common::Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      DNLR_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      DNLR_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      DNLR_GUARDED_BY(mu_);
   std::atomic<bool> enabled_{false};
 };
 

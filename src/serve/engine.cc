@@ -17,6 +17,8 @@ bool AllFinite(const std::vector<float>& scores) {
   return true;
 }
 
+// Relaxed increment: serve counters are independent statistics, never a
+// synchronization point (see ServeCounters).
 void Bump(std::atomic<uint64_t>& counter) {
   counter.fetch_add(1, std::memory_order_relaxed);
 }
@@ -63,12 +65,19 @@ ServingEngine::ServingEngine(std::shared_ptr<const DegradationLadder> ladder,
   DNLR_CHECK_GT(config_.safety_factor, 0.0);
   DNLR_CHECK_GE(config_.max_attempts_per_rung, 1u);
   const size_t num_rungs = ladder->num_rungs();
+  // Release publication pairs with the acquire load in CurrentState so
+  // workers observe a fully built LadderState.
   state_.store(BuildState(std::move(ladder), /*version=*/1),
                std::memory_order_release);
   obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
   queue_wait_histogram_ = &registry.GetHistogram("serve.queue_wait_us");
   backoff_histogram_ = &registry.GetHistogram("serve.backoff_us");
-  breakers_.resize(num_rungs);
+  {
+    // No worker thread exists yet; the lock satisfies the thread-safety
+    // analysis (guarded members are only touched with their mutex held).
+    common::MutexLock lock(breaker_mu_);
+    breakers_.resize(num_rungs);
+  }
   workers_.reserve(config_.num_workers);
   for (uint32_t w = 0; w < config_.num_workers; ++w) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -79,10 +88,10 @@ ServingEngine::~ServingEngine() { Stop(); }
 
 void ServingEngine::Stop() {
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    common::MutexLock lock(queue_mu_);
     stopping_ = true;
   }
-  queue_cv_.notify_all();
+  queue_cv_.NotifyAll();
   for (std::thread& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
@@ -117,14 +126,17 @@ Status ServingEngine::SwapModel(std::shared_ptr<const DegradationLadder> next,
     }
   }
   {
-    std::lock_guard<std::mutex> lock(swap_mu_);
+    common::MutexLock lock(swap_mu_);
     auto state = BuildState(std::move(next), CurrentState()->version + 1);
+    // Release publication pairs with the acquire load in CurrentState so
+    // workers picking up the pointer see the fully built state; swap_mu_
+    // serializes concurrent swappers (read-modify-write of version).
     state_.store(std::move(state), std::memory_order_release);
   }
   {
     // A fresh model starts with fresh health: faults accumulated by the
     // old generation must not quarantine the new one.
-    std::lock_guard<std::mutex> lock(breaker_mu_);
+    common::MutexLock lock(breaker_mu_);
     for (Breaker& breaker : breakers_) breaker = Breaker{};
   }
   Bump(counters_.swaps_completed);
@@ -144,7 +156,7 @@ std::future<ServeResponse> ServingEngine::Submit(const ServeRequest& request) {
   }
 
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    common::MutexLock lock(queue_mu_);
     if (stopping_) {
       ServeResponse resp;
       resp.status = Status::ResourceExhausted("serving engine is stopped");
@@ -163,7 +175,7 @@ std::future<ServeResponse> ServingEngine::Submit(const ServeRequest& request) {
     queue_.push_back(
         QueueItem{request, std::move(promise), clock_->NowMicros()});
   }
-  queue_cv_.notify_one();
+  queue_cv_.NotifyOne();
   return future;
 }
 
@@ -182,8 +194,8 @@ void ServingEngine::WorkerLoop() {
   for (;;) {
     QueueItem item;
     {
-      std::unique_lock<std::mutex> lock(queue_mu_);
-      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      common::MutexLock lock(queue_mu_);
+      while (!stopping_ && queue_.empty()) queue_cv_.Wait(queue_mu_);
       if (queue_.empty()) return;  // stopping_ and fully drained
       item = std::move(queue_.front());
       queue_.pop_front();
@@ -329,14 +341,14 @@ ServeResponse ServingEngine::Process(const LadderState& state,
 }
 
 CircuitState ServingEngine::rung_state(size_t i) const {
-  std::lock_guard<std::mutex> lock(breaker_mu_);
+  common::MutexLock lock(breaker_mu_);
   return breakers_[i].state;
 }
 
 bool ServingEngine::AcquireRung(const LadderState& state, size_t i,
                                 uint64_t now_micros) {
   if (i + 1 == state.ladder->num_rungs()) return true;  // floor: always answers
-  std::lock_guard<std::mutex> lock(breaker_mu_);
+  common::MutexLock lock(breaker_mu_);
   Breaker& breaker = breakers_[i];
   switch (breaker.state) {
     case CircuitState::kClosed:
@@ -362,7 +374,7 @@ bool ServingEngine::AcquireRung(const LadderState& state, size_t i,
 
 void ServingEngine::OnRungSuccess(const LadderState& state, size_t i) {
   if (i + 1 == state.ladder->num_rungs()) return;
-  std::lock_guard<std::mutex> lock(breaker_mu_);
+  common::MutexLock lock(breaker_mu_);
   Breaker& breaker = breakers_[i];
   breaker.consecutive_failures = 0;
   if (breaker.state == CircuitState::kHalfOpen) {
@@ -375,7 +387,7 @@ void ServingEngine::OnRungSuccess(const LadderState& state, size_t i) {
 void ServingEngine::OnRungFault(const LadderState& state, size_t i,
                                 uint64_t now_micros) {
   if (i + 1 == state.ladder->num_rungs()) return;
-  std::lock_guard<std::mutex> lock(breaker_mu_);
+  common::MutexLock lock(breaker_mu_);
   Breaker& breaker = breakers_[i];
   ++breaker.consecutive_failures;
   if (breaker.state == CircuitState::kHalfOpen) {

@@ -2,19 +2,19 @@
 #define DNLR_SERVE_ENGINE_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 #include "serve/counters.h"
 #include "serve/deadline.h"
@@ -116,7 +116,8 @@ class ServingEngine {
   /// Enqueues a request. Returns immediately; the future resolves when a
   /// worker answers (or instantly with ResourceExhausted when the queue is
   /// at capacity or the engine is stopped).
-  std::future<ServeResponse> Submit(const ServeRequest& request);
+  std::future<ServeResponse> Submit(const ServeRequest& request)
+      DNLR_EXCLUDES(queue_mu_);
 
   /// Convenience: Submit with a relative budget and block for the answer.
   ServeResponse ScoreSync(const float* docs, uint32_t count, uint32_t stride,
@@ -144,7 +145,8 @@ class ServingEngine {
   /// Safe to call concurrently with scoring from any thread; concurrent
   /// SwapModel calls serialize.
   Status SwapModel(std::shared_ptr<const DegradationLadder> next,
-                   const SwapValidator& validate = nullptr);
+                   const SwapValidator& validate = nullptr)
+      DNLR_EXCLUDES(swap_mu_, breaker_mu_);
 
   /// Generation of the currently published model (1 for the construction
   /// ladder, +1 per completed swap).
@@ -179,11 +181,11 @@ class ServingEngine {
 
   /// Current breaker state of rung `i`. An expired quarantine still reads
   /// kOpen until a request probes it.
-  CircuitState rung_state(size_t i) const;
+  CircuitState rung_state(size_t i) const DNLR_EXCLUDES(breaker_mu_);
 
   /// Stops accepting work, drains already-accepted requests, joins the
   /// workers. Idempotent; also run by the destructor.
-  void Stop();
+  void Stop() DNLR_EXCLUDES(queue_mu_);
 
  private:
   /// One published model generation: the ladder plus everything resolved
@@ -211,19 +213,24 @@ class ServingEngine {
   static std::shared_ptr<const LadderState> BuildState(
       std::shared_ptr<const DegradationLadder> ladder, uint64_t version);
   std::shared_ptr<const LadderState> CurrentState() const {
+    // Acquire pairs with the release store in SwapModel / the constructor:
+    // everything written before publication is visible through the pointer.
     return state_.load(std::memory_order_acquire);
   }
 
-  void WorkerLoop();
+  void WorkerLoop() DNLR_EXCLUDES(queue_mu_);
   ServeResponse Process(const LadderState& state, const ServeRequest& request,
                         uint64_t enqueue_micros);
 
   /// Breaker gate: may this worker try rung `i` right now? Acquiring a
   /// half-open rung claims its single probe slot; every successful acquire
   /// must be resolved by exactly one OnRungSuccess / OnRungFault.
-  bool AcquireRung(const LadderState& state, size_t i, uint64_t now_micros);
-  void OnRungSuccess(const LadderState& state, size_t i);
-  void OnRungFault(const LadderState& state, size_t i, uint64_t now_micros);
+  bool AcquireRung(const LadderState& state, size_t i, uint64_t now_micros)
+      DNLR_EXCLUDES(breaker_mu_);
+  void OnRungSuccess(const LadderState& state, size_t i)
+      DNLR_EXCLUDES(breaker_mu_);
+  void OnRungFault(const LadderState& state, size_t i, uint64_t now_micros)
+      DNLR_EXCLUDES(breaker_mu_);
 
   ServingConfig config_;
   Clock* clock_;
@@ -233,18 +240,18 @@ class ServingEngine {
   /// once per request; SwapModel release-stores the next one.
   std::atomic<std::shared_ptr<const LadderState>> state_;
   /// Serializes writers (SwapModel callers) only; readers never take it.
-  std::mutex swap_mu_;
+  common::Mutex swap_mu_;
 
   obs::Histogram* queue_wait_histogram_ = nullptr;
   obs::Histogram* backoff_histogram_ = nullptr;
 
-  std::mutex queue_mu_;
-  std::condition_variable queue_cv_;
-  std::deque<QueueItem> queue_;
-  bool stopping_ = false;
+  common::Mutex queue_mu_;
+  common::CondVar queue_cv_;
+  std::deque<QueueItem> queue_ DNLR_GUARDED_BY(queue_mu_);
+  bool stopping_ DNLR_GUARDED_BY(queue_mu_) = false;
 
-  mutable std::mutex breaker_mu_;
-  std::vector<Breaker> breakers_;
+  mutable common::Mutex breaker_mu_;
+  std::vector<Breaker> breakers_ DNLR_GUARDED_BY(breaker_mu_);
 
   std::vector<std::thread> workers_;
 };

@@ -25,7 +25,7 @@ FaultInjectingScorer::FaultInjectingScorer(const forest::DocumentScorer* inner,
 
 FaultInjectingScorer::Draw FaultInjectingScorer::NextDraw(
     bool allow_transient) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  common::MutexLock lock(mu_);
   Draw draw;
   const bool transient = rng_.Uniform() < config_.transient_fault_probability;
   draw.transient = transient && allow_transient;
@@ -45,6 +45,9 @@ void FaultInjectingScorer::Poison(float* out, uint32_t count) {
   }
 }
 
+// Relaxed fetch_adds below: the injection tallies are independent
+// statistics read by test assertions after joins; no data is published
+// through them.
 void FaultInjectingScorer::Score(const float* docs, uint32_t count,
                                  uint32_t stride, float* out) const {
   const Draw draw = NextDraw(/*allow_transient=*/false);
@@ -54,6 +57,7 @@ void FaultInjectingScorer::Score(const float* docs, uint32_t count,
   }
   inner_->Score(docs, count, stride, out);
   if (draw.poison && count > 0) {
+    // Relaxed: independent statistic, as above.
     poisoned_.fetch_add(1, std::memory_order_relaxed);
     Poison(out, count);
   }
@@ -61,6 +65,7 @@ void FaultInjectingScorer::Score(const float* docs, uint32_t count,
 
 Status FaultInjectingScorer::TryScore(const float* docs, uint32_t count,
                                       uint32_t stride, float* out) const {
+  // Relaxed tallies, as in Score above: independent statistics only.
   const Draw draw = NextDraw(/*allow_transient=*/true);
   if (draw.spike && config_.spike_micros > 0) {
     spikes_.fetch_add(1, std::memory_order_relaxed);
@@ -72,6 +77,7 @@ Status FaultInjectingScorer::TryScore(const float* docs, uint32_t count,
   }
   inner_->Score(docs, count, stride, out);
   if (draw.poison && count > 0) {
+    // Relaxed: independent statistic, as above.
     poisoned_.fetch_add(1, std::memory_order_relaxed);
     Poison(out, count);
   }

@@ -3,11 +3,12 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 
 #include "common/clock.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/rng.h"
 #include "forest/scorer.h"
 #include "serve/scorer.h"
@@ -61,6 +62,8 @@ class FaultInjectingScorer : public forest::DocumentScorer,
   Status TryScore(const float* docs, uint32_t count, uint32_t stride,
                   float* out) const override;
 
+  // Relaxed loads: injection tallies are independent statistics; tests
+  // read them after thread joins, which already order the writes.
   uint64_t transient_faults_injected() const {
     return transients_.load(std::memory_order_relaxed);
   }
@@ -80,7 +83,7 @@ class FaultInjectingScorer : public forest::DocumentScorer,
 
   /// Advances the fault stream by one batch. Always consumes three uniform
   /// draws so the schedule is independent of which faults are enabled.
-  Draw NextDraw(bool allow_transient) const;
+  Draw NextDraw(bool allow_transient) const DNLR_EXCLUDES(mu_);
 
   /// Overwrites a deterministic subset of `out` with NaN / +Inf / -Inf.
   static void Poison(float* out, uint32_t count);
@@ -90,8 +93,8 @@ class FaultInjectingScorer : public forest::DocumentScorer,
   Clock* clock_;
   std::string name_;
 
-  mutable std::mutex mu_;
-  mutable Rng rng_;
+  mutable common::Mutex mu_;
+  mutable Rng rng_ DNLR_GUARDED_BY(mu_);
   mutable std::atomic<uint64_t> transients_{0};
   mutable std::atomic<uint64_t> spikes_{0};
   mutable std::atomic<uint64_t> poisoned_{0};

@@ -2,10 +2,11 @@
 #define DNLR_SERVE_LATENCY_H_
 
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
 #include "common/check.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace dnlr::serve {
 
@@ -23,21 +24,21 @@ class LatencyRecorder {
   LatencyRecorder(const LatencyRecorder&) = delete;
   LatencyRecorder& operator=(const LatencyRecorder&) = delete;
 
-  void Record(size_t rung, double micros) {
-    std::lock_guard<std::mutex> lock(mu_);
+  void Record(size_t rung, double micros) DNLR_EXCLUDES(mu_) {
+    common::MutexLock lock(mu_);
     DNLR_DCHECK_LT(rung, samples_.size());
     samples_[rung].push_back(micros);
   }
 
   /// Copies of every rung's samples, in record order.
-  std::vector<std::vector<double>> Samples() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::vector<double>> Samples() const DNLR_EXCLUDES(mu_) {
+    common::MutexLock lock(mu_);
     return samples_;
   }
 
  private:
-  mutable std::mutex mu_;
-  std::vector<std::vector<double>> samples_;
+  mutable common::Mutex mu_;
+  std::vector<std::vector<double>> samples_ DNLR_GUARDED_BY(mu_);
 };
 
 /// Nearest-rank percentile (p in [0, 100]) of `samples`; 0 when empty.

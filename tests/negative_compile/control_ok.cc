@@ -1,0 +1,45 @@
+// Positive control for the negative-compile suite: the same shapes as the
+// failing fixtures, written correctly, MUST compile clean under
+// -Werror=thread-safety. If this control fails, the harness flags (include
+// paths, -std, the warning spelling) are broken — which would make the
+// WILL_FAIL fixtures "pass" for the wrong reason.
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Account {
+ public:
+  void Deposit(int amount) DNLR_EXCLUDES(mu_) {
+    dnlr::common::MutexLock lock(mu_);
+    balance_ += amount;
+  }
+
+  int balance() DNLR_EXCLUDES(mu_) {
+    dnlr::common::MutexLock lock(mu_);
+    return balance_;
+  }
+
+ private:
+  dnlr::common::Mutex mu_;
+  int balance_ DNLR_GUARDED_BY(mu_) = 0;
+};
+
+dnlr::common::Mutex g_mu;
+int g_value DNLR_GUARDED_BY(g_mu) = 0;
+
+int ReadBalanced() {
+  g_mu.Lock();
+  const int value = g_value;
+  g_mu.Unlock();
+  return value;
+}
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.Deposit(1);
+  return account.balance() + ReadBalanced();
+}

@@ -1,0 +1,31 @@
+// Negative-compile fixture: MUST NOT compile under Clang with
+// -Werror=thread-safety (registered with WILL_FAIL in CMake).
+//
+// A member annotated DNLR_GUARDED_BY is written without holding its mutex.
+// If this file ever starts compiling, the thread-safety annotations have
+// silently stopped rejecting unguarded access — the exact regression the
+// negative-compile suite exists to catch.
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Account {
+ public:
+  void Deposit(int amount) {
+    balance_ += amount;  // BAD: mu_ not held
+  }
+
+ private:
+  dnlr::common::Mutex mu_;
+  int balance_ DNLR_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.Deposit(1);
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Negative-compile fixture: MUST NOT compile under Clang with
+// -Werror=thread-safety (registered with WILL_FAIL in CMake).
+//
+// A capability is acquired manually and never released before the function
+// returns. The analysis rejects scopes that leak a held lock — the bug
+// class behind "one early return skipped the unlock" deadlocks.
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace {
+
+dnlr::common::Mutex g_mu;
+int g_value DNLR_GUARDED_BY(g_mu) = 0;
+
+int ReadLeakingLock() {
+  g_mu.Lock();
+  return g_value;  // BAD: returns with g_mu still held
+}
+
+}  // namespace
+
+int main() { return ReadLeakingLock(); }
