@@ -54,6 +54,7 @@ class AlignedBuffer {
       // by std::aligned_alloc.
       size_t bytes = count * sizeof(float);
       bytes = (bytes + kSimdAlignment - 1) / kSimdAlignment * kSimdAlignment;
+      // NOLINTNEXTLINE(dnlr-raw-alloc): this class IS the RAII wrapper; SIMD kernels need 64-byte alignment
       data_ = static_cast<float*>(std::aligned_alloc(kSimdAlignment, bytes));
       DNLR_CHECK(data_ != nullptr) << "aligned_alloc failed for" << bytes;
       capacity_ = count;
@@ -78,6 +79,7 @@ class AlignedBuffer {
 
  private:
   void Free() {
+    // NOLINTNEXTLINE(dnlr-raw-alloc): pairs with the aligned_alloc in Resize; owned by this class
     std::free(data_);
     data_ = nullptr;
     count_ = 0;

@@ -34,6 +34,8 @@ class FakeClock : public Clock {
  public:
   explicit FakeClock(uint64_t start_micros = 0) : now_(start_micros) {}
 
+  // Relaxed ordering: the fake time is a monotonic counter and carries no
+  // other data; tests that need ordering synchronize via their own joins.
   uint64_t NowMicros() const override {
     return now_.load(std::memory_order_relaxed);
   }

@@ -48,10 +48,12 @@ Status AtomicWriteFile(const std::string& path, std::string_view contents,
                        const AtomicWriteOptions& options) {
   // Unique temp name next to the destination so the rename never crosses a
   // filesystem boundary (rename(2) is only atomic within one filesystem).
-  // The counter disambiguates concurrent writers of the same path.
+  // The counter disambiguates concurrent writers of the same path. Relaxed
+  // ordering: only uniqueness matters, not the order in which IDs hand out.
   static std::atomic<uint64_t> counter{0};
   const std::string tmp_path =
-      path + ".tmp." + std::to_string(counter.fetch_add(1));
+      path + ".tmp." +
+      std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
 
   errno = 0;
   std::FILE* file = std::fopen(tmp_path.c_str(), "wb");

@@ -33,8 +33,9 @@ const char* StatusCodeName(StatusCode code);
 
 /// Lightweight status object in the style of absl::Status / arrow::Status.
 /// Functions that can fail for reasons outside the programmer's control
-/// return a Status (or a Result<T>) instead of throwing.
-class Status {
+/// return a Status (or a Result<T>) instead of throwing. [[nodiscard]] so a
+/// silently dropped error is a compile-time warning at every call site.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -87,13 +88,16 @@ class Status {
 
 /// Value-or-error wrapper in the style of absl::StatusOr. A Result holds
 /// either a T (when ok()) or a non-OK Status describing the failure.
+/// [[nodiscard]] so a dropped Result (and thus a dropped error) warns.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from value: `return value;` in a Result-returning function.
-  Result(T value) : data_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  // NOLINTNEXTLINE(google-explicit-constructor): value-to-Result implicit conversion is the API
+  Result(T value) : data_(std::move(value)) {}
   /// Implicit from error: `return Status::IoError(...);`.
-  Result(Status status) : data_(std::move(status)) {  // NOLINT
+  // NOLINTNEXTLINE(google-explicit-constructor): Status-to-Result implicit conversion is the API
+  Result(Status status) : data_(std::move(status)) {
     DNLR_CHECK(!std::get<Status>(data_).ok())
         << "Result constructed from OK status without a value";
   }

@@ -54,6 +54,8 @@ void CascadeScorer::Score(const float* docs, uint32_t count, uint32_t stride,
   if (keep >= count) {
     second_stage_->Score(docs, count, stride, out);
     sanitized += SanitizeScores(out, count);
+    // Relaxed ordering: both members are standalone statistics read by
+    // monitoring; they publish no other data and need no synchronization.
     if (sanitized > 0) {
       sanitized_.fetch_add(sanitized, std::memory_order_relaxed);
     }
@@ -76,6 +78,7 @@ void CascadeScorer::Score(const float* docs, uint32_t count, uint32_t stride,
   std::vector<float> rescored(keep);
   second_stage_->Score(gathered.data(), keep, stride, rescored.data());
   sanitized += SanitizeScores(rescored.data(), keep);
+  // Relaxed ordering: monotonic statistic; no other data hangs off it.
   if (sanitized > 0) {
     sanitized_.fetch_add(sanitized, std::memory_order_relaxed);
   }
@@ -97,6 +100,7 @@ void CascadeScorer::Score(const float* docs, uint32_t count, uint32_t stride,
   for (uint32_t r = 0; r < keep; ++r) {
     out[order[r]] = rescored[r] + shift;
   }
+  // Relaxed ordering: standalone statistic; readers tolerate staleness.
   last_rescored_fraction_.store(static_cast<double>(keep) / count,
                                 std::memory_order_relaxed);
 }
@@ -112,6 +116,7 @@ std::vector<float> CascadeScorer::ScoreQueries(
           scores.data() + begin);
     rescored += last_rescored_fraction() * size;
   }
+  // Relaxed ordering: standalone statistic; readers tolerate staleness.
   last_rescored_fraction_.store(
       dataset.num_docs() > 0 ? rescored / dataset.num_docs() : 0.0,
       std::memory_order_relaxed);

@@ -49,12 +49,14 @@ class CascadeScorer : public forest::DocumentScorer {
   std::vector<float> ScoreQueries(const data::Dataset& dataset) const;
 
   /// Fraction of documents the expensive stage actually scored in the last
-  /// ScoreQueries call.
+  /// ScoreQueries call. Relaxed ordering: standalone statistic, no other
+  /// data is published through it.
   double last_rescored_fraction() const {
     return last_rescored_fraction_.load(std::memory_order_relaxed);
   }
 
   /// Total number of non-finite stage scores replaced since construction.
+  /// Relaxed ordering: monotonic statistic; readers tolerate staleness.
   uint64_t sanitized_count() const {
     return sanitized_.load(std::memory_order_relaxed);
   }

@@ -168,7 +168,7 @@ void RunMacroBlock(const Matrix& a, Matrix* c, const GemmParams& params,
         MicroKernelScalar(kb, mr, nr, a_panel, b_panel, tile);
       }
 #else
-      (void)use_simd;
+      (void)use_simd;  // no SIMD kernel compiled in; flag has no effect here
       std::memset(tile, 0, sizeof(float) * mr * nr);
       MicroKernelScalar(kb, mr, nr, a_panel, b_panel, tile);
 #endif

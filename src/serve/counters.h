@@ -40,29 +40,33 @@ class ServeCounters {
   ServeCounters& operator=(const ServeCounters&) = delete;
 
   ServeCountersSnapshot Snapshot() const {
+    // Relaxed loads throughout: every counter is an independent statistic
+    // and the snapshot is per-counter (not cross-counter) consistent —
+    // exactly what the stats endpoints and tests expect.
+    const auto read = [](const std::atomic<uint64_t>& c) {
+      return c.load(std::memory_order_relaxed);
+    };
     ServeCountersSnapshot snap;
-    snap.submitted = submitted.load(std::memory_order_relaxed);
-    snap.ok = ok.load(std::memory_order_relaxed);
-    snap.shed_queue_full = shed_queue_full.load(std::memory_order_relaxed);
-    snap.shed_deadline = shed_deadline.load(std::memory_order_relaxed);
-    snap.deadline_exceeded =
-        deadline_exceeded.load(std::memory_order_relaxed);
-    snap.failed = failed.load(std::memory_order_relaxed);
-    snap.degraded = degraded.load(std::memory_order_relaxed);
-    snap.retries = retries.load(std::memory_order_relaxed);
-    snap.transient_faults = transient_faults.load(std::memory_order_relaxed);
-    snap.timeouts = timeouts.load(std::memory_order_relaxed);
-    snap.non_finite_batches =
-        non_finite_batches.load(std::memory_order_relaxed);
-    snap.circuit_opens = circuit_opens.load(std::memory_order_relaxed);
-    snap.circuit_closes = circuit_closes.load(std::memory_order_relaxed);
-    snap.circuit_probes = circuit_probes.load(std::memory_order_relaxed);
-    snap.swaps_attempted = swaps_attempted.load(std::memory_order_relaxed);
-    snap.swaps_completed = swaps_completed.load(std::memory_order_relaxed);
-    snap.swaps_rejected = swaps_rejected.load(std::memory_order_relaxed);
+    snap.submitted = read(submitted);
+    snap.ok = read(ok);
+    snap.shed_queue_full = read(shed_queue_full);
+    snap.shed_deadline = read(shed_deadline);
+    snap.deadline_exceeded = read(deadline_exceeded);
+    snap.failed = read(failed);
+    snap.degraded = read(degraded);
+    snap.retries = read(retries);
+    snap.transient_faults = read(transient_faults);
+    snap.timeouts = read(timeouts);
+    snap.non_finite_batches = read(non_finite_batches);
+    snap.circuit_opens = read(circuit_opens);
+    snap.circuit_closes = read(circuit_closes);
+    snap.circuit_probes = read(circuit_probes);
+    snap.swaps_attempted = read(swaps_attempted);
+    snap.swaps_completed = read(swaps_completed);
+    snap.swaps_rejected = read(swaps_rejected);
     snap.served_by_rung.reserve(served_by_rung.size());
     for (const auto& c : served_by_rung) {
-      snap.served_by_rung.push_back(c.load(std::memory_order_relaxed));
+      snap.served_by_rung.push_back(read(c));
     }
     return snap;
   }

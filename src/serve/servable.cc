@@ -16,7 +16,7 @@ namespace dnlr::serve {
 
 Result<std::unique_ptr<Servable>> Servable::FromBundle(
     const bundle::ModelBundle& bundle, const ServableOptions& options) {
-  // Not make_unique: the constructor is private.
+  // NOLINTNEXTLINE(dnlr-raw-alloc): private ctor blocks make_unique; unique_ptr takes ownership immediately
   std::unique_ptr<Servable> servable(new Servable());
   Status status = servable->Build(bundle, options);
   if (!status.ok()) return status;
