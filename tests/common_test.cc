@@ -203,8 +203,11 @@ TEST(StringUtilTest, FormatFixed) {
 
 TEST(TimerTest, MeasuresElapsedTime) {
   Timer timer;
-  volatile double sink = 0.0;
-  for (int i = 0; i < 100000; ++i) sink += std::sqrt(static_cast<double>(i));
+  // Plain accumulator + volatile store: compound assignment on a volatile
+  // lvalue is deprecated in C++20.
+  double acc = 0.0;
+  for (int i = 0; i < 100000; ++i) acc += std::sqrt(static_cast<double>(i));
+  volatile double sink = acc;
   EXPECT_GT(timer.ElapsedMicros(), 0.0);
   EXPECT_GT(sink, 0.0);
 }

@@ -22,9 +22,9 @@ using data::SyntheticConfig;
 RegressionTree HandBuiltTree() {
   // Structure:
   //        n0 (f0 <= 1.0)
-  //       /              \
+  //       /              |
   //   leaf(10)        n1 (f1 <= 2.0)
-  //                   /            \
+  //                   /            |
   //               leaf(20)      leaf(30)
   std::vector<TreeNode> nodes(2);
   nodes[0] = {0, 1.0f, TreeNode::EncodeLeaf(0), 1};
