@@ -11,6 +11,12 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Static analysis first: the lint layer needs no build at all, so style and
+# concurrency-hygiene findings fail the run in seconds, before any compile.
+# clang-tidy and the -Wthread-safety build run when their toolchain is
+# installed and skip with a notice when it is not (see scripts/tidy.sh).
+scripts/tidy.sh
+
 scripts/check.sh release asan-ubsan
 
 # The tsan preset is gated to the threaded label: TSan only pays off on
@@ -75,5 +81,5 @@ for preset in asan-ubsan tsan; do
   fi
 done
 [ "${fail}" -eq 0 ] || exit 1
-echo "ci.sh: release + asan-ubsan + tsan(threaded) + scaling smoke +" \
-     "bundle verify/reload gates green, no sanitizer reports"
+echo "ci.sh: static analysis + release + asan-ubsan + tsan(threaded) +" \
+     "scaling smoke + bundle verify/reload gates green, no sanitizer reports"
