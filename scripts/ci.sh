@@ -70,6 +70,20 @@ out/release/tools/dnlr_cli bundle verify --in out/ci_model.bundle >/dev/null
 out/release/tools/dnlr_cli serve-bench --reload-every 25 --requests 100 \
   --out out/serve_reload_ci.json >/dev/null
 
+# Sharded multi-tenant isolation soak: 4 fault-injected shards, 8 tenants,
+# tenant 0 hammering a tight quota, and one shard taken through a
+# correlated-burst outage (shipped and rolled back via model swap).
+# serve-bench --shards exits non-zero unless the isolation SLO holds: the
+# abusive tenant is quota-rejected at its configured rate, every other
+# tenant's p99 and error rate stay within budget, the faulted shard
+# quarantines and is probe-readmitted, and no swap fails. The router's
+# deterministic lifecycle walk and the multi-threaded isolation gtest run
+# under tsan above (router_test carries the `threaded` label).
+echo "==== [serve-bench] sharded multi-tenant isolation soak gate"
+out/release/tools/dnlr_cli serve-bench --shards 4 --tenants 8 \
+  --abusive-tenant 0 --soak-ms 2000 \
+  --out out/serve_shard_ci.json >/dev/null
+
 fail=0
 for preset in asan-ubsan tsan; do
   log="out/${preset}/Testing/Temporary/LastTest.log"
@@ -82,4 +96,5 @@ for preset in asan-ubsan tsan; do
 done
 [ "${fail}" -eq 0 ] || exit 1
 echo "ci.sh: static analysis + release + asan-ubsan + tsan(threaded) +" \
-     "scaling smoke + bundle verify/reload gates green, no sanitizer reports"
+     "scaling smoke + bundle verify/reload + tenant-isolation soak gates" \
+     "green, no sanitizer reports"

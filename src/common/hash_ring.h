@@ -1,0 +1,116 @@
+#ifndef DNLR_COMMON_HASH_RING_H_
+#define DNLR_COMMON_HASH_RING_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
+namespace dnlr::common {
+
+/// Consistent-hash ring mapping 64-bit keys (tenant / query ids) onto shard
+/// ids. Each shard contributes `replicas` virtual points hashed around a
+/// 2^64 ring; a key belongs to the first point at or after its own hash
+/// (wrapping). The property the router leans on: removing one shard remaps
+/// ONLY the keys that shard owned — every other key keeps its shard, so a
+/// quarantine or scale-down never reshuffles healthy tenants' cache and
+/// model-generation locality.
+///
+/// Membership is mutated at configuration time only and the ring is
+/// read-only on the dispatch path, so the class is deliberately not
+/// synchronized: the owner publishes it before serving starts (the router
+/// handles per-request health routing on top, without touching membership).
+class HashRing {
+ public:
+  explicit HashRing(uint32_t replicas = 64) : replicas_(replicas) {
+    DNLR_CHECK_GE(replicas_, 1u);
+  }
+
+  /// Adds `shard`'s virtual points. Adding a shard twice is an error.
+  void AddShard(uint32_t shard) {
+    DNLR_DCHECK(!HasShard(shard));
+    points_.reserve(points_.size() + replicas_);
+    for (uint32_t r = 0; r < replicas_; ++r) {
+      points_.emplace_back(PointHash(shard, r), shard);
+    }
+    std::sort(points_.begin(), points_.end());
+    shards_.push_back(shard);
+    std::sort(shards_.begin(), shards_.end());
+  }
+
+  /// Removes `shard`'s virtual points; keys it owned drain to their ring
+  /// successors, everyone else is untouched.
+  void RemoveShard(uint32_t shard) {
+    points_.erase(std::remove_if(points_.begin(), points_.end(),
+                                 [shard](const auto& p) {
+                                   return p.second == shard;
+                                 }),
+                  points_.end());
+    shards_.erase(std::remove(shards_.begin(), shards_.end(), shard),
+                  shards_.end());
+  }
+
+  bool HasShard(uint32_t shard) const {
+    return std::find(shards_.begin(), shards_.end(), shard) != shards_.end();
+  }
+  size_t num_shards() const { return shards_.size(); }
+  const std::vector<uint32_t>& shards() const { return shards_; }
+
+  /// Primary owner of `key`. The ring must be non-empty.
+  uint32_t ShardFor(uint64_t key) const {
+    DNLR_CHECK(!points_.empty());
+    return points_[FirstPointAtOrAfter(Mix(key))].second;
+  }
+
+  /// Every distinct shard in ring order starting from `key`'s owner — the
+  /// failover preference list: index 0 is the primary, index 1 the shard
+  /// that inherits the key if the primary is quarantined, and so on.
+  std::vector<uint32_t> PreferenceOrder(uint64_t key) const {
+    std::vector<uint32_t> order;
+    if (points_.empty()) return order;
+    order.reserve(shards_.size());
+    const size_t start = FirstPointAtOrAfter(Mix(key));
+    for (size_t i = 0; i < points_.size() && order.size() < shards_.size();
+         ++i) {
+      const uint32_t shard = points_[(start + i) % points_.size()].second;
+      if (std::find(order.begin(), order.end(), shard) == order.end()) {
+        order.push_back(shard);
+      }
+    }
+    return order;
+  }
+
+  /// SplitMix64 finalizer: the avalanche step that turns sequential ids
+  /// (tenant 0, 1, 2, ...) into uniformly spread ring positions.
+  static uint64_t Mix(uint64_t x) {
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+  }
+
+ private:
+  static uint64_t PointHash(uint32_t shard, uint32_t replica) {
+    // Two dependent mixes decorrelate (shard, replica) pairs; a single
+    // linear combination would stripe replicas of adjacent shards.
+    return Mix(Mix(static_cast<uint64_t>(shard) << 32 | replica));
+  }
+
+  size_t FirstPointAtOrAfter(uint64_t hash) const {
+    const auto it = std::lower_bound(
+        points_.begin(), points_.end(), hash,
+        [](const auto& p, uint64_t h) { return p.first < h; });
+    return it == points_.end() ? 0 : static_cast<size_t>(it - points_.begin());
+  }
+
+  uint32_t replicas_;
+  /// Sorted by point hash; parallel `shards_` stays sorted by shard id.
+  std::vector<std::pair<uint64_t, uint32_t>> points_;
+  std::vector<uint32_t> shards_;
+};
+
+}  // namespace dnlr::common
+
+#endif  // DNLR_COMMON_HASH_RING_H_

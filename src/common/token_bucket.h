@@ -1,0 +1,91 @@
+#ifndef DNLR_COMMON_TOKEN_BUCKET_H_
+#define DNLR_COMMON_TOKEN_BUCKET_H_
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/check.h"
+#include "common/clock.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace dnlr::common {
+
+/// Classic token-bucket rate limiter over the pluggable Clock: the bucket
+/// refills continuously at `tokens_per_second` up to a capacity of `burst`
+/// tokens, and an acquire succeeds only when a whole token's worth of
+/// allowance is available. The invariant callers lean on (and the property
+/// test asserts): over ANY interval [t0, t1], no interleaving of TryAcquire
+/// calls is admitted more than burst + tokens_per_second * (t1 - t0)
+/// requests — the bound that makes per-tenant admission control mean
+/// something even when a tenant floods the router from many threads.
+///
+/// Refill happens lazily inside TryAcquire from the clock, so there is no
+/// background thread; a FakeClock makes every admission decision
+/// deterministic in (call order, fake time).
+///
+/// Thread-safe; the bucket state is serialized under one mutex (admission
+/// is a cold decision next to scoring a batch of documents).
+class TokenBucket {
+ public:
+  /// `tokens_per_second` > 0; `burst` >= 1 (a bucket that can never hold a
+  /// whole token would never admit anything). Starts full: a fresh tenant
+  /// gets its burst allowance immediately.
+  TokenBucket(double tokens_per_second, double burst, Clock* clock)
+      : rate_(tokens_per_second), burst_(burst), clock_(clock) {
+    DNLR_CHECK(clock_ != nullptr);
+    DNLR_CHECK_GT(rate_, 0.0);
+    DNLR_CHECK_GE(burst_, 1.0);
+    common::MutexLock lock(mu_);
+    tokens_ = burst_;
+    last_refill_micros_ = clock_->NowMicros();
+  }
+
+  TokenBucket(const TokenBucket&) = delete;
+  TokenBucket& operator=(const TokenBucket&) = delete;
+
+  /// Admits and consumes `tokens` when available, else rejects without
+  /// consuming anything (no partial debits, no debt).
+  bool TryAcquire(double tokens = 1.0) DNLR_EXCLUDES(mu_) {
+    DNLR_DCHECK_GT(tokens, 0.0);
+    common::MutexLock lock(mu_);
+    RefillLocked();
+    if (tokens_ + 1e-9 < tokens) return false;
+    tokens_ -= tokens;
+    return true;
+  }
+
+  /// Tokens available right now (refilled to the clock first). A
+  /// diagnostic, not an admission promise: another thread may spend the
+  /// allowance between this read and a TryAcquire.
+  double AvailableTokens() const DNLR_EXCLUDES(mu_) {
+    common::MutexLock lock(mu_);
+    RefillLocked();
+    return tokens_;
+  }
+
+  double tokens_per_second() const { return rate_; }
+  double burst() const { return burst_; }
+
+ private:
+  void RefillLocked() const DNLR_REQUIRES(mu_) {
+    const uint64_t now = clock_->NowMicros();
+    if (now <= last_refill_micros_) return;  // monotonic clock, but be safe
+    const double elapsed_seconds =
+        static_cast<double>(now - last_refill_micros_) * 1e-6;
+    tokens_ = std::min(burst_, tokens_ + rate_ * elapsed_seconds);
+    last_refill_micros_ = now;
+  }
+
+  const double rate_;
+  const double burst_;
+  Clock* const clock_;
+
+  mutable common::Mutex mu_;
+  mutable double tokens_ DNLR_GUARDED_BY(mu_) = 0.0;
+  mutable uint64_t last_refill_micros_ DNLR_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace dnlr::common
+
+#endif  // DNLR_COMMON_TOKEN_BUCKET_H_

@@ -12,6 +12,7 @@ struct ServeCountersSnapshot {
   uint64_t submitted = 0;
   uint64_t ok = 0;
   uint64_t shed_queue_full = 0;      // rejected at Submit: queue at capacity
+  uint64_t shed_stopped = 0;         // rejected at Submit: engine stopped
   uint64_t shed_deadline = 0;        // rejected unstarted: deadline hopeless
   uint64_t deadline_exceeded = 0;    // started but ran out of budget
   uint64_t failed = 0;               // every available rung faulted
@@ -50,6 +51,7 @@ class ServeCounters {
     snap.submitted = read(submitted);
     snap.ok = read(ok);
     snap.shed_queue_full = read(shed_queue_full);
+    snap.shed_stopped = read(shed_stopped);
     snap.shed_deadline = read(shed_deadline);
     snap.deadline_exceeded = read(deadline_exceeded);
     snap.failed = read(failed);
@@ -73,7 +75,12 @@ class ServeCounters {
 
   std::atomic<uint64_t> submitted{0};
   std::atomic<uint64_t> ok{0};
+  /// Sheds are tagged by cause on purpose: a full queue is a saturation
+  /// signal (back off, fail over, keep probing), a stopped engine is a
+  /// shutdown signal (stop routing here entirely) — the router's shard
+  /// health score must not confuse the two.
   std::atomic<uint64_t> shed_queue_full{0};
+  std::atomic<uint64_t> shed_stopped{0};
   std::atomic<uint64_t> shed_deadline{0};
   std::atomic<uint64_t> deadline_exceeded{0};
   std::atomic<uint64_t> failed{0};

@@ -158,6 +158,7 @@ std::future<ServeResponse> ServingEngine::Submit(const ServeRequest& request) {
   {
     common::MutexLock lock(queue_mu_);
     if (stopping_) {
+      Bump(counters_.shed_stopped);
       ServeResponse resp;
       resp.status = Status::ResourceExhausted("serving engine is stopped");
       promise.set_value(std::move(resp));
@@ -338,6 +339,16 @@ ServeResponse ServingEngine::Process(const LadderState& state,
         "no rung available within the remaining budget");
   }
   return resp;
+}
+
+size_t ServingEngine::queue_depth() const {
+  common::MutexLock lock(queue_mu_);
+  return queue_.size();
+}
+
+bool ServingEngine::accepting() const {
+  common::MutexLock lock(queue_mu_);
+  return !stopping_;
 }
 
 CircuitState ServingEngine::rung_state(size_t i) const {

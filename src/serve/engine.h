@@ -183,6 +183,16 @@ class ServingEngine {
   /// kOpen until a request probes it.
   CircuitState rung_state(size_t i) const DNLR_EXCLUDES(breaker_mu_);
 
+  /// Requests waiting for a worker right now — the saturation input of the
+  /// router's shard health score (depth / queue_capacity). A point-in-time
+  /// read: the queue may change before the caller acts on it.
+  size_t queue_depth() const DNLR_EXCLUDES(queue_mu_);
+
+  /// False once Stop() has begun: every further Submit sheds with
+  /// shed_stopped. The router reads this to tell a dead shard (stop routing
+  /// to it) from a merely saturated one (drain and probe it).
+  bool accepting() const DNLR_EXCLUDES(queue_mu_);
+
   /// Stops accepting work, drains already-accepted requests, joins the
   /// workers. Idempotent; also run by the destructor.
   void Stop() DNLR_EXCLUDES(queue_mu_);
@@ -245,7 +255,7 @@ class ServingEngine {
   obs::Histogram* queue_wait_histogram_ = nullptr;
   obs::Histogram* backoff_histogram_ = nullptr;
 
-  common::Mutex queue_mu_;
+  mutable common::Mutex queue_mu_;
   common::CondVar queue_cv_;
   std::deque<QueueItem> queue_ DNLR_GUARDED_BY(queue_mu_);
   bool stopping_ DNLR_GUARDED_BY(queue_mu_) = false;

@@ -5,12 +5,56 @@
 
 namespace dnlr::serve {
 
+FaultBurstState::FaultBurstState(double trigger_probability, uint32_t length,
+                                 uint64_t seed)
+    : trigger_probability_(trigger_probability),
+      length_(length),
+      rng_(seed) {
+  DNLR_CHECK_GE(trigger_probability_, 0.0);
+  DNLR_CHECK_LE(trigger_probability_, 1.0);
+  if (trigger_probability_ > 0.0) DNLR_CHECK_GE(length_, 1u);
+}
+
+bool FaultBurstState::Tick() {
+  common::MutexLock lock(mu_);
+  if (remaining_ > 0) {
+    --remaining_;
+    return true;
+  }
+  if (trigger_probability_ <= 0.0) return false;
+  if (rng_.Uniform() < trigger_probability_) {
+    // This batch plus length - 1 followers: exactly `length` consecutive
+    // burst batches per trigger (no re-rolls mid-burst).
+    remaining_ = length_ - 1;
+    // Relaxed: independent statistic (see bursts_triggered).
+    triggered_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
 FaultInjectingScorer::FaultInjectingScorer(const forest::DocumentScorer* inner,
                                            FaultInjectionConfig config,
                                            Clock* clock)
+    : FaultInjectingScorer(
+          inner, config,
+          config.burst_trigger_probability > 0.0
+              ? std::make_shared<FaultBurstState>(
+                    config.burst_trigger_probability, config.burst_length,
+                    // Decorrelate the burst stream from the i.i.d. stream:
+                    // both are seeded from config.seed, so one seed still
+                    // reproduces the whole schedule.
+                    config.seed ^ 0xB0B5'7B0B'57B0'B57Bull)
+              : nullptr,
+          clock) {}
+
+FaultInjectingScorer::FaultInjectingScorer(
+    const forest::DocumentScorer* inner, FaultInjectionConfig config,
+    std::shared_ptr<FaultBurstState> burst, Clock* clock)
     : inner_(inner),
       config_(config),
       clock_(clock),
+      burst_(std::move(burst)),
       rng_(config.seed) {
   DNLR_CHECK(inner_ != nullptr);
   DNLR_CHECK(clock_ != nullptr);
@@ -25,12 +69,23 @@ FaultInjectingScorer::FaultInjectingScorer(const forest::DocumentScorer* inner,
 
 FaultInjectingScorer::Draw FaultInjectingScorer::NextDraw(
     bool allow_transient) const {
-  common::MutexLock lock(mu_);
   Draw draw;
-  const bool transient = rng_.Uniform() < config_.transient_fault_probability;
-  draw.transient = transient && allow_transient;
-  draw.spike = rng_.Uniform() < config_.latency_spike_probability;
-  draw.poison = rng_.Uniform() < config_.non_finite_probability;
+  {
+    common::MutexLock lock(mu_);
+    const bool transient =
+        rng_.Uniform() < config_.transient_fault_probability;
+    draw.transient = transient && allow_transient;
+    draw.spike = rng_.Uniform() < config_.latency_spike_probability;
+    draw.poison = rng_.Uniform() < config_.non_finite_probability;
+  }
+  // The burst stream is consulted after (and independently of) the three
+  // i.i.d. draws, so enabling bursts does not shift the i.i.d. schedule.
+  if (burst_ != nullptr && burst_->Tick()) {
+    // Relaxed: independent statistic, as the other tallies.
+    burst_batches_.fetch_add(1, std::memory_order_relaxed);
+    draw.transient = allow_transient;
+    draw.spike = draw.spike || config_.spike_micros > 0;
+  }
   return draw;
 }
 

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 
@@ -31,7 +32,52 @@ struct FaultInjectionConfig {
   /// Outputs are poisoned with NaN / +Inf / -Inf after scoring. Models a
   /// numerically misbehaving model (overflowed logits, corrupt weights).
   double non_finite_probability = 0.0;
+  /// Correlated-outage mode: when not already mid-burst, each batch rolls
+  /// this trigger probability; on a hit, that batch and the following
+  /// burst_length - 1 batches are all burst batches — the fallible path
+  /// fails transiently and (when spike_micros > 0) both paths sleep the
+  /// spike first. Real outages (a wedged worker, a reloading replica, a
+  /// network partition) arrive as windows, not i.i.d. coin flips; soak runs
+  /// enable this so quarantine logic is tested against the shape it will
+  /// actually see. 0 disables bursts.
+  double burst_trigger_probability = 0.0;
+  uint32_t burst_length = 0;
   uint64_t seed = 42;
+};
+
+/// One outage domain's burst schedule, shareable across several
+/// FaultInjectingScorer instances: injectors wrapping every rung of one
+/// shard share a FaultBurstState so a triggered outage takes the whole
+/// shard down at once (the condition shard-level quarantine exists for),
+/// instead of each rung failing on its own uncorrelated schedule.
+///
+/// Thread-safe; with a single caller the schedule is a pure function of
+/// (seed, Tick call count).
+class FaultBurstState {
+ public:
+  /// `trigger_probability` in [0, 1]; `length` >= 1 when the probability
+  /// is nonzero.
+  FaultBurstState(double trigger_probability, uint32_t length, uint64_t seed);
+
+  /// Advances the schedule by one batch; true when that batch is inside a
+  /// burst. While a burst runs no new trigger is rolled, so each trigger
+  /// yields exactly `length` consecutive burst batches.
+  bool Tick() DNLR_EXCLUDES(mu_);
+
+  // Relaxed load: the trigger tally is an independent statistic read by
+  // tests after the calls that bumped it.
+  uint64_t bursts_triggered() const {
+    return triggered_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const double trigger_probability_;
+  const uint32_t length_;
+
+  mutable common::Mutex mu_;
+  Rng rng_ DNLR_GUARDED_BY(mu_);
+  uint32_t remaining_ DNLR_GUARDED_BY(mu_) = 0;
+  std::atomic<uint64_t> triggered_{0};
 };
 
 /// Decorator that makes a healthy scorer misbehave on demand — the fault
@@ -46,9 +92,19 @@ class FaultInjectingScorer : public forest::DocumentScorer,
                              public FallibleScorer {
  public:
   /// Does not own `inner`. `clock` defaults to the real clock; tests pass a
-  /// FakeClock so spikes advance fake time instead of sleeping.
+  /// FakeClock so spikes advance fake time instead of sleeping. With
+  /// burst_trigger_probability > 0 the injector owns a private
+  /// FaultBurstState seeded from config.seed.
   FaultInjectingScorer(const forest::DocumentScorer* inner,
                        FaultInjectionConfig config,
+                       Clock* clock = Clock::Real());
+
+  /// Same, but bursts follow the shared schedule `burst` (may be shared by
+  /// the injectors of every rung of one shard — one outage domain). The
+  /// config's own burst fields are ignored in favour of the shared state.
+  FaultInjectingScorer(const forest::DocumentScorer* inner,
+                       FaultInjectionConfig config,
+                       std::shared_ptr<FaultBurstState> burst,
                        Clock* clock = Clock::Real());
 
   /// Satisfies both base interfaces.
@@ -73,6 +129,15 @@ class FaultInjectingScorer : public forest::DocumentScorer,
   uint64_t batches_poisoned() const {
     return poisoned_.load(std::memory_order_relaxed);
   }
+  uint64_t burst_batches_injected() const {
+    // Relaxed: independent statistic, as the tallies above.
+    return burst_batches_.load(std::memory_order_relaxed);
+  }
+
+  /// The burst schedule this injector consults (null when bursts are off).
+  const std::shared_ptr<FaultBurstState>& burst_state() const {
+    return burst_;
+  }
 
  private:
   struct Draw {
@@ -92,12 +157,14 @@ class FaultInjectingScorer : public forest::DocumentScorer,
   FaultInjectionConfig config_;
   Clock* clock_;
   std::string name_;
+  std::shared_ptr<FaultBurstState> burst_;
 
   mutable common::Mutex mu_;
   mutable Rng rng_ DNLR_GUARDED_BY(mu_);
   mutable std::atomic<uint64_t> transients_{0};
   mutable std::atomic<uint64_t> spikes_{0};
   mutable std::atomic<uint64_t> poisoned_{0};
+  mutable std::atomic<uint64_t> burst_batches_{0};
 };
 
 }  // namespace dnlr::serve

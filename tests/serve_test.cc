@@ -240,6 +240,129 @@ TEST(FaultInjectionTest, SpikeAdvancesClock) {
   EXPECT_EQ(faulty.spikes_injected(), 1u);
 }
 
+TEST(FaultInjectionTest, BurstModeIsSeededAndRunsExactLengths) {
+  const std::vector<float> docs = MakeDocs();
+  std::vector<float> out(kDocs);
+  ConstantScorer inner(1.0f);
+  FaultInjectionConfig config;
+  config.burst_trigger_probability = 0.05;
+  config.burst_length = 7;
+  config.seed = 123;
+
+  auto run = [&](FakeClock* clock, uint64_t* burst_batches) {
+    FaultInjectingScorer faulty(&inner, config, clock);
+    std::vector<bool> fails;
+    for (int i = 0; i < 400; ++i) {
+      fails.push_back(
+          !faulty.TryScore(docs.data(), kDocs, kStride, out.data()).ok());
+    }
+    *burst_batches = faulty.burst_batches_injected();
+    return fails;
+  };
+
+  FakeClock clock_a, clock_b;
+  uint64_t bursts_a = 0, bursts_b = 0;
+  const std::vector<bool> fails_a = run(&clock_a, &bursts_a);
+  const std::vector<bool> fails_b = run(&clock_b, &bursts_b);
+  EXPECT_EQ(fails_a, fails_b);  // one seed reproduces the outage schedule
+  EXPECT_EQ(bursts_a, bursts_b);
+  EXPECT_GT(bursts_a, 0u);
+
+  // With no i.i.d. faults configured, every failure is a burst batch and
+  // every maximal failure run is a whole number of back-to-back bursts.
+  uint64_t failures = 0;
+  size_t run_length = 0;
+  for (size_t i = 0; i <= fails_a.size(); ++i) {
+    if (i < fails_a.size() && fails_a[i]) {
+      ++failures;
+      ++run_length;
+    } else if (run_length > 0) {
+      EXPECT_EQ(run_length % config.burst_length, 0u) << "ending at " << i;
+      run_length = 0;
+    }
+  }
+  EXPECT_EQ(failures, bursts_a);
+}
+
+TEST(FaultInjectionTest, SharedBurstStateCorrelatesInjectors) {
+  const std::vector<float> docs = MakeDocs();
+  std::vector<float> out(kDocs);
+  ConstantScorer inner(1.0f);
+  FaultInjectionConfig config;  // no i.i.d. faults: bursts only
+  auto burst = std::make_shared<FaultBurstState>(
+      /*trigger_probability=*/0.03, /*length=*/10, /*seed=*/99);
+
+  // Two rungs of one shard share the outage domain.
+  FakeClock clock;
+  FaultInjectingScorer rung_a(&inner, config, burst, &clock);
+  FaultInjectingScorer rung_b(&inner, config, burst, &clock);
+  std::vector<bool> combined;  // strict alternation: a, b, a, b, ...
+  for (int i = 0; i < 300; ++i) {
+    combined.push_back(
+        !rung_a.TryScore(docs.data(), kDocs, kStride, out.data()).ok());
+    combined.push_back(
+        !rung_b.TryScore(docs.data(), kDocs, kStride, out.data()).ok());
+  }
+
+  // The shared schedule spans both injectors: in call order, maximal
+  // failure runs are whole bursts, so any burst of length >= 2 takes BOTH
+  // rungs down together — the correlated outage i.i.d. faults cannot model.
+  size_t run_length = 0;
+  for (size_t i = 0; i <= combined.size(); ++i) {
+    if (i < combined.size() && combined[i]) {
+      ++run_length;
+    } else if (run_length > 0) {
+      // The loop may end mid-burst; only completed runs must be whole
+      // bursts.
+      if (i < combined.size()) {
+        EXPECT_EQ(run_length % 10, 0u) << "ending at " << i;
+      }
+      run_length = 0;
+    }
+  }
+  EXPECT_GT(burst->bursts_triggered(), 0u);
+  EXPECT_GT(rung_a.burst_batches_injected(), 0u);
+  EXPECT_GT(rung_b.burst_batches_injected(), 0u);
+  // Every burst batch landed on one of the two rungs; the final burst may
+  // have been truncated by the end of the loop.
+  const uint64_t total_burst_batches =
+      rung_a.burst_batches_injected() + rung_b.burst_batches_injected();
+  EXPECT_LE(total_burst_batches, burst->bursts_triggered() * 10);
+  EXPECT_GT(total_burst_batches, (burst->bursts_triggered() - 1) * 10);
+}
+
+TEST(FaultInjectionTest, EnablingBurstsDoesNotShiftIidSchedule) {
+  const std::vector<float> docs = MakeDocs();
+  std::vector<float> out(kDocs);
+  ConstantScorer inner(1.0f);
+  FaultInjectionConfig iid_only;
+  iid_only.transient_fault_probability = 0.25;
+  iid_only.seed = 7;
+  FaultInjectionConfig with_bursts = iid_only;
+  with_bursts.burst_trigger_probability = 0.05;
+  with_bursts.burst_length = 5;
+
+  FakeClock clock_a, clock_b;
+  FaultInjectingScorer a(&inner, iid_only, &clock_a);
+  FaultInjectingScorer b(&inner, with_bursts, &clock_b);
+  uint64_t extra = 0;
+  for (int i = 0; i < 400; ++i) {
+    const bool fail_a =
+        !a.TryScore(docs.data(), kDocs, kStride, out.data()).ok();
+    const bool fail_b =
+        !b.TryScore(docs.data(), kDocs, kStride, out.data()).ok();
+    // Bursts only ADD failures on top of the identical i.i.d. stream.
+    if (fail_a) {
+      EXPECT_TRUE(fail_b) << "call " << i;
+    }
+    extra += fail_b && !fail_a;
+  }
+  // Every extra failure is a burst batch (a burst batch can coincide with
+  // an i.i.d. failure, so this is <=, not ==).
+  EXPECT_GT(extra, 0u);
+  EXPECT_LE(extra, b.burst_batches_injected());
+}
+
 // ---------------------------------------------------------------------------
 // Engine: rung selection, degradation, shedding.
 
@@ -342,6 +465,11 @@ TEST(ServingEngineTest, StoppedEngineRejectsWork) {
   request.stride = kStride;
   EXPECT_EQ(engine.Submit(request).get().status.code(),
             StatusCode::kResourceExhausted);
+  // Shed-by-cause: a stopped engine tags shed_stopped, never
+  // shed_queue_full — health scoring must not read shutdown as saturation.
+  const ServeCountersSnapshot counters = engine.counters().Snapshot();
+  EXPECT_EQ(counters.shed_stopped, 1u);
+  EXPECT_EQ(counters.shed_queue_full, 0u);
 }
 
 TEST(ServingEngineTest, FullQueueShedsWithResourceExhausted) {
@@ -368,6 +496,8 @@ TEST(ServingEngineTest, FullQueueShedsWithResourceExhausted) {
   const ServeResponse shed = third.get();
   EXPECT_EQ(shed.status.code(), StatusCode::kResourceExhausted);
   EXPECT_GE(engine.counters().Snapshot().shed_queue_full, 1u);
+  // The converse of the shed-by-cause split: saturation is not shutdown.
+  EXPECT_EQ(engine.counters().Snapshot().shed_stopped, 0u);
 
   gated.Open();
   EXPECT_TRUE(first.get().status.ok());

@@ -12,7 +12,9 @@
 //   serve-bench   load-test the deadline-aware scoring service and emit a
 //                 latency-percentile / rung-distribution JSON report; with
 //                 --reload-every N, hot-swap a model bundle into the engine
-//                 under load instead
+//                 under load instead; with --shards N, run the sharded
+//                 multi-tenant isolation soak (abusive tenant + one faulted
+//                 shard) and emit out/serve_shard_ci.json with SLO gates
 //   bundle        pack / unpack / verify the single-file model bundle
 //                 (teacher + student + normalizer + serve rungs, versioned
 //                 and CRC-checksummed)
@@ -29,6 +31,9 @@
 // Run `dnlr_cli <subcommand>` with no further arguments for usage.
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -39,6 +44,7 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bundle/bundle.h"
@@ -70,6 +76,7 @@
 #include "serve/engine.h"
 #include "serve/fault_injection.h"
 #include "serve/latency.h"
+#include "serve/router.h"
 #include "serve/servable.h"
 
 namespace dnlr::cli {
@@ -661,12 +668,394 @@ int CmdServeBenchReload(const Args& args) {
   return 0;
 }
 
+/// Zipfian query sampler: query popularity in real ranking traffic is
+/// heavily skewed, so the sharded soak replays a Zipf(s) distribution over
+/// the synthetic corpus instead of a uniform round-robin.
+class ZipfSampler {
+ public:
+  ZipfSampler(uint32_t n, double exponent) : cdf_(n) {
+    double total = 0.0;
+    for (uint32_t i = 0; i < n; ++i) {
+      total += 1.0 / std::pow(static_cast<double>(i) + 1.0, exponent);
+      cdf_[i] = total;
+    }
+    for (double& c : cdf_) c /= total;
+  }
+
+  uint32_t Sample(dnlr::Rng& rng) const {
+    const double u = rng.Uniform();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<uint32_t>(it == cdf_.end() ? cdf_.size() - 1
+                                                  : it - cdf_.begin());
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// One soak phase: every tenant replays Zipf-skewed traffic from its own
+/// thread until the phase deadline; the abusive tenant (if any) ignores
+/// pacing and hammers as fast as the router answers it.
+void RunTenantTraffic(serve::ShardedRouter& router, const data::Dataset& data,
+                      const ZipfSampler& zipf, uint64_t tenants,
+                      int64_t abusive_tenant, uint64_t pace_us,
+                      uint64_t deadline_us, uint64_t duration_ms,
+                      uint64_t seed) {
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  threads.reserve(tenants);
+  for (uint64_t tenant = 0; tenant < tenants; ++tenant) {
+    threads.emplace_back([&, tenant] {
+      dnlr::Rng rng(seed ^ (tenant * 0x9E3779B97F4A7C15ull));
+      const bool paced = static_cast<int64_t>(tenant) != abusive_tenant;
+      // Relaxed stop flag: plain shutdown signal; the join below orders
+      // everything the threads wrote.
+      while (!stop.load(std::memory_order_relaxed)) {
+        const uint32_t q = zipf.Sample(rng);
+        (void)router.ScoreSync(tenant, data.Row(data.QueryBegin(q)),
+                               data.QuerySize(q), data.num_features(),
+                               deadline_us);
+        if (paced && pace_us > 0) {
+          std::this_thread::sleep_for(std::chrono::microseconds(pace_us));
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(duration_ms));
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& thread : threads) thread.join();
+}
+
+/// Multi-tenant isolation soak (`serve-bench --shards N`): a ShardedRouter
+/// over N fault-injected shards, M tenant threads replaying Zipfian traffic,
+/// one abusive tenant hammering its quota, and a correlated-burst outage on
+/// one shard mid-soak (shipped and later rolled back via SwapModelOnShard).
+/// Emits out/serve_shard_ci.json and exits 1 when any isolation gate fails:
+///   - the abusive tenant is quota-rejected at its configured rate and
+///     admitted no faster than rate x duration + burst (with slack);
+///   - every other tenant's p99 stays within --p99-ratio of its no-abuse
+///     baseline (or under the absolute --p99-floor-us) and its error rate
+///     stays under --max-error-rate;
+///   - the faulted shard quarantines and is probe-readmitted at least once;
+///   - no model swap fails.
+int CmdServeBenchSharded(const Args& args) {
+  const auto shards = static_cast<size_t>(args.GetInt("shards", 4));
+  const auto tenants = static_cast<uint64_t>(args.GetInt("tenants", 8));
+  const int64_t abusive_tenant = args.GetInt("abusive-tenant", 0);
+  const auto soak_ms = static_cast<uint64_t>(args.GetInt("soak-ms", 2000));
+  const auto baseline_ms = static_cast<uint64_t>(
+      args.GetInt("baseline-ms", static_cast<int>(std::max<uint64_t>(
+                                     500, soak_ms / 4))));
+  const auto pace_us = static_cast<uint64_t>(args.GetInt("pace-us", 1000));
+  const auto deadline_us =
+      static_cast<uint64_t>(args.GetInt("deadline-us", 50'000));
+  const double quota_rate = args.GetDouble("quota-rate", 500.0);
+  const double quota_burst = args.GetDouble("quota-burst", 50.0);
+  const double fault_rate = args.GetDouble("fault-rate", 0.2);
+  // Defaults chosen so the outage dominates the faulted window: at trigger
+  // 0.05 and length 300 about 94% of the shard's batches during the faulty
+  // generation land inside a burst, which is what forces quarantine; the
+  // rollback swap then lets the half-open probes readmit the shard.
+  const double burst_trigger = args.GetDouble("burst-trigger", 0.05);
+  const auto burst_len =
+      static_cast<uint32_t>(args.GetInt("burst-len", 300));
+  const auto features = static_cast<uint32_t>(args.GetInt("features", 64));
+  const auto queries = static_cast<uint32_t>(args.GetInt("queries", 60));
+  const auto workers = static_cast<uint32_t>(args.GetInt("workers", 2));
+  const auto seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+  const double p99_ratio = args.GetDouble("p99-ratio", 1.5);
+  const double p99_floor_us = args.GetDouble("p99-floor-us", 5000.0);
+  const double max_error_rate = args.GetDouble("max-error-rate", 0.01);
+  const double admit_slack = args.GetDouble("admit-slack", 2.0);
+  const std::string out = args.Get("out", "out/serve_shard_ci.json");
+  if (shards < 2 || tenants < 2) {
+    std::fprintf(stderr, "--shards and --tenants must both be >= 2\n");
+    return 2;
+  }
+
+  // Synthetic corpus + per-shard model generations: each shard serves its
+  // own small MLP (a distinct generation), all sharing one normalizer and a
+  // tiny shared floor rung.
+  data::SyntheticConfig config = data::SyntheticConfig::MsnLike(1.0);
+  config.num_queries = queries;
+  config.num_features = features;
+  config.seed = seed;
+  const data::Dataset dataset = data::GenerateSynthetic(config);
+  data::ZNormalizer normalizer;
+  normalizer.Fit(dataset);
+  const ZipfSampler zipf(dataset.num_queries(),
+                         args.GetDouble("zipf-exponent", 1.1));
+
+  const predict::Architecture strong_arch(features, {64, 32});
+  const predict::Architecture floor_arch(features, {16});
+  std::vector<std::unique_ptr<nn::Mlp>> strong_mlps;
+  std::vector<std::unique_ptr<nn::NeuralScorer>> strong_scorers;
+  for (size_t s = 0; s < shards; ++s) {
+    strong_mlps.push_back(std::make_unique<nn::Mlp>(strong_arch, seed + s));
+    strong_scorers.push_back(
+        std::make_unique<nn::NeuralScorer>(*strong_mlps[s], &normalizer));
+  }
+  const nn::Mlp floor_mlp(floor_arch, seed + 1000);
+  const nn::NeuralScorer floor_scorer(floor_mlp, &normalizer);
+
+  // Nominal rung costs: with 50 ms budgets rung choice is never the
+  // bottleneck here, and fixed costs keep the soak's setup instant.
+  const double strong_cost = 4.0;
+  const double floor_cost = 0.5;
+
+  // Every rung of every shard goes through a FaultInjectingScorer. The
+  // clean generation's injector is a pass-through (all probabilities 0);
+  // the faulted generation adds i.i.d. transient faults on the strong rung
+  // plus a correlated burst schedule SHARED by both rungs — one outage
+  // domain, so a triggered burst takes the whole shard down (what the
+  // quarantine lifecycle exists for).
+  std::vector<std::unique_ptr<serve::FaultInjectingScorer>> injectors;
+  auto make_clean_ladder = [&](size_t s) {
+    serve::FaultInjectionConfig quiet;
+    quiet.seed = seed + s;
+    injectors.push_back(std::make_unique<serve::FaultInjectingScorer>(
+        strong_scorers[s].get(), quiet));
+    auto ladder = std::make_shared<serve::DegradationLadder>();
+    Status status = ladder->AddRung("dense-nn", injectors.back().get(),
+                                    strong_cost);
+    if (status.ok()) {
+      injectors.push_back(std::make_unique<serve::FaultInjectingScorer>(
+          &floor_scorer, quiet));
+      status = ladder->AddRung("tiny-nn", injectors.back().get(), floor_cost);
+    }
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      std::exit(1);
+    }
+    return ladder;
+  };
+
+  std::vector<std::shared_ptr<const serve::DegradationLadder>> clean_ladders;
+  for (size_t s = 0; s < shards; ++s) {
+    clean_ladders.push_back(make_clean_ladder(s));
+  }
+
+  serve::RouterConfig rc;
+  rc.health_window_micros = 100'000;
+  rc.min_window_requests = 8;
+  rc.drain_micros = 5'000;
+  rc.quarantine_micros = 10'000;
+  rc.probe_successes_to_readmit = 3;
+  serve::ServingConfig sc;
+  sc.num_workers = workers;
+  sc.queue_capacity = static_cast<uint32_t>(args.GetInt("queue", 64));
+
+  // ---- Phase 1: no-abuse baseline. A separate router instance (its own
+  // registry namespace) with clean shards and fully paced traffic gives
+  // each tenant the p99 its soak numbers are judged against.
+  std::fprintf(stderr,
+               "baseline: %zu shards / %llu tenants, %llu ms paced...\n",
+               shards, static_cast<unsigned long long>(tenants),
+               static_cast<unsigned long long>(baseline_ms));
+  std::vector<double> baseline_p99(tenants, 0.0);
+  {
+    serve::ShardedRouter baseline(clean_ladders, sc, rc);
+    RunTenantTraffic(baseline, dataset, zipf, tenants, /*abusive_tenant=*/-1,
+                     pace_us, deadline_us, baseline_ms, seed);
+    baseline.Stop();
+    for (uint64_t t = 0; t < tenants; ++t) {
+      baseline_p99[t] = baseline.TenantSloSnapshot(t).p99_us;
+    }
+  }
+
+  // ---- Phase 2: the soak. The abusive tenant gets a tight quota and
+  // ignores pacing; one shard (the primary of a well-behaved tenant, so
+  // failover is exercised) is swapped to a burst-faulty model generation
+  // at 20% of the soak and rolled back at 70%.
+  serve::ShardedRouter router(clean_ladders, sc, rc);
+  router.SetTenantQuota(static_cast<uint64_t>(abusive_tenant),
+                        serve::TenantQuota{quota_rate, quota_burst});
+  uint64_t victim_tenant = 0;
+  for (uint64_t t = 0; t < tenants; ++t) {
+    if (static_cast<int64_t>(t) != abusive_tenant) {
+      victim_tenant = t;
+      break;
+    }
+  }
+  const uint32_t faulted = router.PrimaryShardFor(victim_tenant);
+
+  serve::FaultInjectionConfig faulty_config;
+  faulty_config.transient_fault_probability = fault_rate;
+  faulty_config.seed = seed + 7777;
+  auto burst = std::make_shared<serve::FaultBurstState>(
+      burst_trigger, burst_len, seed + 8888);
+  auto faulty_ladder = std::make_shared<serve::DegradationLadder>();
+  {
+    injectors.push_back(std::make_unique<serve::FaultInjectingScorer>(
+        strong_scorers[faulted].get(), faulty_config, burst));
+    Status status = faulty_ladder->AddRung("dense-nn", injectors.back().get(),
+                                           strong_cost);
+    if (status.ok()) {
+      serve::FaultInjectionConfig floor_faults;  // bursts only on the floor
+      floor_faults.seed = seed + 7778;
+      injectors.push_back(std::make_unique<serve::FaultInjectingScorer>(
+          &floor_scorer, floor_faults, burst));
+      status = faulty_ladder->AddRung("tiny-nn", injectors.back().get(),
+                                      floor_cost);
+    }
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+
+  std::fprintf(stderr,
+               "soak: %llu ms, abusive tenant %lld (quota %.0f/s burst %.0f),"
+               " faulting shard %u at 20%%, rolling back at 70%%...\n",
+               static_cast<unsigned long long>(soak_ms),
+               static_cast<long long>(abusive_tenant), quota_rate, quota_burst,
+               faulted);
+  uint64_t failed_swaps = 0;
+  std::thread orchestrator([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(soak_ms / 5));
+    if (!router.SwapModelOnShard(faulted, faulty_ladder).ok()) ++failed_swaps;
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(soak_ms / 2));  // 20% + 50% = 70%
+    if (!router.SwapModelOnShard(faulted, clean_ladders[faulted]).ok()) {
+      ++failed_swaps;
+    }
+  });
+  RunTenantTraffic(router, dataset, zipf, tenants, abusive_tenant, pace_us,
+                   deadline_us, soak_ms, seed + 1);
+  orchestrator.join();
+  router.Stop();
+
+  // ---- Gates and report.
+  const serve::RouterCountersSnapshot counters =
+      router.counters().Snapshot();
+  const serve::TenantSlo abusive =
+      router.TenantSloSnapshot(static_cast<uint64_t>(abusive_tenant));
+  const double soak_seconds = static_cast<double>(soak_ms) * 1e-3;
+  const double admit_budget =
+      admit_slack * (quota_rate * soak_seconds + quota_burst);
+  const bool gate_abusive_rejected = abusive.quota_rejected > 0;
+  const bool gate_abusive_bounded =
+      static_cast<double>(abusive.ok + abusive.errors) <= admit_budget;
+  const bool gate_quarantine = counters.quarantines >= 1;
+  const bool gate_readmit = counters.readmissions >= 1;
+  const bool gate_swaps = failed_swaps == 0;
+
+  bool gate_p99 = true;
+  bool gate_errors = true;
+  std::ostringstream tenants_json;
+  for (uint64_t t = 0; t < tenants; ++t) {
+    const serve::TenantSlo slo = router.TenantSloSnapshot(t);
+    const bool is_abusive = static_cast<int64_t>(t) == abusive_tenant;
+    const double p99_budget =
+        std::max(p99_ratio * baseline_p99[t], p99_floor_us);
+    const bool p99_ok = is_abusive || slo.p99_us <= p99_budget;
+    const bool errors_ok = is_abusive || slo.error_rate < max_error_rate;
+    gate_p99 &= p99_ok;
+    gate_errors &= errors_ok;
+    tenants_json << "    {\"tenant\": " << t << ", \"abusive\": "
+                 << (is_abusive ? "true" : "false")
+                 << ", \"requests\": " << slo.requests
+                 << ", \"ok\": " << slo.ok << ", \"errors\": " << slo.errors
+                 << ", \"quota_rejected\": " << slo.quota_rejected
+                 << ", \"error_rate\": " << FormatFixed(slo.error_rate, 4)
+                 << ", \"quota_reject_rate\": "
+                 << FormatFixed(slo.quota_reject_rate, 4)
+                 << ", \"p99_us\": " << FormatFixed(slo.p99_us, 1)
+                 << ", \"baseline_p99_us\": "
+                 << FormatFixed(baseline_p99[t], 1)
+                 << ", \"p99_budget_us\": " << FormatFixed(p99_budget, 1)
+                 << ", \"p99_ok\": " << (p99_ok ? "true" : "false")
+                 << ", \"errors_ok\": " << (errors_ok ? "true" : "false")
+                 << "}" << (t + 1 < tenants ? "," : "") << "\n";
+  }
+  const bool pass = gate_abusive_rejected && gate_abusive_bounded &&
+                    gate_quarantine && gate_readmit && gate_swaps &&
+                    gate_p99 && gate_errors;
+
+  std::ostringstream json;
+  json << "{\n";
+  json << "  \"benchmark\": \"serve-bench-sharded\",\n";
+  json << "  \"config\": {\"shards\": " << shards
+       << ", \"tenants\": " << tenants
+       << ", \"abusive_tenant\": " << abusive_tenant
+       << ", \"soak_ms\": " << soak_ms << ", \"baseline_ms\": " << baseline_ms
+       << ", \"deadline_us\": " << deadline_us
+       << ", \"quota_rate\": " << FormatFixed(quota_rate, 1)
+       << ", \"quota_burst\": " << FormatFixed(quota_burst, 1)
+       << ", \"fault_rate\": " << FormatFixed(fault_rate, 3)
+       << ", \"burst_trigger\": " << FormatFixed(burst_trigger, 4)
+       << ", \"burst_len\": " << burst_len
+       << ", \"faulted_shard\": " << faulted
+       << ", \"workers\": " << workers << ", \"seed\": " << seed << "},\n";
+  json << "  \"shards\": [\n";
+  for (size_t s = 0; s < shards; ++s) {
+    const serve::ServeCountersSnapshot engine =
+        router.shard_engine(s).counters().Snapshot();
+    json << "    {\"shard\": " << s << ", \"state\": \""
+         << serve::ShardStateName(router.shard_state(s))
+         << "\", \"model_version\": "
+         << router.shard_engine(s).model_version()
+         << ", \"ok\": " << engine.ok << ", \"failed\": " << engine.failed
+         << ", \"shed_queue_full\": " << engine.shed_queue_full
+         << ", \"shed_stopped\": " << engine.shed_stopped
+         << ", \"swaps_attempted\": " << engine.swaps_attempted
+         << ", \"swaps_completed\": " << engine.swaps_completed
+         << ", \"swaps_rejected\": " << engine.swaps_rejected << "}"
+         << (s + 1 < shards ? "," : "") << "\n";
+  }
+  json << "  ],\n";
+  json << "  \"router\": {\"requests\": " << counters.requests
+       << ", \"admitted\": " << counters.admitted
+       << ", \"quota_rejected\": " << counters.quota_rejected
+       << ", \"failover_picks\": " << counters.failover_picks
+       << ", \"failover_retries\": " << counters.failover_retries
+       << ", \"forced_primary\": " << counters.forced_primary
+       << ", \"no_shard_available\": " << counters.no_shard_available
+       << ", \"drains\": " << counters.drains
+       << ", \"quarantines\": " << counters.quarantines
+       << ", \"probes\": " << counters.probes
+       << ", \"readmissions\": " << counters.readmissions << "},\n";
+  json << "  \"tenants\": [\n" << tenants_json.str() << "  ],\n";
+  json << "  \"gates\": {\"abusive_quota_rejected\": "
+       << (gate_abusive_rejected ? "true" : "false")
+       << ", \"abusive_admission_bounded\": "
+       << (gate_abusive_bounded ? "true" : "false")
+       << ", \"admit_budget\": " << FormatFixed(admit_budget, 1)
+       << ", \"tenant_p99_within_budget\": " << (gate_p99 ? "true" : "false")
+       << ", \"tenant_errors_within_budget\": "
+       << (gate_errors ? "true" : "false")
+       << ", \"shard_quarantined\": " << (gate_quarantine ? "true" : "false")
+       << ", \"shard_readmitted\": " << (gate_readmit ? "true" : "false")
+       << ", \"zero_failed_swaps\": " << (gate_swaps ? "true" : "false")
+       << ", \"pass\": " << (pass ? "true" : "false") << "}\n";
+  json << "}\n";
+
+  if (!EnsureParentDir(out)) return 1;
+  std::ofstream file(out);
+  file << json.str();
+  if (!file) {
+    std::fprintf(stderr, "failed to write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("%s", json.str().c_str());
+  std::printf("wrote %s\n", out.c_str());
+  if (!pass) {
+    std::fprintf(stderr, "isolation SLO gate FAILED (see gates above)\n");
+    return 1;
+  }
+  std::fprintf(stderr, "isolation SLO gate passed\n");
+  return 0;
+}
+
 /// Load-tests the deadline-aware serving engine over a synthetic corpus and
 /// a four-rung degradation ladder (hybrid sparse NN > dense NN > cascade >
 /// tree subset), with optional fault injection on the top rung, and writes a
 /// latency-percentile + rung-distribution JSON report. With --reload-every N
-/// it instead runs the bundle hot-reload load test (see CmdServeBenchReload).
+/// it instead runs the bundle hot-reload load test (see CmdServeBenchReload);
+/// with --shards N >= 2 it runs the sharded multi-tenant isolation soak
+/// (see CmdServeBenchSharded).
 int CmdServeBench(const Args& args) {
+  if (args.GetInt("shards", 0) >= 2) return CmdServeBenchSharded(args);
   if (args.GetInt("reload-every", 0) > 0) return CmdServeBenchReload(args);
   const auto features = static_cast<uint32_t>(args.GetInt("features", 136));
   const auto queries = static_cast<uint32_t>(args.GetInt("queries", 80));
@@ -1590,7 +1979,10 @@ int Usage() {
       "  serve-bench   [--requests N] [--deadline-us U] [--workers W] "
       "[--threads T] [--fault-rate P] [--spike-rate P] [--spike-us U] "
       "[--nan-rate P] [--obs 1] [--obs-out F] [--out F] "
-      "[--reload-every N [--bundle F]]\n"
+      "[--reload-every N [--bundle F]] | --shards N [--tenants M] "
+      "[--abusive-tenant T] [--soak-ms D] [--baseline-ms D] [--pace-us U] "
+      "[--quota-rate R] [--quota-burst B] [--burst-trigger P] [--burst-len N] "
+      "[--p99-ratio X] [--p99-floor-us U] [--max-error-rate P]\n"
       "  bundle pack   --out B [--teacher M] [--student M] [--norm-data F] "
       "[--rungs name:kind:us,...]\n"
       "  bundle unpack --in B [--out-dir D]\n"
