@@ -24,15 +24,28 @@ scripts/check.sh release asan-ubsan
 # 5-15x slowdown would dominate CI time.
 DNLR_TEST_ARGS="-L threaded" scripts/check.sh tsan
 
-# Threading-regression smoke: the scaling bench at tiny shapes with the
-# release binary. --min-t2-ratio fails the run (exit 1) if the dense rung's
-# T=2 throughput drops below 0.9x its T=1 throughput — the pool must never
-# make batched scoring meaningfully slower, even on a single-core runner
-# where no speedup is available.
-echo "==== [bench-scaling] smoke (T=1,2 gate)"
+# Threading-regression gates: the scaling bench runs both workload configs
+# with the release binary and fails the run (exit 1) if either gate trips.
+#   small — tiny per-call batches near the parallel crossover. T=2 must stay
+#           within 5% of T=1 (ratio >= 0.95): threading may never tax small
+#           batches, on any machine.
+#   large — the throughput workload (60 queries, 256x128x64 dense rung).
+#           With >= 2 hardware threads T=2 must reach >= 1.5x T=1; on a
+#           single-core runner no speedup is physically available, so the
+#           gate degrades to the same 0.95 no-regression bound (the measured
+#           crossover pins every engine serial there, making T=2 == T=1 up
+#           to noise).
+echo "==== [bench-scaling] small + large workload gates (T=1,2)"
+cores="$(nproc 2>/dev/null || echo 1)"
+if [ "${cores}" -ge 2 ]; then
+  large_gate=1.5
+else
+  large_gate=0.95
+  echo "bench-scaling: single-core runner, large-config gate 1.5 -> 0.95"
+fi
 out/release/tools/dnlr_cli bench-scaling \
-  --queries 8 --trees 5 --repeats 3 --arch 32x16 \
-  --threads 1,2 --min-t2-ratio 0.9 \
+  --configs small,large --repeats 3 --threads 1,2 \
+  --min-t2-ratio "${large_gate}" --min-t2-ratio-small 0.95 \
   --out out/bench_scaling_ci.json >/dev/null
 
 # Observability guarantees: scoring with spans enabled must be bitwise
@@ -96,5 +109,5 @@ for preset in asan-ubsan tsan; do
 done
 [ "${fail}" -eq 0 ] || exit 1
 echo "ci.sh: static analysis + release + asan-ubsan + tsan(threaded) +" \
-     "scaling smoke + bundle verify/reload + tenant-isolation soak gates" \
-     "green, no sanitizer reports"
+     "scaling small/large gates + bundle verify/reload + tenant-isolation" \
+     "soak gates green, no sanitizer reports"

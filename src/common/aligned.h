@@ -63,6 +63,19 @@ class AlignedBuffer {
     for (size_t i = 0; i < count; ++i) data_[i] = 0.0f;
   }
 
+  /// Ensures the buffer holds at least `count` floats WITHOUT the zero-fill
+  /// Resize performs on reuse: fresh allocations are zeroed once, reused
+  /// storage keeps its previous contents. For write-before-read scratch
+  /// (the GEMM packing buffers, which fully overwrite every region they
+  /// later read), this turns the per-call cost into a capacity check.
+  void GrowTo(size_t count) {
+    if (count > capacity_) {
+      Resize(count);
+    } else if (count > count_) {
+      count_ = count;
+    }
+  }
+
   float* data() { return data_; }
   const float* data() const { return data_; }
   size_t size() const { return count_; }

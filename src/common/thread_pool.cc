@@ -5,6 +5,55 @@
 #include "common/check.h"
 
 namespace dnlr::common {
+namespace {
+
+/// One spin-wait pause. On x86 this is the PAUSE instruction, which tells
+/// the core a busy-wait is in progress (saves power, yields pipeline slots
+/// to the sibling hyperthread and avoids the memory-order mis-speculation
+/// stall on loop exit); elsewhere it degrades to a compiler barrier.
+inline void CpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+/// Spin budget shared by the worker idle loop and the caller join: rounds
+/// of exponentially growing pause bursts (1, 2, 4, ... capped at
+/// kMaxPauseBurst) followed by a few sched_yield rounds. The total pause
+/// phase is a handful of microseconds on current hardware — long enough to
+/// bridge the gap between back-to-back ParallelFor calls (the per-(jc, pc)
+/// barrier cadence of the blocked GEMM), short enough that an idle pool
+/// parks its workers almost immediately.
+constexpr int kSpinRounds = 64;
+constexpr int kMaxPauseBurst = 64;
+constexpr int kYieldRounds = 4;
+
+/// Runs one bounded backoff sweep calling `ready()` between bursts; true
+/// when `ready()` became true within the budget.
+template <typename Ready>
+bool SpinUntil(const Ready& ready) {
+  int burst = 1;
+  for (int round = 0; round < kSpinRounds; ++round) {
+    if (ready()) return true;
+    for (int i = 0; i < burst; ++i) CpuRelax();
+    burst = std::min(burst * 2, kMaxPauseBurst);
+  }
+  for (int round = 0; round < kYieldRounds; ++round) {
+    if (ready()) return true;
+    std::this_thread::yield();
+  }
+  return ready();
+}
+
+/// Batch::state packs (pending_chunks << 1) | caller_waiting_bit.
+constexpr uint64_t kWaiterBit = 1;
+constexpr uint64_t kChunkUnit = 2;
+
+}  // namespace
 
 ThreadPool::ThreadPool(uint32_t num_threads)
     : num_threads_(std::max(num_threads, 1u)) {
@@ -23,12 +72,28 @@ ThreadPool::~ThreadPool() {
     // caller destroyed the pool mid-call — a usage bug worth failing loudly.
     DNLR_CHECK(queue_.empty()) << "ThreadPool destroyed with queued work";
   }
+  // Release ordering: spinning workers that observe the signal must also
+  // observe stopping_ == true once they take queue_mu_ (the mutex itself
+  // orders that; release here keeps the mirror coherent on its own too).
+  stop_signal_.store(true, std::memory_order_release);
+  // Shutdown is the one legitimate broadcast: every sleeper must exit.
   queue_cv_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
 uint32_t ThreadPool::HardwareThreads() {
   return std::max(std::thread::hardware_concurrency(), 1u);
+}
+
+ThreadPool::Stats ThreadPool::GetStats() const {
+  Stats stats;
+  // Relaxed: monotonic statistics, read for reporting/tests only; no other
+  // memory is published through them.
+  stats.tasks_run = stat_tasks_run_.load(std::memory_order_relaxed);
+  stats.notifies = stat_notifies_.load(std::memory_order_relaxed);
+  stats.blocks = stat_blocks_.load(std::memory_order_relaxed);
+  stats.empty_wakeups = stat_empty_wakeups_.load(std::memory_order_relaxed);
+  return stats;
 }
 
 void ThreadPool::ChunkRange(uint64_t count, uint32_t num_chunks,
@@ -51,27 +116,105 @@ void ThreadPool::RunChunk(Batch* batch, uint32_t chunk) {
   } catch (...) {
     error = std::current_exception();
   }
-  MutexLock lock(batch->mu);
-  if (error != nullptr && batch->error == nullptr) batch->error = error;
-  --batch->pending;
-  // Notify under the lock: the Batch lives on the caller's stack, and the
-  // caller is free to destroy it the moment it observes pending == 0. It can
-  // only observe that after this lock is released, at which point the batch
-  // is no longer touched here.
-  if (batch->pending == 0) batch->done_cv.NotifyOne();
+  if (error != nullptr) {
+    // Errors are recorded before the countdown below, so the joining
+    // caller's acquire on `state` also publishes this write.
+    MutexLock lock(batch->error_mu);
+    if (batch->error == nullptr) batch->error = error;
+  }
+  // Countdown join. acq_rel: the release half publishes this chunk's work
+  // (and any recorded error) to whoever observes the count reach zero; the
+  // acquire half chains earlier chunks' releases into the final decrementer
+  // so its wake-up path is ordered after all chunk work.
+  const uint64_t prev =
+      batch->state.fetch_sub(kChunkUnit, std::memory_order_acq_rel);
+  if (prev == (kChunkUnit | kWaiterBit)) {
+    // This decrement dropped the count to zero AND the caller has committed
+    // to sleeping (waiter bit set => it blocks until `done` flips under
+    // `mu`), so touching the stack-owned mutex here cannot race batch
+    // destruction.
+    MutexLock lock(batch->mu);
+    batch->done = true;
+    // Notify under the lock: the caller can only observe done == true (and
+    // therefore destroy the batch) after this critical section ends.
+    batch->done_cv.NotifyOne();
+  }
+}
+
+bool ThreadPool::TryPop(Task* task) {
+  MutexLock lock(queue_mu_);
+  if (queue_.empty()) return false;
+  *task = queue_.front();
+  queue_.pop_front();
+  // Relaxed: the mirror is a spin hint only; exactness is re-established
+  // under queue_mu_ by every TryPop.
+  queue_size_.store(queue_.size(), std::memory_order_relaxed);
+  return true;
+}
+
+bool ThreadPool::SpinForWork() const {
+  return SpinUntil([this] {
+    // Relaxed: both mirrors are hints — a hit is always re-validated under
+    // queue_mu_, and a miss only extends the spin.
+    return queue_size_.load(std::memory_order_relaxed) != 0 ||
+           stop_signal_.load(std::memory_order_relaxed);
+  });
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
     Task task;
+    if (TryPop(&task)) {
+      // Relaxed: statistic counter, no ordering needed.
+      stat_tasks_run_.fetch_add(1, std::memory_order_relaxed);
+      RunChunk(task.batch, task.chunk);
+      continue;
+    }
+    if (SpinForWork()) {
+      // Relaxed: hint only — the locked path below is authoritative. A
+      // plain `continue` here would livelock on shutdown: with stop_signal_
+      // set, SpinForWork returns true forever while TryPop keeps failing.
+      if (!stop_signal_.load(std::memory_order_relaxed)) continue;
+      // Stop signalled: fall through to the locked path, which drains any
+      // remaining queue entries and exits the loop.
+    }
+    // Spin budget exhausted: park on the condvar until an enqueue (or
+    // shutdown) wakes us. num_sleeping_ is maintained under queue_mu_, the
+    // same mutex every enqueue holds, so a producer either sees the queue
+    // non-empty before we wait or sees us in num_sleeping_ and notifies —
+    // no lost wake-ups.
+    bool have_task = false;
     {
       MutexLock lock(queue_mu_);
-      while (!stopping_ && queue_.empty()) queue_cv_.Wait(queue_mu_);
-      if (queue_.empty()) return;  // stopping_ and nothing left to run
-      task = queue_.front();
-      queue_.pop_front();
+      // Relaxed: statistic counter, no ordering needed.
+      stat_blocks_.fetch_add(1, std::memory_order_relaxed);
+      bool first_wait = true;
+      while (queue_.empty() && !stopping_) {
+        if (!first_wait) {
+          // Woken without work and not stopping: a spinner stole the
+          // notified task. Relaxed: statistic counter.
+          stat_empty_wakeups_.fetch_add(1, std::memory_order_relaxed);
+        }
+        first_wait = false;
+        ++num_sleeping_;
+        queue_cv_.Wait(queue_mu_);
+        --num_sleeping_;
+      }
+      if (!queue_.empty()) {
+        task = queue_.front();
+        queue_.pop_front();
+        // Relaxed: spin-hint mirror (see TryPop).
+        queue_size_.store(queue_.size(), std::memory_order_relaxed);
+        have_task = true;
+      } else if (stopping_) {
+        return;
+      }
     }
-    RunChunk(task.batch, task.chunk);
+    if (have_task) {
+      // Relaxed: statistic counter, no ordering needed.
+      stat_tasks_run_.fetch_add(1, std::memory_order_relaxed);
+      RunChunk(task.batch, task.chunk);
+    }
   }
 }
 
@@ -89,28 +232,60 @@ void ThreadPool::ParallelFor(uint64_t count, const ChunkFn& body) {
   batch.body = &body;
   batch.count = count;
   batch.num_chunks = num_chunks;
-  {
-    // No worker can see the batch yet; the lock is for the analysis (and
-    // costs nothing uncontended), not for a real race.
-    MutexLock lock(batch.mu);
-    batch.pending = num_chunks;
-  }
+  // Relaxed: the batch is not yet visible to any worker; publication
+  // happens below under queue_mu_ (the enqueue is the release point).
+  batch.state.store(static_cast<uint64_t>(num_chunks) * kChunkUnit,
+                    std::memory_order_relaxed);
+  uint32_t to_wake = 0;
   {
     MutexLock lock(queue_mu_);
     DNLR_CHECK(!stopping_) << "ParallelFor on a destroyed ThreadPool";
     for (uint32_t chunk = 1; chunk < num_chunks; ++chunk) {
       queue_.push_back(Task{&batch, chunk});
     }
+    // Relaxed: spin-hint mirror (see TryPop); spinning workers that see it
+    // re-validate under queue_mu_.
+    queue_size_.store(queue_.size(), std::memory_order_relaxed);
+    // Targeted wake-ups: one notify per queued task, capped at the number
+    // of actually-sleeping workers. Spinning workers need no signal — they
+    // poll queue_size_ — and idle pools with zero sleepers pay zero
+    // syscalls here.
+    to_wake = std::min(num_sleeping_, num_chunks - 1);
   }
-  queue_cv_.NotifyAll();
+  for (uint32_t i = 0; i < to_wake; ++i) queue_cv_.NotifyOne();
+  if (to_wake > 0) {
+    // Relaxed: statistic counter, no ordering needed.
+    stat_notifies_.fetch_add(to_wake, std::memory_order_relaxed);
+  }
 
-  // The caller contributes chunk 0, then waits for the workers. Workers
-  // never wait on other chunks, so this cannot deadlock no matter how many
-  // threads call ParallelFor concurrently.
+  // The caller contributes chunk 0, then joins. Workers never wait on other
+  // chunks, so this cannot deadlock no matter how many threads call
+  // ParallelFor concurrently.
   RunChunk(&batch, 0);
+
+  // Acquire: observing pending == 0 must also publish every chunk's work
+  // (paired with the release half of the fetch_sub in RunChunk).
+  const auto chunks_done = [&batch] {
+    return (batch.state.load(std::memory_order_acquire) >> 1) == 0;
+  };
+  if (!SpinUntil(chunks_done)) {
+    // Commit to sleeping: set the waiter bit so the final decrementer takes
+    // the mutex path. acq_rel: acquire pairs with chunk releases in case
+    // the count hit zero in this very instant; release orders the bit for
+    // the worker's prev-value check.
+    const uint64_t prev =
+        batch.state.fetch_or(kWaiterBit, std::memory_order_acq_rel);
+    if ((prev >> 1) != 0) {
+      // Chunks still pending when the bit was set: exactly one worker will
+      // observe (count==0, waiter set) and flip `done` under the mutex.
+      MutexLock lock(batch.mu);
+      while (!batch.done) batch.done_cv.Wait(batch.mu);
+    }
+    // prev >> 1 == 0: the last chunk finished between the spin and the
+    // fetch_or; its release is paired by the fetch_or's acquire.
+  }
   {
-    MutexLock lock(batch.mu);
-    while (batch.pending != 0) batch.done_cv.Wait(batch.mu);
+    MutexLock lock(batch.error_mu);
     if (batch.error != nullptr) std::rethrow_exception(batch.error);
   }
 }

@@ -8,10 +8,12 @@ namespace dnlr::forest {
 
 ParallelEnsembleScorer::ParallelEnsembleScorer(const DocumentScorer* inner,
                                                common::ThreadPool* pool,
-                                               uint32_t min_docs_per_chunk)
+                                               uint32_t min_docs_per_chunk,
+                                               uint32_t min_parallel_docs)
     : inner_(inner),
       pool_(pool),
       min_docs_per_chunk_(std::max(min_docs_per_chunk, 1u)),
+      min_parallel_docs_(min_parallel_docs),
       name_("parallel-") {
   DNLR_CHECK(inner_ != nullptr);
   name_ += inner->name();
@@ -19,8 +21,10 @@ ParallelEnsembleScorer::ParallelEnsembleScorer(const DocumentScorer* inner,
 
 void ParallelEnsembleScorer::Score(const float* docs, uint32_t count,
                                    uint32_t stride, float* out) const {
+  // Serial below the crossover: the structural two-chunk floor or the
+  // machine's measured break-even count, whichever is larger.
   if (pool_ == nullptr || pool_->num_threads() <= 1 ||
-      count < 2 * min_docs_per_chunk_) {
+      count < 2 * min_docs_per_chunk_ || count < min_parallel_docs_) {
     inner_->Score(docs, count, stride, out);
     return;
   }

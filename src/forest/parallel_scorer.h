@@ -16,15 +16,22 @@ namespace dnlr::forest {
 /// tree-traversal variants), which makes this the drop-in multi-core
 /// upgrade for the QuickScorer family in a ServingEngine rung.
 ///
-/// Blocks smaller than 2 * min_docs_per_chunk stay on the calling thread:
-/// fan-out overhead would dominate tiny candidate sets.
+/// Blocks smaller than max(min_parallel_docs, 2 * min_docs_per_chunk) stay
+/// on the calling thread: fan-out overhead would dominate tiny candidate
+/// sets. min_docs_per_chunk is the structural floor (a chunk below it does
+/// too little tree traversal to amortize anything); min_parallel_docs is
+/// the machine's measured crossover, typically
+/// predict::ParallelScaling::CrossoverDocs(serial_us_per_doc).
 class ParallelEnsembleScorer : public DocumentScorer {
  public:
   /// Neither the inner scorer nor the pool is owned; both must outlive this
   /// wrapper. A null pool (or pool of 1) degrades to a plain pass-through.
+  /// min_parallel_docs = 0 leaves only the structural floor; UINT32_MAX
+  /// pins the wrapper serial (a measured "parallelism never wins here").
   ParallelEnsembleScorer(const DocumentScorer* inner,
                          common::ThreadPool* pool,
-                         uint32_t min_docs_per_chunk = 64);
+                         uint32_t min_docs_per_chunk = 64,
+                         uint32_t min_parallel_docs = 0);
 
   std::string_view name() const override { return name_; }
 
@@ -35,6 +42,7 @@ class ParallelEnsembleScorer : public DocumentScorer {
   const DocumentScorer* inner_;
   common::ThreadPool* pool_;
   uint32_t min_docs_per_chunk_;
+  uint32_t min_parallel_docs_;
   std::string name_;
 };
 

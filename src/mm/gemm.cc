@@ -119,6 +119,25 @@ void MicroKernel6x16Avx2(uint32_t kb, const float* a_panel,
 }
 #endif  // DNLR_GEMM_SIMD
 
+/// Per-OS-thread packing scratch, reused across (jc, pc) iterations,
+/// ParallelFor calls, and whole GEMM calls: the pool's chunk bodies run on
+/// a fixed set of worker threads (plus the caller), so thread-local storage
+/// gives every executing thread one persistent PackA block, micro-tile and
+/// packed-B panel without any per-call allocation or locking. Contents are
+/// never read before being written (PackA/PackB fully write every region
+/// the kernels later read, and the tile is fully stored by both kernels),
+/// so reuse cannot change results.
+struct GemmScratch {
+  AlignedBuffer packed_a;
+  AlignedBuffer tile;
+  AlignedBuffer packed_b;  // used by the caller thread only (shared panel)
+};
+
+GemmScratch& LocalGemmScratch() {
+  thread_local GemmScratch scratch;
+  return scratch;
+}
+
 }  // namespace
 
 uint32_t RoundUp(uint32_t a, uint32_t b) {
@@ -211,23 +230,25 @@ void GemmWithParams(const Matrix& a, const Matrix& b, Matrix* c,
 #endif
 
   const uint32_t num_ic_blocks = (m + params.mc - 1) / params.mc;
-  // One PackA buffer and one C tile per pool chunk. The packed-B panel is
-  // shared read-only: PackB touches it only between ParallelFor barriers.
-  const uint32_t num_scratch =
-      pool == nullptr
-          ? 1u
-          : std::min(pool->num_threads(),
-                     std::max(1u, num_ic_blocks));
+  // Work-size crossover: below min_parallel_flops the coordination cost of
+  // even a spin-joined ParallelFor exceeds what a second core wins back, so
+  // small multiplications take the serial fast path unconditionally.
+  const uint64_t flops = 2ull * m * n * k;
+  const bool parallel = pool != nullptr && pool->num_threads() > 1 &&
+                        num_ic_blocks > 1 &&
+                        (params.min_parallel_flops == 0 ||
+                         flops >= params.min_parallel_flops);
+
+  // Every executing thread packs into its own thread-local PackA block and
+  // micro-tile (reused across jc/pc iterations, ParallelFor calls, and GEMM
+  // calls — no per-call allocation); the packed-B panel lives in the
+  // caller's scratch and is shared read-only: PackB touches it only between
+  // ParallelFor barriers.
   const size_t packed_a_floats =
       static_cast<size_t>(RoundUp(params.mc, mr)) * params.kc;
-  std::vector<AlignedBuffer> packed_a(num_scratch);
-  std::vector<AlignedBuffer> tiles(num_scratch);
-  for (uint32_t s = 0; s < num_scratch; ++s) {
-    packed_a[s].Resize(packed_a_floats);
-    tiles[s].Resize(static_cast<size_t>(mr) * nr);
-  }
-  AlignedBuffer packed_b(static_cast<size_t>(params.kc) *
-                         RoundUp(params.nc, nr));
+  const size_t tile_floats = static_cast<size_t>(mr) * nr;
+  AlignedBuffer& packed_b = LocalGemmScratch().packed_b;
+  packed_b.GrowTo(static_cast<size_t>(params.kc) * RoundUp(params.nc, nr));
 
   for (uint32_t jc = 0; jc < n; jc += params.nc) {
     const uint32_t nb = std::min(params.nc, n - jc);
@@ -237,17 +258,20 @@ void GemmWithParams(const Matrix& a, const Matrix& b, Matrix* c,
         DNLR_OBS_SPAN(pack_span, "mm.gemm.pack_b_us");
         PackB(b, pc, kb, jc, nb, nr, packed_b.data());
       }
-      const auto run_blocks = [&](uint32_t scratch, uint64_t block_begin,
+      const auto run_blocks = [&](uint32_t /*chunk*/, uint64_t block_begin,
                                   uint64_t block_end) {
+        GemmScratch& scratch = LocalGemmScratch();
+        scratch.packed_a.GrowTo(packed_a_floats);
+        scratch.tile.GrowTo(tile_floats);
         for (uint64_t block = block_begin; block < block_end; ++block) {
           const uint32_t ic = static_cast<uint32_t>(block) * params.mc;
           const uint32_t mb = std::min(params.mc, m - ic);
           RunMacroBlock(a, c, params, use_simd, ic, mb, jc, nb, pc, kb,
-                        packed_b.data(), packed_a[scratch].data(),
-                        tiles[scratch].data());
+                        packed_b.data(), scratch.packed_a.data(),
+                        scratch.tile.data());
         }
       };
-      if (num_scratch > 1) {
+      if (parallel) {
         // Chunks own disjoint MC-row stripes of C, so there is no write
         // sharing; the barrier at the end of ParallelFor orders this (jc,
         // pc) iteration's accumulation before the next PackB reuses the
@@ -305,6 +329,13 @@ bool GemmHasSimd() {
 
 double MeasureGemmGflops(uint32_t m, uint32_t k, uint32_t n, int repeats,
                          uint64_t seed, common::ThreadPool* pool) {
+  return MeasureGemmGflopsWithParams(GemmParams(), m, k, n, repeats, seed,
+                                     pool);
+}
+
+double MeasureGemmGflopsWithParams(const GemmParams& params, uint32_t m,
+                                   uint32_t k, uint32_t n, int repeats,
+                                   uint64_t seed, common::ThreadPool* pool) {
   Rng rng(seed);
   Matrix a(m, k);
   Matrix b(k, n);
@@ -312,7 +343,7 @@ double MeasureGemmGflops(uint32_t m, uint32_t k, uint32_t n, int repeats,
   a.FillUniform(rng);
   b.FillUniform(rng);
   const double micros =
-      TimeMicros([&] { Gemm(a, b, &c, pool); }, repeats);
+      TimeMicros([&] { GemmWithParams(a, b, &c, params, pool); }, repeats);
   const double flops = 2.0 * m * n * k;
   return flops / (micros * 1e-6) / 1e9;
 }

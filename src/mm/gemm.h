@@ -22,6 +22,15 @@ struct GemmParams {
   uint32_t mr = 6;     // micro-tile rows (register blocking)
   uint32_t nr = 16;    // micro-tile cols (two AVX2 vectors of 8 floats)
 
+  /// Parallel crossover: multiplications with fewer than this many flops
+  /// (2*m*n*k) stay on the serial path even when a pool is supplied —
+  /// below it, ParallelFor coordination costs more than the split saves.
+  /// The default is a conservative generic figure (~50 us of serial work
+  /// on one AVX2 core); measure the machine's real crossover with
+  /// predict::MeasureGemmParallelScaling and override. 0 disables the
+  /// gate (always parallelize when a pool is given).
+  uint64_t min_parallel_flops = 2'000'000;
+
   /// oneDNN-style tailoring for small shapes (the rnd_up logic quoted in
   /// Section 4.2): clamps each blocking parameter to the actual problem
   /// size, rounded up to the micro-kernel granularity, so tiny matrices do
@@ -67,6 +76,14 @@ bool GemmHasSimd();
 /// measures the parallel kernel (the bench-scaling probe).
 double MeasureGemmGflops(uint32_t m, uint32_t k, uint32_t n, int repeats = 3,
                          uint64_t seed = 99, common::ThreadPool* pool = nullptr);
+
+/// MeasureGemmGflops with explicit blocking parameters. The parallel-
+/// crossover calibration uses this with min_parallel_flops = 0 to force the
+/// parallel kernel on shapes the default gate would keep serial.
+double MeasureGemmGflopsWithParams(const GemmParams& params, uint32_t m,
+                                   uint32_t k, uint32_t n, int repeats = 3,
+                                   uint64_t seed = 99,
+                                   common::ThreadPool* pool = nullptr);
 
 }  // namespace dnlr::mm
 

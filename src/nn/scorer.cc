@@ -94,7 +94,9 @@ void NeuralScorer::Score(const float* docs, uint32_t count, uint32_t stride,
       (static_cast<uint64_t>(count) + config_.batch_size - 1) /
       config_.batch_size;
   common::ThreadPool* pool = config_.pool;
-  if (pool != nullptr && pool->num_threads() > 1 && num_batches > 1) {
+  // The crossover gate: sub-threshold candidate sets never pay the fan-out.
+  if (pool != nullptr && pool->num_threads() > 1 && num_batches > 1 &&
+      count >= config_.min_parallel_docs) {
     // Whole batches are the distribution unit, so every document sees the
     // same batch boundaries — and therefore bitwise-identical scores — as
     // the serial path.

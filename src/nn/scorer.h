@@ -26,6 +26,14 @@ struct NeuralScorerConfig {
   /// serial engine). Null means single-threaded. Not owned; must outlive
   /// the scorer.
   common::ThreadPool* pool = nullptr;
+  /// Parallel crossover: Score calls with fewer documents stay on the
+  /// serial path even when a pool is set — below it, ParallelFor
+  /// coordination costs more than the split saves. Callers with a measured
+  /// predict::ParallelScaling should set this to
+  /// scaling.CrossoverDocs(serial_us_per_doc); the default of two full
+  /// batches is the structural floor (fewer than two batches cannot split
+  /// at batch granularity anyway). UINT32_MAX pins the scorer serial.
+  uint32_t min_parallel_docs = 128;
 };
 
 /// Per-call scratch of the layer-by-layer forward pass: two activation

@@ -127,6 +127,10 @@ Status Servable::Build(const bundle::ModelBundle& bundle,
   // addresses stable for the ladder's and the cascade's borrows.
   nn::NeuralScorerConfig nn_config;
   nn_config.pool = options.pool;
+  // The crossover threshold rides along so a caller that measured
+  // "parallelism never wins here" gets serial rungs, not taxed ones.
+  nn_config.min_parallel_docs =
+      std::max(nn_config.min_parallel_docs, options.min_parallel_docs);
   const data::ZNormalizer* normalizer =
       normalizer_.has_value() ? &*normalizer_ : nullptr;
 

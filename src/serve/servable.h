@@ -30,6 +30,14 @@ struct ServableOptions {
   /// Optional intra-request parallelism for the neural rungs. Not owned;
   /// must outlive the Servable.
   common::ThreadPool* pool = nullptr;
+  /// Parallel crossover for the neural rungs (see
+  /// nn::NeuralScorerConfig::min_parallel_docs): Score calls below this
+  /// many documents stay serial. Callers with a measured
+  /// predict::ParallelScaling should pass
+  /// scaling.CrossoverDocs(serial_us_per_doc); UINT32_MAX pins the rungs
+  /// serial on machines where parallelism never wins. 0 keeps the
+  /// structural default.
+  uint32_t min_parallel_docs = 0;
 };
 
 /// Everything a hot-swappable model generation needs to serve, owned in one

@@ -157,6 +157,57 @@ TEST(ThreadPoolTest, ConcurrentCallersDontDeadlockOrInterleaveScratch) {
   }
 }
 
+// Scheduling invariants under concurrent callers, asserted through the
+// pool's own counters: every queued chunk runs exactly once, wake-ups are
+// targeted (never a thundering-herd broadcast), and workers woken without
+// work are bounded by the notifies that woke them.
+TEST(ThreadPoolTest, StatsProveTargetedWakeupsAndExactExecution) {
+  ThreadPool pool(3);
+  constexpr int kCallers = 4;
+  constexpr int kRounds = 25;
+  constexpr uint64_t kCount = 300;  // >= threads, so num_chunks == threads
+
+  std::vector<std::thread> callers;
+  std::atomic<uint32_t> chunk_over_runs{0};
+  for (int caller = 0; caller < kCallers; ++caller) {
+    callers.emplace_back([&] {
+      for (int round = 0; round < kRounds; ++round) {
+        // Per-call execution counters: a chunk index running twice within
+        // one call means a task was double-popped or double-queued.
+        std::vector<std::atomic<uint32_t>> runs(pool.num_threads());
+        for (auto& r : runs) r.store(0);
+        pool.ParallelFor(kCount, [&](uint32_t chunk, uint64_t, uint64_t) {
+          // Relaxed: test counter; the join orders the final reads.
+          runs[chunk].fetch_add(1, std::memory_order_relaxed);
+        });
+        for (uint32_t c = 0; c < pool.num_threads(); ++c) {
+          if (runs[c].load(std::memory_order_relaxed) != 1) {
+            // Relaxed: test counter aggregated after the threads join.
+            chunk_over_runs.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+  EXPECT_EQ(chunk_over_runs.load(std::memory_order_relaxed), 0u);
+
+  const ThreadPool::Stats stats = pool.GetStats();
+  // Workers run exactly the queued chunks: each of the kCallers * kRounds
+  // calls queues (num_chunks - 1) tasks and runs chunk 0 inline.
+  const uint64_t queued = static_cast<uint64_t>(kCallers) * kRounds *
+                          (pool.num_threads() - 1);
+  EXPECT_EQ(stats.tasks_run, queued);
+  // Targeted notify: at most one wake-up per queued task ever, which is
+  // exactly the "no NotifyAll herd" guarantee (a broadcast would charge
+  // num_workers notifies per enqueue).
+  EXPECT_LE(stats.notifies, queued);
+  // A worker that wakes to an already-drained queue re-waits; each such
+  // empty wake-up consumed one targeted notify, so the spurious total is
+  // bounded by the notifies issued — workers never wake uncommanded.
+  EXPECT_LE(stats.empty_wakeups, stats.notifies);
+}
+
 // ---------------------------------------------------------------------------
 // Parallel GEMM: bitwise identity with the serial kernel.
 
@@ -178,12 +229,18 @@ TEST(ParallelGemmTest, BitwiseEqualsSerialAcrossShapesAndThreads) {
     // Small mc forces several ic macro-blocks even on tiny shapes, so the
     // parallel path actually splits (default mc=72 would leave most of
     // these shapes single-block). mr/nr granularity must be respected.
+    // min_parallel_flops = 0 disables the crossover gate: every shape here
+    // sits below the default threshold, and this sweep exists to prove the
+    // parallel kernel itself is bitwise-exact (the gate has its own test).
+    mm::GemmParams defaults;
+    defaults.min_parallel_flops = 0;
     mm::GemmParams small_blocks;
     small_blocks.mc = 12;
     small_blocks.kc = 16;
     small_blocks.nc = 32;
+    small_blocks.min_parallel_flops = 0;
 
-    for (const mm::GemmParams& params : {mm::GemmParams(), small_blocks}) {
+    for (const mm::GemmParams& params : {defaults, small_blocks}) {
       mm::Matrix serial(m, n);
       mm::GemmWithParams(a, b, &serial, params);
       for (const uint32_t threads : {1u, 3u, 8u}) {
@@ -198,6 +255,48 @@ TEST(ParallelGemmTest, BitwiseEqualsSerialAcrossShapesAndThreads) {
             << threads << " mc " << params.mc;
       }
     }
+  }
+}
+
+// The work-size crossover gate: shapes below min_parallel_flops must stay
+// on the calling thread (no coordination tax for small work), shapes at or
+// above it must fan out — and both sides stay bitwise-identical to serial.
+// Pool stats distinguish the paths: only a fan-out runs queued tasks.
+TEST(ParallelGemmTest, CrossoverGateStraddle) {
+  mm::GemmParams params;
+  params.mc = 12;  // several ic macro-blocks even on small shapes
+  params.kc = 16;
+  params.nc = 32;
+  // Threshold chosen so the shapes below straddle it exactly:
+  // 2 * m * 32 * 32 flops => m = 32 is half, m = 48 is at, m = 96 is 2x.
+  params.min_parallel_flops = 2ull * 48 * 32 * 32;
+
+  ThreadPool pool(3);
+  struct Case {
+    uint32_t m;
+    bool expect_parallel;
+  };
+  for (const Case c : {Case{32, false}, Case{48, true}, Case{96, true}}) {
+    Rng rng(c.m);
+    mm::Matrix a(c.m, 32);
+    mm::Matrix b(32, 32);
+    a.FillNormal(rng);
+    b.FillNormal(rng);
+    mm::Matrix serial(c.m, 32);
+    mm::GemmWithParams(a, b, &serial, params);
+
+    const uint64_t tasks_before = pool.GetStats().tasks_run;
+    mm::Matrix gated(c.m, 32);
+    gated.Fill(-123.0f);
+    mm::GemmWithParams(a, b, &gated, params, &pool);
+    const uint64_t tasks_after = pool.GetStats().tasks_run;
+
+    EXPECT_EQ(tasks_after > tasks_before, c.expect_parallel)
+        << "m " << c.m << ": wrong side of the crossover";
+    ASSERT_EQ(std::memcmp(serial.data(), gated.data(),
+                          serial.size() * sizeof(float)),
+              0)
+        << "m " << c.m;
   }
 }
 
@@ -248,6 +347,44 @@ TEST(ParallelNeuralScorerTest, DenseBitwiseEqualsSerial) {
                 0)
           << "count " << count << " threads " << threads;
     }
+  }
+}
+
+// min_parallel_docs straddle: a call below the crossover stays serial (the
+// pool runs no tasks), a call above fans out — identical scores both sides.
+TEST(ParallelNeuralScorerTest, CrossoverDocsStraddle) {
+  const uint32_t stride = 20;
+  const nn::Mlp mlp(predict::Architecture(stride, {16, 8}), 3);
+  const nn::NeuralScorer reference(mlp, nullptr);
+
+  ThreadPool pool(3);
+  nn::NeuralScorerConfig config;
+  config.pool = &pool;
+  config.min_parallel_docs = 256;
+  const nn::NeuralScorer gated(mlp, nullptr, config);
+
+  struct Case {
+    uint32_t count;
+    bool expect_parallel;
+  };
+  // 200 docs = 4 batches but below the 256-doc crossover; 256 is exactly
+  // at it; 700 is far above.
+  for (const Case c : {Case{200, false}, Case{256, true}, Case{700, true}}) {
+    const std::vector<float> docs = RandomDocs(c.count, stride, c.count);
+    std::vector<float> expected(c.count);
+    reference.Score(docs.data(), c.count, stride, expected.data());
+
+    const uint64_t tasks_before = pool.GetStats().tasks_run;
+    std::vector<float> actual(c.count, -123.0f);
+    gated.Score(docs.data(), c.count, stride, actual.data());
+    const uint64_t tasks_after = pool.GetStats().tasks_run;
+
+    EXPECT_EQ(tasks_after > tasks_before, c.expect_parallel)
+        << "count " << c.count << ": wrong side of the crossover";
+    ASSERT_EQ(std::memcmp(expected.data(), actual.data(),
+                          c.count * sizeof(float)),
+              0)
+        << "count " << c.count;
   }
 }
 
@@ -311,6 +448,40 @@ TEST(ParallelEnsembleScorerTest, BitwiseEqualsInnerScorer) {
                           count * sizeof(float)),
               0)
         << "threads " << threads;
+  }
+}
+
+// min_parallel_docs straddle for the forest wrapper: below the measured
+// crossover the inner scorer runs on the calling thread; at or above it the
+// block fans out. Scores match the inner scorer bitwise on both sides.
+TEST(ParallelEnsembleScorerTest, CrossoverDocsStraddle) {
+  const uint32_t features = 6;
+  const gbdt::Ensemble ensemble = MakeStumpForest(features);
+  const forest::QuickScorer inner(ensemble, features);
+  ThreadPool pool(3);
+  const forest::ParallelEnsembleScorer wrapper(&inner, &pool,
+                                               /*min_docs_per_chunk=*/16,
+                                               /*min_parallel_docs=*/256);
+  struct Case {
+    uint32_t count;
+    bool expect_parallel;
+  };
+  for (const Case c : {Case{200, false}, Case{256, true}, Case{500, true}}) {
+    const std::vector<float> docs = RandomDocs(c.count, features, c.count);
+    std::vector<float> expected(c.count);
+    inner.Score(docs.data(), c.count, features, expected.data());
+
+    const uint64_t tasks_before = pool.GetStats().tasks_run;
+    std::vector<float> actual(c.count, -123.0f);
+    wrapper.Score(docs.data(), c.count, features, actual.data());
+    const uint64_t tasks_after = pool.GetStats().tasks_run;
+
+    EXPECT_EQ(tasks_after > tasks_before, c.expect_parallel)
+        << "count " << c.count << ": wrong side of the crossover";
+    ASSERT_EQ(std::memcmp(expected.data(), actual.data(),
+                          c.count * sizeof(float)),
+              0)
+        << "count " << c.count;
   }
 }
 
