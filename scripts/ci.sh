@@ -83,6 +83,32 @@ out/release/tools/dnlr_cli bundle verify --in out/ci_model.bundle >/dev/null
 out/release/tools/dnlr_cli serve-bench --reload-every 25 --requests 100 \
   --out out/serve_reload_ci.json >/dev/null
 
+# Binary-bundle gates: convert the packed text bundle to the v2 binary
+# container, verify it (map-time structural pass + deferred payload CRC
+# sweep + the same deep section validation the text path gets), prove the
+# conversion round-trips to the original text bytes, and gate the load-path
+# speedup: `bundle bench` packs one model both ways, times cold loads, and
+# exits non-zero unless the mmap'ed binary load is >= 10x faster than the
+# text parse AND materializes bitwise-identical parameters. Finally swap
+# the *binary* twin under sustained load — serve-bench --binary 1 captures
+# golden scores from the text-loaded generation and requires every
+# binary-loaded swap to reproduce them bitwise.
+echo "==== [bundle] binary container: convert -> verify -> bench -> reload"
+out/release/tools/dnlr_cli bundle pack --in out/ci_model.bundle \
+  --out out/ci_model.bundle.bin --binary 1 >/dev/null
+out/release/tools/dnlr_cli bundle verify --in out/ci_model.bundle.bin \
+  >/dev/null
+out/release/tools/dnlr_cli bundle pack --in out/ci_model.bundle.bin \
+  --out out/ci_model.roundtrip.bundle >/dev/null
+cmp out/ci_model.bundle out/ci_model.roundtrip.bundle || {
+  echo "ci.sh: text -> binary -> text round trip is not byte-identical" >&2
+  exit 1
+}
+out/release/tools/dnlr_cli bundle bench --min-speedup 10 \
+  --dir out >/dev/null
+out/release/tools/dnlr_cli serve-bench --reload-every 25 --requests 100 \
+  --binary 1 --out out/serve_reload_binary_ci.json >/dev/null
+
 # Sharded multi-tenant isolation soak: 4 fault-injected shards, 8 tenants,
 # tenant 0 hammering a tight quota, and one shard taken through a
 # correlated-burst outage (shipped and rolled back via model swap).
@@ -109,5 +135,6 @@ for preset in asan-ubsan tsan; do
 done
 [ "${fail}" -eq 0 ] || exit 1
 echo "ci.sh: static analysis + release + asan-ubsan + tsan(threaded) +" \
-     "scaling small/large gates + bundle verify/reload + tenant-isolation" \
-     "soak gates green, no sanitizer reports"
+     "scaling small/large gates + bundle verify/reload (text + binary," \
+     "10x load gate) + tenant-isolation soak gates green, no sanitizer" \
+     "reports"

@@ -1,14 +1,16 @@
 #include "bundle/bundle.h"
 
 #include <algorithm>
+#include <cctype>
 #include <cmath>
 #include <cstdio>
-#include <cstdlib>
 #include <limits>
 #include <locale>
 #include <sstream>
 
+#include "bundle/binary_format.h"
 #include "bundle/crc32.h"
+#include "common/binio.h"
 #include "common/file_util.h"
 
 namespace dnlr::bundle {
@@ -19,17 +21,35 @@ namespace {
 constexpr const char* kCanonicalOrder[] = {
     kTeacherSection, kStudentSection, kNormalizerSection, kRungsSection};
 
-int CanonicalIndex(const std::string& name) {
-  for (size_t i = 0; i < std::size(kCanonicalOrder); ++i) {
-    if (name == kCanonicalOrder[i]) return static_cast<int>(i);
-  }
-  return -1;
-}
-
 std::string CrcHex(uint32_t crc) {
   char buf[16];
   std::snprintf(buf, sizeof(buf), "%08x", crc);
   return buf;
+}
+
+/// Parses a section-header CRC field: exactly eight lowercase-or-uppercase
+/// hex digits, nothing else. strtoul is deliberately NOT used here — it
+/// accepts sign prefixes ("-1"), "0x" markers, and arbitrarily long digit
+/// runs that silently truncate, any of which would let a tampered header
+/// carry a CRC field that re-serializes differently than it parsed.
+bool ParseCrcHex8(const std::string& field, uint32_t* crc) {
+  if (field.size() != 8) return false;
+  uint32_t value = 0;
+  for (const char c : field) {
+    uint32_t digit = 0;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<uint32_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<uint32_t>(c - 'a') + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      digit = static_cast<uint32_t>(c - 'A') + 10;
+    } else {
+      return false;
+    }
+    value = (value << 4) | digit;
+  }
+  *crc = value;
+  return true;
 }
 
 /// Classic-locale numeric stream helpers shared by the rung-config and
@@ -47,15 +67,10 @@ std::istringstream MakeIn(const std::string& text) {
   return in;
 }
 
-}  // namespace
-
-// ---------------------------------------------------------------------------
-// RungConfig
-
-// Grammar:
-//   rungs <n>
-//   rung <name> <kind> <us_per_doc>     (n lines, strongest first)
-Result<std::string> RungConfig::Serialize() const {
+/// Shared serialize-time validation for both rung codecs: non-empty,
+/// space-free names/kinds, finite positive costs, non-increasing down the
+/// ladder.
+Status ValidateRungsForSerialize(const std::vector<RungSpec>& rungs) {
   if (rungs.empty()) {
     return Status::InvalidArgument("rung config has no rungs");
   }
@@ -80,6 +95,26 @@ Result<std::string> RungConfig::Serialize() const {
     }
     previous = rung.us_per_doc;
   }
+  return Status::Ok();
+}
+
+}  // namespace
+
+int CanonicalSectionIndex(const std::string& name) {
+  for (size_t i = 0; i < std::size(kCanonicalOrder); ++i) {
+    if (name == kCanonicalOrder[i]) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+// ---------------------------------------------------------------------------
+// RungConfig
+
+// Grammar:
+//   rungs <n>
+//   rung <name> <kind> <us_per_doc>     (n lines, strongest first)
+Result<std::string> RungConfig::Serialize() const {
+  DNLR_RETURN_IF_ERROR(ValidateRungsForSerialize(rungs));
   std::ostringstream out = MakeOut();
   out << "rungs " << rungs.size() << '\n';
   for (const RungSpec& rung : rungs) {
@@ -112,6 +147,69 @@ Result<RungConfig> RungConfig::Deserialize(const std::string& text) {
                                 "ladder");
     }
     previous = rung.us_per_doc;
+  }
+  return config;
+}
+
+// Binary "RNG2" payload layout (little-endian; see common/binio.h):
+//   "RNG2"  u32 num_rungs
+//   per rung: u32 name_bytes, name, u32 kind_bytes, kind, f64 us_per_doc
+Result<std::string> RungConfig::SerializeBinary() const {
+  DNLR_RETURN_IF_ERROR(ValidateRungsForSerialize(rungs));
+  std::string out;
+  AppendBytes(out, "RNG2", 4);
+  AppendU32(out, static_cast<uint32_t>(rungs.size()));
+  for (const RungSpec& rung : rungs) {
+    AppendU32(out, static_cast<uint32_t>(rung.name.size()));
+    AppendBytes(out, rung.name.data(), rung.name.size());
+    AppendU32(out, static_cast<uint32_t>(rung.kind.size()));
+    AppendBytes(out, rung.kind.data(), rung.kind.size());
+    AppendF64(out, rung.us_per_doc);
+  }
+  return out;
+}
+
+Result<RungConfig> RungConfig::DeserializeBinary(std::string_view bytes) {
+  BinaryReader reader(bytes);
+  if (!reader.ExpectTag("RNG2")) {
+    return Status::ParseError("not a binary rung config (bad RNG2 tag)");
+  }
+  uint32_t count = 0;
+  if (!reader.ReadU32(&count) || count == 0) {
+    return Status::ParseError("bad binary rung count");
+  }
+  RungConfig config;
+  double previous = std::numeric_limits<double>::infinity();
+  for (uint32_t i = 0; i < count; ++i) {
+    RungSpec rung;
+    uint32_t name_bytes = 0;
+    uint32_t kind_bytes = 0;
+    std::string_view name;
+    std::string_view kind;
+    // ReadView bounds-checks each declared length against the remaining
+    // payload, so a forged length cannot read past the section.
+    if (!reader.ReadU32(&name_bytes) || !reader.ReadView(name_bytes, &name) ||
+        !reader.ReadU32(&kind_bytes) || !reader.ReadView(kind_bytes, &kind) ||
+        !reader.ReadF64(&rung.us_per_doc)) {
+      return Status::ParseError("truncated binary rung " + std::to_string(i));
+    }
+    rung.name = std::string(name);
+    rung.kind = std::string(kind);
+    if (rung.name.empty() || rung.kind.empty()) {
+      return Status::ParseError("binary rung " + std::to_string(i) +
+                                " has an empty name or kind");
+    }
+    if (!std::isfinite(rung.us_per_doc) || rung.us_per_doc <= 0.0 ||
+        rung.us_per_doc > previous) {
+      return Status::ParseError("rung '" + rung.name +
+                                "' cost is invalid or increases down the "
+                                "ladder");
+    }
+    previous = rung.us_per_doc;
+    config.rungs.push_back(std::move(rung));
+  }
+  if (reader.remaining() != 0) {
+    return Status::ParseError("trailing bytes after binary rung config");
   }
   return config;
 }
@@ -174,7 +272,7 @@ Result<data::ZNormalizer> DeserializeNormalizer(const std::string& text) {
 // ModelBundle
 
 Status ModelBundle::SetSection(const std::string& name, std::string payload) {
-  const int index = CanonicalIndex(name);
+  const int index = CanonicalSectionIndex(name);
   if (index < 0) {
     return Status::InvalidArgument("unknown bundle section '" + name + "'");
   }
@@ -187,7 +285,7 @@ Status ModelBundle::SetSection(const std::string& name, std::string payload) {
   Section section{name, std::move(payload)};
   const auto pos = std::find_if(
       sections_.begin(), sections_.end(), [index](const Section& s) {
-        return CanonicalIndex(s.name) > index;
+        return CanonicalSectionIndex(s.name) > index;
       });
   sections_.insert(pos, std::move(section));
   return Status::Ok();
@@ -228,10 +326,25 @@ const std::string* ModelBundle::FindSection(const std::string& name) const {
   return nullptr;
 }
 
+namespace {
+
+/// Payload-codec sniffing: binary payloads open with a 4-byte tag
+/// ("MLP2"/"GBT2"/"ZNM2"/"RNG2"); text payloads open with an ASCII keyword
+/// ("mlp"/"ensemble"/"znorm"/"rungs"), so four bytes decide the codec.
+bool PayloadHasTag(const std::string& payload, std::string_view tag) {
+  return payload.size() >= tag.size() &&
+         std::string_view(payload).substr(0, tag.size()) == tag;
+}
+
+}  // namespace
+
 Result<gbdt::Ensemble> ModelBundle::Teacher() const {
   const std::string* payload = FindSection(kTeacherSection);
   if (payload == nullptr) {
     return Status::NotFound("bundle has no teacher section");
+  }
+  if (PayloadHasTag(*payload, "GBT2")) {
+    return gbdt::Ensemble::DeserializeBinary(*payload);
   }
   return gbdt::Ensemble::Deserialize(*payload);
 }
@@ -241,6 +354,9 @@ Result<nn::Mlp> ModelBundle::Student() const {
   if (payload == nullptr) {
     return Status::NotFound("bundle has no student section");
   }
+  if (PayloadHasTag(*payload, "MLP2")) {
+    return nn::Mlp::DeserializeBinary(*payload);
+  }
   return nn::Mlp::Deserialize(*payload);
 }
 
@@ -249,6 +365,9 @@ Result<data::ZNormalizer> ModelBundle::Normalizer() const {
   if (payload == nullptr) {
     return Status::NotFound("bundle has no normalizer section");
   }
+  if (PayloadHasTag(*payload, "ZNM2")) {
+    return data::ZNormalizer::DeserializeBinary(*payload);
+  }
   return DeserializeNormalizer(*payload);
 }
 
@@ -256,6 +375,9 @@ Result<RungConfig> ModelBundle::Rungs() const {
   const std::string* payload = FindSection(kRungsSection);
   if (payload == nullptr) {
     return Status::NotFound("bundle has no rungs section");
+  }
+  if (PayloadHasTag(*payload, "RNG2")) {
+    return RungConfig::DeserializeBinary(*payload);
   }
   return RungConfig::Deserialize(*payload);
 }
@@ -275,7 +397,95 @@ std::string ModelBundle::Serialize() const {
   return out.str();
 }
 
+namespace {
+
+/// Re-encodes one section payload into the codec paired with `format`,
+/// passing it through untouched when it is already in that codec. The text
+/// codecs print max_digits10 under the classic locale, so parse + re-encode
+/// round-trips every float bitwise — conversion is score-lossless by
+/// construction.
+Result<std::string> ConvertPayload(const std::string& name,
+                                   const std::string& payload,
+                                   BundleFormat format) {
+  const bool want_binary = format == BundleFormat::kBinary;
+  if (name == kTeacherSection) {
+    if (PayloadHasTag(payload, "GBT2") == want_binary) return payload;
+    Result<gbdt::Ensemble> teacher =
+        want_binary ? gbdt::Ensemble::Deserialize(payload)
+                    : gbdt::Ensemble::DeserializeBinary(payload);
+    if (!teacher.ok()) return teacher.status();
+    return want_binary ? teacher->SerializeBinary() : teacher->Serialize();
+  }
+  if (name == kStudentSection) {
+    if (PayloadHasTag(payload, "MLP2") == want_binary) return payload;
+    Result<nn::Mlp> student = want_binary
+                                  ? nn::Mlp::Deserialize(payload)
+                                  : nn::Mlp::DeserializeBinary(payload);
+    if (!student.ok()) return student.status();
+    return want_binary ? student->SerializeBinary() : student->Serialize();
+  }
+  if (name == kNormalizerSection) {
+    if (PayloadHasTag(payload, "ZNM2") == want_binary) return payload;
+    Result<data::ZNormalizer> normalizer =
+        want_binary ? DeserializeNormalizer(payload)
+                    : data::ZNormalizer::DeserializeBinary(payload);
+    if (!normalizer.ok()) return normalizer.status();
+    return want_binary ? normalizer->SerializeBinary()
+                       : SerializeNormalizer(*normalizer);
+  }
+  if (name == kRungsSection) {
+    if (PayloadHasTag(payload, "RNG2") == want_binary) return payload;
+    Result<RungConfig> rungs = want_binary
+                                   ? RungConfig::Deserialize(payload)
+                                   : RungConfig::DeserializeBinary(payload);
+    if (!rungs.ok()) return rungs.status();
+    return want_binary ? rungs->SerializeBinary() : rungs->Serialize();
+  }
+  return Status::InvalidArgument("unknown bundle section '" + name + "'");
+}
+
+}  // namespace
+
+Result<std::string> ModelBundle::SerializeAs(BundleFormat format) const {
+  ModelBundle converted;
+  for (const Section& section : sections_) {
+    Result<std::string> payload =
+        ConvertPayload(section.name, section.payload, format);
+    if (!payload.ok()) {
+      return Status::ParseError("cannot convert section '" + section.name +
+                                "': " + payload.status().message());
+    }
+    converted.sections_.push_back(Section{section.name, std::move(*payload)});
+  }
+  if (format == BundleFormat::kBinary) {
+    return BuildBinaryBundle(converted.sections_);
+  }
+  return converted.Serialize();
+}
+
+Result<ModelBundle> ModelBundle::DeserializeBinary(std::string_view bytes) {
+  Result<std::vector<BinarySectionRange>> layout = ParseBinaryLayout(bytes);
+  if (!layout.ok()) return layout.status();
+  ModelBundle bundle;
+  for (const BinarySectionRange& range : *layout) {
+    // ParseBinaryLayout only checks structure; a full decode additionally
+    // pays for payload CRCs, so flipped payload bits are caught here before
+    // any model parser sees them.
+    std::string_view payload = bytes.substr(range.offset, range.size);
+    const uint32_t actual = Crc32(payload);
+    if (actual != range.crc32) {
+      return Status::ParseError("crc mismatch in section '" + range.name +
+                                "' (header " + CrcHex(range.crc32) +
+                                ", payload " + CrcHex(actual) + ")");
+    }
+    // Layout validation already enforced canonical order and uniqueness.
+    bundle.sections_.push_back(Section{range.name, std::string(payload)});
+  }
+  return bundle;
+}
+
 Result<ModelBundle> ModelBundle::Deserialize(const std::string& bytes) {
+  if (IsBinaryBundle(bytes)) return DeserializeBinary(bytes);
   // Header lines are parsed off an istream; payload bytes are then sliced
   // out of `bytes` directly so binary payloads pass through untouched.
   std::istringstream in = MakeIn(bytes);
@@ -309,14 +519,13 @@ Result<ModelBundle> ModelBundle::Deserialize(const std::string& bytes) {
       return Status::ParseError("malformed section header " +
                                 std::to_string(s));
     }
-    char* end = nullptr;
-    declared[s].crc =
-        static_cast<uint32_t>(std::strtoul(crc_hex.c_str(), &end, 16));
-    if (crc_hex.empty() || end == nullptr || *end != '\0') {
+    if (!ParseCrcHex8(crc_hex, &declared[s].crc)) {
       return Status::ParseError("malformed crc in section header '" +
-                                declared[s].name + "'");
+                                declared[s].name +
+                                "' (want exactly 8 hex digits, got '" +
+                                crc_hex + "')");
     }
-    const int index = CanonicalIndex(declared[s].name);
+    const int index = CanonicalSectionIndex(declared[s].name);
     if (index < 0) {
       return Status::ParseError("unknown bundle section '" +
                                 declared[s].name + "'");
@@ -346,7 +555,12 @@ Result<ModelBundle> ModelBundle::Deserialize(const std::string& bytes) {
 
   ModelBundle bundle;
   for (const Declared& decl : declared) {
-    if (offset + decl.size > bytes.size()) {
+    // Overflow-safe form: `offset + decl.size > bytes.size()` wraps when a
+    // forged header declares a size near SIZE_MAX (operator>> happily reads
+    // "-1" into a size_t as 18446744073709551615), which would wave the
+    // huge size through and let substr clamp it silently. `offset` itself
+    // is bounded by bytes.size() here, so the subtraction cannot underflow.
+    if (decl.size > bytes.size() - offset) {
       return Status::ParseError(
           "truncated section '" + decl.name + "' (declares " +
           std::to_string(decl.size) + " bytes, " +
@@ -374,6 +588,13 @@ Result<ModelBundle> ModelBundle::Deserialize(const std::string& bytes) {
 
 Status ModelBundle::SaveToFile(const std::string& path) const {
   return AtomicWriteFile(path, Serialize());
+}
+
+Status ModelBundle::SaveToFile(const std::string& path,
+                               BundleFormat format) const {
+  Result<std::string> bytes = SerializeAs(format);
+  if (!bytes.ok()) return bytes.status();
+  return AtomicWriteFile(path, *bytes);
 }
 
 Result<ModelBundle> ModelBundle::LoadFromFile(const std::string& path) {

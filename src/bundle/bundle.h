@@ -2,6 +2,7 @@
 #define DNLR_BUNDLE_BUNDLE_H_
 
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -20,6 +21,20 @@ namespace dnlr::bundle {
 /// whole family rolls (and rolls back) together.
 inline constexpr char kMagic[] = "dnlrbundle";
 inline constexpr uint32_t kFormatVersion = 1;
+
+/// The two container formats a bundle serializes to. Text (v1) is the
+/// portable, diffable interchange format; binary (v2, binary_format.h) is
+/// the section-aligned deployment format a server mmaps and loads
+/// zero-copy. Payload codecs pair with the container: a text container
+/// carries text payloads, a binary container carries the "MLP2"/"GBT2"/
+/// "ZNM2"/"RNG2" binary payloads. Conversion between the two is bitwise
+/// score-lossless (the text codecs print max_digits10, so floats round-trip
+/// exactly).
+enum class BundleFormat { kText, kBinary };
+
+/// Canonical position of `name` in the section order, or -1 for unknown
+/// names. Shared by the v1 text parser and the v2 binary layout validator.
+int CanonicalSectionIndex(const std::string& name);
 
 /// Canonical section names, in the only order a valid bundle may declare
 /// them. Any subset is allowed; reordering is a distinct parse error so a
@@ -48,6 +63,12 @@ struct RungConfig {
   /// costs that increase down the ladder.
   Result<std::string> Serialize() const;
   static Result<RungConfig> Deserialize(const std::string& text);
+
+  /// Binary "RNG2" form carried by v2 binary bundles (length-prefixed
+  /// strings + f64 costs, little-endian). Enforces the same invariants as
+  /// the text codec in both directions.
+  Result<std::string> SerializeBinary() const;
+  static Result<RungConfig> DeserializeBinary(std::string_view bytes);
 };
 
 /// A named, CRC-checksummed byte payload inside a bundle.
@@ -89,17 +110,36 @@ class ModelBundle {
   const std::vector<Section>& sections() const { return sections_; }
 
   /// Typed getters: parse the matching section. NotFound when the section
-  /// is absent; the model parsers' ParseError otherwise.
+  /// is absent; the model parsers' ParseError otherwise. Each getter sniffs
+  /// the payload codec from its leading bytes ("MLP2"/"GBT2"/"ZNM2"/"RNG2"
+  /// tag = binary, anything else = text), so a bundle deserialized from
+  /// either container format reads back identically.
   Result<gbdt::Ensemble> Teacher() const;
   Result<nn::Mlp> Student() const;
   Result<data::ZNormalizer> Normalizer() const;
   Result<RungConfig> Rungs() const;
 
+  /// v1 text container with payloads exactly as stored.
   std::string Serialize() const;
+
+  /// Serializes to the requested container format, converting every payload
+  /// to that format's paired codec (text↔binary conversion re-encodes via
+  /// parse + serialize, which is bitwise lossless). Fails with the payload
+  /// parser's error if a stored payload is corrupt.
+  Result<std::string> SerializeAs(BundleFormat format) const;
+
+  /// Sniffs the container format from the leading magic and dispatches to
+  /// the v1 text parser or DeserializeBinary.
   static Result<ModelBundle> Deserialize(const std::string& bytes);
+
+  /// Full-copy decode of a v2 binary container: validates the layout
+  /// (binary_format.h), then verifies every payload CRC before slicing
+  /// sections out. The zero-copy map path lives in bundle/mapped_bundle.h.
+  static Result<ModelBundle> DeserializeBinary(std::string_view bytes);
 
   /// Crash-safe save via common::AtomicWriteFile.
   Status SaveToFile(const std::string& path) const;
+  Status SaveToFile(const std::string& path, BundleFormat format) const;
   static Result<ModelBundle> LoadFromFile(const std::string& path);
 
  private:

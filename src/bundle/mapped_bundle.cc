@@ -1,0 +1,104 @@
+#include "bundle/mapped_bundle.h"
+
+#include <utility>
+
+#include "bundle/crc32.h"
+
+namespace dnlr::bundle {
+namespace {
+
+bool ViewHasTag(std::string_view payload, std::string_view tag) {
+  return payload.size() >= tag.size() &&
+         payload.substr(0, tag.size()) == tag;
+}
+
+}  // namespace
+
+Result<MappedBundle> MappedBundle::Map(const std::string& path,
+                                       bool prefer_mmap) {
+  Result<common::MappedFile> file = common::MappedFile::Open(path, prefer_mmap);
+  if (!file.ok()) return file.status();
+  return FromFile(std::move(*file));
+}
+
+Result<MappedBundle> MappedBundle::FromFile(common::MappedFile file) {
+  Result<std::vector<BinarySectionRange>> layout =
+      ParseBinaryLayout(file.view());
+  if (!layout.ok()) return layout.status();
+  return MappedBundle(std::move(file), std::move(*layout));
+}
+
+bool MappedBundle::HasSection(const std::string& name) const {
+  for (const BinarySectionRange& range : layout_) {
+    if (range.name == name) return true;
+  }
+  return false;
+}
+
+std::string_view MappedBundle::FindSectionView(const std::string& name) const {
+  for (const BinarySectionRange& range : layout_) {
+    if (range.name == name) {
+      return file_.view().substr(range.offset, range.size);
+    }
+  }
+  return {};
+}
+
+Result<gbdt::Ensemble> MappedBundle::Teacher() const {
+  const std::string_view payload = FindSectionView(kTeacherSection);
+  if (payload.empty()) {
+    return Status::NotFound("bundle has no teacher section");
+  }
+  if (ViewHasTag(payload, "GBT2")) {
+    return gbdt::Ensemble::DeserializeBinary(payload);
+  }
+  return gbdt::Ensemble::Deserialize(std::string(payload));
+}
+
+Result<nn::Mlp> MappedBundle::Student() const {
+  const std::string_view payload = FindSectionView(kStudentSection);
+  if (payload.empty()) {
+    return Status::NotFound("bundle has no student section");
+  }
+  if (ViewHasTag(payload, "MLP2")) {
+    return nn::Mlp::DeserializeBinary(payload);
+  }
+  return nn::Mlp::Deserialize(std::string(payload));
+}
+
+Result<data::ZNormalizer> MappedBundle::Normalizer() const {
+  const std::string_view payload = FindSectionView(kNormalizerSection);
+  if (payload.empty()) {
+    return Status::NotFound("bundle has no normalizer section");
+  }
+  if (ViewHasTag(payload, "ZNM2")) {
+    return data::ZNormalizer::DeserializeBinary(payload);
+  }
+  return DeserializeNormalizer(std::string(payload));
+}
+
+Result<RungConfig> MappedBundle::Rungs() const {
+  const std::string_view payload = FindSectionView(kRungsSection);
+  if (payload.empty()) {
+    return Status::NotFound("bundle has no rungs section");
+  }
+  if (ViewHasTag(payload, "RNG2")) {
+    return RungConfig::DeserializeBinary(payload);
+  }
+  return RungConfig::Deserialize(std::string(payload));
+}
+
+Status MappedBundle::VerifyPayloadCrcs() const {
+  for (const BinarySectionRange& range : layout_) {
+    const std::string_view payload =
+        file_.view().substr(range.offset, range.size);
+    const uint32_t actual = Crc32(payload);
+    if (actual != range.crc32) {
+      return Status::ParseError("crc mismatch in section '" + range.name +
+                                "'");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace dnlr::bundle

@@ -1,0 +1,70 @@
+#ifndef DNLR_BUNDLE_MAPPED_BUNDLE_H_
+#define DNLR_BUNDLE_MAPPED_BUNDLE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bundle/binary_format.h"
+#include "bundle/bundle.h"
+#include "common/mapped_file.h"
+#include "common/status.h"
+
+namespace dnlr::bundle {
+
+/// A v2 binary bundle resident via mmap: the kernel pages model bytes in on
+/// demand and shares them across processes, and loading never copies the
+/// file into a heap buffer first. Map() runs only the cheap structural
+/// validation (ParseBinaryLayout — header + table CRCs, every offset/size
+/// checked overflow-safely); payload CRCs cost a full scan of the mapping
+/// and are deferred to VerifyPayloadCrcs(), which `dnlr_cli bundle verify`
+/// calls and serving does not.
+///
+/// The typed getters mirror ModelBundle's exactly (same names, same
+/// Result/NotFound contract), so Servable builds from either
+/// interchangeably. They decode straight out of the mapping — the binary
+/// codecs are bounds-checked memcpy, no intermediate payload string.
+class MappedBundle {
+ public:
+  /// Maps `path` and validates the v2 layout. A v1 text bundle fails with
+  /// the binary magic ParseError — callers that accept both formats should
+  /// sniff with IsBinaryBundle first (serve::Servable::LoadFromFile does).
+  static Result<MappedBundle> Map(const std::string& path,
+                                  bool prefer_mmap = true);
+
+  /// Wraps an already-opened mapping (e.g. after format sniffing).
+  static Result<MappedBundle> FromFile(common::MappedFile file);
+
+  bool HasSection(const std::string& name) const;
+  /// View of a section's payload inside the mapping, or an empty view when
+  /// the section is absent. Valid only while this MappedBundle lives.
+  std::string_view FindSectionView(const std::string& name) const;
+
+  /// Typed getters, codec-sniffed like ModelBundle's. NotFound when the
+  /// section is absent.
+  Result<gbdt::Ensemble> Teacher() const;
+  Result<nn::Mlp> Student() const;
+  Result<data::ZNormalizer> Normalizer() const;
+  Result<RungConfig> Rungs() const;
+
+  /// The deferred integrity pass: CRC32 of every payload against its table
+  /// entry. ParseError naming the first mismatching section.
+  Status VerifyPayloadCrcs() const;
+
+  const std::vector<BinarySectionRange>& layout() const { return layout_; }
+  /// True when the bytes come from a real mmap (false on the read fallback).
+  bool is_mapped() const { return file_.is_mapped(); }
+  size_t file_bytes() const { return file_.size(); }
+
+ private:
+  MappedBundle(common::MappedFile file,
+               std::vector<BinarySectionRange> layout)
+      : file_(std::move(file)), layout_(std::move(layout)) {}
+
+  common::MappedFile file_;
+  std::vector<BinarySectionRange> layout_;
+};
+
+}  // namespace dnlr::bundle
+
+#endif  // DNLR_BUNDLE_MAPPED_BUNDLE_H_

@@ -1,0 +1,134 @@
+#ifndef DNLR_COMMON_BINIO_H_
+#define DNLR_COMMON_BINIO_H_
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace dnlr {
+
+// The binary bundle format (dnlrbundle v2) is defined as little-endian so a
+// mapped file is readable in place on every deployment target (x86-64 and
+// aarch64 are both LE). A big-endian port would need byte-swapping encoders
+// here; until one exists, fail the build loudly instead of silently writing
+// native-endian files that other hosts cannot map.
+static_assert(std::endian::native == std::endian::little,
+              "dnlr binary serialization requires a little-endian target");
+
+/// Appends the raw little-endian bytes of a trivially copyable scalar.
+template <typename T>
+inline void AppendScalar(std::string& out, T value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  char bytes[sizeof(T)];
+  std::memcpy(bytes, &value, sizeof(T));
+  out.append(bytes, sizeof(T));
+}
+
+inline void AppendU32(std::string& out, uint32_t v) { AppendScalar(out, v); }
+inline void AppendU64(std::string& out, uint64_t v) { AppendScalar(out, v); }
+inline void AppendI32(std::string& out, int32_t v) { AppendScalar(out, v); }
+inline void AppendF32(std::string& out, float v) { AppendScalar(out, v); }
+inline void AppendF64(std::string& out, double v) { AppendScalar(out, v); }
+
+inline void AppendBytes(std::string& out, const void* data, size_t size) {
+  out.append(static_cast<const char*>(data), size);
+}
+
+/// Pads `out` with zero bytes until its size is a multiple of `alignment`.
+/// Section payloads use this so float/node arrays land on kSimdAlignment
+/// boundaries inside the mapped file (section starts are themselves
+/// alignment-multiples, making payload-relative alignment absolute).
+inline void AppendPadTo(std::string& out, size_t alignment) {
+  while (out.size() % alignment != 0) out.push_back('\0');
+}
+
+/// Bounds-checked little-endian reader over a byte view. Every Read*
+/// returns false instead of reading past the end, so a truncated or
+/// corrupted payload can never cause an out-of-bounds access — exactly the
+/// property the mmap load path needs when scoring from an unverified file.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::string_view bytes) : bytes_(bytes) {}
+
+  size_t pos() const { return pos_; }
+  size_t remaining() const { return bytes_.size() - pos_; }
+
+  template <typename T>
+  bool ReadScalar(T* out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (remaining() < sizeof(T)) return false;
+    std::memcpy(out, bytes_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return true;
+  }
+
+  bool ReadU32(uint32_t* out) { return ReadScalar(out); }
+  bool ReadU64(uint64_t* out) { return ReadScalar(out); }
+  bool ReadI32(int32_t* out) { return ReadScalar(out); }
+  bool ReadF32(float* out) { return ReadScalar(out); }
+  bool ReadF64(double* out) { return ReadScalar(out); }
+
+  bool ReadBytes(void* dst, size_t size) {
+    if (remaining() < size) return false;
+    std::memcpy(dst, bytes_.data() + pos_, size);
+    pos_ += size;
+    return true;
+  }
+
+  bool ReadView(size_t size, std::string_view* out) {
+    if (remaining() < size) return false;
+    *out = bytes_.substr(pos_, size);
+    pos_ += size;
+    return true;
+  }
+
+  /// Reads `count` trivially copyable elements into a vector. The count is
+  /// bounds-checked against the remaining bytes BEFORE the allocation, so a
+  /// forged header declaring billions of elements yields a clean parse
+  /// failure instead of an allocation blow-up.
+  template <typename T>
+  bool ReadPodArray(std::vector<T>* out, size_t count) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (count > remaining() / sizeof(T)) return false;
+    out->resize(count);
+    return count == 0 || ReadBytes(out->data(), count * sizeof(T));
+  }
+
+  /// Reads `count` elements into caller-owned storage (same bounds rule).
+  template <typename T>
+  bool ReadPodSpan(T* dst, size_t count) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (count > remaining() / sizeof(T)) return false;
+    return count == 0 || ReadBytes(dst, count * sizeof(T));
+  }
+
+  /// Skips forward to the next multiple of `alignment` (payload-relative).
+  /// The skipped padding must exist; its content is not inspected.
+  bool AlignTo(size_t alignment) {
+    const size_t rem = pos_ % alignment;
+    if (rem == 0) return true;
+    const size_t skip = alignment - rem;
+    if (remaining() < skip) return false;
+    pos_ += skip;
+    return true;
+  }
+
+  /// Consumes a 4-byte codec tag and compares it to `tag` (e.g. "MLP2").
+  bool ExpectTag(const char (&tag)[5]) {
+    char actual[4];
+    if (!ReadBytes(actual, 4)) return false;
+    return std::memcmp(actual, tag, 4) == 0;
+  }
+
+ private:
+  std::string_view bytes_;
+  size_t pos_ = 0;
+};
+
+}  // namespace dnlr
+
+#endif  // DNLR_COMMON_BINIO_H_

@@ -9,6 +9,7 @@
 #include <sstream>
 
 #ifndef _WIN32
+#include <fcntl.h>
 #include <unistd.h>
 #endif
 
@@ -23,6 +24,31 @@ std::string ErrnoDetail() {
 bool WriteAll(std::FILE* file, const char* data, size_t size) {
   return size == 0 || std::fwrite(data, 1, size, file) == size;
 }
+
+#ifndef _WIN32
+/// fsyncs the directory containing `path`, making a just-completed rename
+/// durable. fsync of the temp file alone only persists the file's *data*;
+/// the rename is a mutation of the parent directory, and until that
+/// directory's metadata reaches disk a crash can roll the publish back (the
+/// old name reappears, or on a first write the file vanishes entirely).
+Status SyncParentDir(const std::string& path) {
+  std::string dir = std::filesystem::path(path).parent_path().string();
+  if (dir.empty()) dir = ".";
+  errno = 0;
+  const int fd = open(dir.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IoError("cannot open directory '" + dir +
+                           "' to sync the rename" + ErrnoDetail());
+  }
+  if (fsync(fd) != 0) {
+    const std::string detail = ErrnoDetail();
+    close(fd);
+    return Status::IoError("fsync of directory '" + dir + "' failed" + detail);
+  }
+  close(fd);
+  return Status::Ok();
+}
+#endif
 
 }  // namespace
 
@@ -112,6 +138,27 @@ Status AtomicWriteFile(const std::string& path, std::string_view contents,
     return Status::IoError("rename '" + tmp_path + "' -> '" + path +
                            "' failed" + ErrnoDetail());
   }
+
+  if (options.crash_point == WriteCrashPoint::kAfterRename) {
+    return Status::IoError("simulated crash after renaming '" + tmp_path +
+                           "' over '" + path +
+                           "' (published but directory not yet synced)");
+  }
+
+#ifndef _WIN32
+  // Durability of the publish itself: the rename lives in the parent
+  // directory's metadata, which fsync of the temp file does not cover. A
+  // crash between the rename and this directory sync can lose the rename —
+  // readers would see the *old* content again after reboot (or no file at
+  // all on a first write), even though AtomicWriteFile had reported
+  // success. An error here is reported even though the new content is
+  // already visible: callers that require durability (model rollouts) must
+  // treat "published but maybe not durable" as a failed publish and retry.
+  if (options.sync) {
+    Status dir_sync = SyncParentDir(path);
+    if (!dir_sync.ok()) return dir_sync;
+  }
+#endif
   return Status::Ok();
 }
 

@@ -16,10 +16,12 @@ namespace dnlr {
 /// parsers). An empty regular file reads as an empty string.
 Result<std::string> ReadFileToString(const std::string& path);
 
-/// Where AtomicWriteFile simulates a `kill -9` for crash-safety tests. Each
-/// point abandons the write exactly as a hard crash at that stage would:
-/// the temp file is left behind in whatever state it reached and the
-/// published path is never touched.
+/// Where AtomicWriteFile simulates a `kill -9` for crash-safety tests. The
+/// first three points abandon the write exactly as a hard crash at that
+/// stage would: the temp file is left behind in whatever state it reached
+/// and the published path is never touched. The last point crashes *after*
+/// the rename: the new content is already visible, but its durability (the
+/// parent-directory sync) has not happened yet.
 enum class WriteCrashPoint {
   kNone = 0,
   /// Crash right after the temp file is created: an empty temp file exists.
@@ -29,24 +31,35 @@ enum class WriteCrashPoint {
   /// Crash after the payload is fully written and flushed but before the
   /// rename publishes it — the narrowest window a non-atomic writer loses.
   kBeforeRename,
+  /// Crash after the rename but before the parent directory is fsynced:
+  /// readers on the live system already see the new content, yet a power
+  /// loss here may roll the directory entry back to the old file (or to no
+  /// file at all on a first write). This is the durability hole the
+  /// directory sync closes; the simulated crash reports IoError even
+  /// though the path now holds the new bytes.
+  kAfterRename,
 };
 
 struct AtomicWriteOptions {
   /// Fault-injection hook (tests only): simulate a hard crash at this point.
   WriteCrashPoint crash_point = WriteCrashPoint::kNone;
-  /// fsync the temp file before the rename so the payload is durable before
-  /// it becomes visible. Tests may turn it off for speed; production
-  /// writers (model bundles) keep it on.
+  /// fsync the temp file before the rename (payload durability) and the
+  /// parent directory after it (durability of the rename itself). Tests may
+  /// turn it off for speed; production writers (model bundles) keep it on.
   bool sync = true;
 };
 
 /// Crash-safe whole-file write: the contents land in a uniquely named temp
 /// file next to `path`, are flushed (and fsynced, see AtomicWriteOptions),
-/// and only then atomically renamed over `path`. A crash or error at any
-/// point leaves the published path untouched — either the old content is
-/// intact or the file does not exist yet; readers can never observe a
-/// torn or truncated file. Every stream/OS failure returns IoError; on
-/// real (non-injected) failures the temp file is removed.
+/// atomically renamed over `path`, and the containing directory is then
+/// fsynced so the rename itself is durable. A crash or error at any point
+/// before the rename leaves the published path untouched — either the old
+/// content is intact or the file does not exist yet; readers can never
+/// observe a torn or truncated file. Every stream/OS failure returns
+/// IoError; on real (non-injected) pre-rename failures the temp file is
+/// removed. A directory-sync failure after the rename also returns IoError:
+/// the new content is visible but not yet guaranteed durable, and callers
+/// that need durability must treat the publish as failed.
 Status AtomicWriteFile(const std::string& path, std::string_view contents,
                        const AtomicWriteOptions& options = {});
 

@@ -1,8 +1,11 @@
 #ifndef DNLR_DATA_NORMALIZE_H_
 #define DNLR_DATA_NORMALIZE_H_
 
+#include <string>
+#include <string_view>
 #include <vector>
 
+#include "common/status.h"
 #include "data/dataset.h"
 
 namespace dnlr::data {
@@ -28,6 +31,14 @@ class ZNormalizer {
 
   /// Returns a normalized copy of the whole dataset.
   Dataset Transform(const Dataset& input) const;
+
+  /// Binary (de)serialization: the little-endian "ZNM2" payload carried by
+  /// v2 binary bundles (the text codec lives in bundle/bundle.h, next to
+  /// the container that defined it). Mean/stddev arrays are raw float bytes
+  /// padded to SIMD alignment; both directions reject non-finite statistics
+  /// and non-positive stddevs, mirroring the text codec's contract.
+  Result<std::string> SerializeBinary() const;
+  static Result<ZNormalizer> DeserializeBinary(std::string_view bytes);
 
   bool fitted() const { return !mean_.empty(); }
   uint32_t num_features() const {

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
 #include <limits>
 #include <locale>
 #include <set>
 #include <sstream>
 
+#include "common/aligned.h"
+#include "common/binio.h"
 #include "common/file_util.h"
 #include "gbdt/validate.h"
 
@@ -138,6 +141,120 @@ Result<Ensemble> Ensemble::Deserialize(const std::string& text) {
   }
 #ifndef NDEBUG
   // Debug builds reject structurally invalid models at the parse boundary;
+  // release callers opt in via ValidateEnsemble / `dnlr_cli validate`.
+  DNLR_RETURN_IF_ERROR(ValidateEnsemble(ensemble, /*num_features=*/0));
+#endif
+  return ensemble;
+}
+
+// The node array is memcpy'd whole, so the binary format is pinned to
+// TreeNode's exact in-memory layout; any field change must bump the codec
+// tag. These asserts turn a silent layout drift into a build break.
+static_assert(sizeof(TreeNode) == 16 && std::is_trivially_copyable_v<TreeNode>,
+              "GBT2 binary codec requires the packed 16-byte TreeNode");
+static_assert(offsetof(TreeNode, feature) == 0 &&
+                  offsetof(TreeNode, threshold) == 4 &&
+                  offsetof(TreeNode, left) == 8 &&
+                  offsetof(TreeNode, right) == 12,
+              "GBT2 binary codec requires TreeNode's field order");
+
+// Binary "GBT2" payload layout (little-endian; see common/binio.h):
+//   "GBT2"  u32 num_trees  u32 reserved(0)  f64 base_score
+//   per tree: u32 num_nodes  u32 num_leaves          (directory, upfront)
+//   per tree, in order:
+//     pad to kSimdAlignment, TreeNode nodes[num_nodes] (16 bytes each),
+//     pad to kSimdAlignment, f64 leaf_values[num_leaves]
+// The directory-first shape lets a reader size every allocation against
+// the payload length before touching any array.
+Result<std::string> Ensemble::SerializeBinary() const {
+  if (!std::isfinite(base_score_)) {
+    return Status::InvalidArgument(
+        "cannot serialize ensemble: non-finite base score");
+  }
+  for (size_t t = 0; t < trees_.size(); ++t) {
+    const RegressionTree& tree = trees_[t];
+    for (const TreeNode& node : tree.nodes()) {
+      if (!std::isfinite(node.threshold)) {
+        return Status::InvalidArgument(
+            "cannot serialize ensemble: non-finite threshold in tree " +
+            std::to_string(t));
+      }
+    }
+    for (const double value : tree.leaf_values()) {
+      if (!std::isfinite(value)) {
+        return Status::InvalidArgument(
+            "cannot serialize ensemble: non-finite leaf value in tree " +
+            std::to_string(t));
+      }
+    }
+  }
+  std::string out;
+  AppendBytes(out, "GBT2", 4);
+  AppendU32(out, static_cast<uint32_t>(trees_.size()));
+  AppendU32(out, 0);
+  AppendF64(out, base_score_);
+  for (const RegressionTree& tree : trees_) {
+    AppendU32(out, tree.num_nodes());
+    AppendU32(out, tree.num_leaves());
+  }
+  for (const RegressionTree& tree : trees_) {
+    AppendPadTo(out, kSimdAlignment);
+    AppendBytes(out, tree.nodes().data(),
+                tree.nodes().size() * sizeof(TreeNode));
+    AppendPadTo(out, kSimdAlignment);
+    AppendBytes(out, tree.leaf_values().data(),
+                tree.leaf_values().size() * sizeof(double));
+  }
+  return out;
+}
+
+Result<Ensemble> Ensemble::DeserializeBinary(std::string_view bytes) {
+  BinaryReader reader(bytes);
+  if (!reader.ExpectTag("GBT2")) {
+    return Status::ParseError("not a binary ensemble payload (bad GBT2 tag)");
+  }
+  uint32_t num_trees = 0;
+  uint32_t reserved = 0;
+  double base_score = 0.0;
+  if (!reader.ReadU32(&num_trees) || !reader.ReadU32(&reserved) ||
+      !reader.ReadF64(&base_score)) {
+    return Status::ParseError("truncated binary ensemble header");
+  }
+  // The 8-byte directory entries must fit in the payload, which bounds the
+  // tree count (and thus the directory allocation) by the section length.
+  if (num_trees > reader.remaining() / 8) {
+    return Status::ParseError(
+        "binary ensemble declares more trees than the payload holds");
+  }
+  std::vector<std::pair<uint32_t, uint32_t>> directory(num_trees);
+  for (auto& [nodes, leaves] : directory) {
+    if (!reader.ReadU32(&nodes) || !reader.ReadU32(&leaves)) {
+      return Status::ParseError("truncated binary ensemble tree directory");
+    }
+  }
+  Ensemble ensemble(base_score);
+  for (uint32_t t = 0; t < num_trees; ++t) {
+    std::vector<TreeNode> nodes;
+    std::vector<double> leaves;
+    // ReadPodArray bounds-checks each declared count against the remaining
+    // bytes before allocating, so a forged directory cannot demand a giant
+    // tree.
+    if (!reader.AlignTo(kSimdAlignment) ||
+        !reader.ReadPodArray(&nodes, directory[t].first) ||
+        !reader.AlignTo(kSimdAlignment) ||
+        !reader.ReadPodArray(&leaves, directory[t].second)) {
+      return Status::ParseError("truncated binary ensemble at tree " +
+                                std::to_string(t));
+    }
+    ensemble.AddTree(RegressionTree(std::move(nodes), std::move(leaves)));
+  }
+  if (reader.remaining() != 0) {
+    return Status::ParseError(
+        "trailing bytes after binary ensemble trees (" +
+        std::to_string(reader.remaining()) + " unaccounted)");
+  }
+#ifndef NDEBUG
+  // Same boundary policy as the text parser: debug builds validate here,
   // release callers opt in via ValidateEnsemble / `dnlr_cli validate`.
   DNLR_RETURN_IF_ERROR(ValidateEnsemble(ensemble, /*num_features=*/0));
 #endif

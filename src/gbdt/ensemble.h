@@ -2,6 +2,7 @@
 #define DNLR_GBDT_ENSEMBLE_H_
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/status.h"
@@ -63,6 +64,15 @@ class Ensemble {
   /// back.
   Result<std::string> Serialize() const;
   static Result<Ensemble> Deserialize(const std::string& text);
+
+  /// Binary (de)serialization: the little-endian "GBT2" payload carried by
+  /// v2 binary bundles. Node and leaf arrays are raw TreeNode / double
+  /// bytes padded to kSimdAlignment boundaries, so loading a forest is a
+  /// bounds-checked memcpy per tree instead of a per-node text parse —
+  /// bitwise identical to the text round-trip, orders of magnitude faster.
+  /// SerializeBinary applies the same non-finite rejection as Serialize.
+  Result<std::string> SerializeBinary() const;
+  static Result<Ensemble> DeserializeBinary(std::string_view bytes);
 
   /// Crash-safe save: serialized, written to a temp file and atomically
   /// renamed over `path` (common::AtomicWriteFile), so a crash or full disk

@@ -5,6 +5,8 @@
 #include <locale>
 #include <sstream>
 
+#include "common/aligned.h"
+#include "common/binio.h"
 #include "common/file_util.h"
 #include "nn/validate.h"
 
@@ -159,6 +161,111 @@ Result<Mlp> Mlp::Deserialize(const std::string& text) {
 #ifndef NDEBUG
   // Debug builds reject malformed models (non-finite weights, broken layer
   // chaining) at the parse boundary; release callers opt in via ValidateMlp.
+  DNLR_RETURN_IF_ERROR(ValidateMlp(mlp));
+#endif
+  return mlp;
+}
+
+// Binary "MLP2" payload layout (little-endian; see common/binio.h):
+//   "MLP2"  u32 input_dim  u32 num_hidden  u32 hidden[num_hidden]
+//   per layer, forward order:
+//     pad to kSimdAlignment, f32 weight[out*in] (row-major),
+//     pad to kSimdAlignment, f32 bias[out]
+// Layer shapes are derived from the architecture header, so the arrays
+// carry no redundant framing; the container section's length and CRC cover
+// integrity, and every read below is bounds-checked.
+Result<std::string> Mlp::SerializeBinary() const {
+  for (uint32_t l = 0; l < num_layers(); ++l) {
+    const LinearLayer& layer = layers_[l];
+    for (size_t i = 0; i < layer.weight.size(); ++i) {
+      if (!std::isfinite(layer.weight.data()[i])) {
+        return Status::InvalidArgument(
+            "cannot serialize mlp: non-finite weight at layer " +
+            std::to_string(l) + " index " + std::to_string(i));
+      }
+    }
+    for (size_t i = 0; i < layer.bias.size(); ++i) {
+      if (!std::isfinite(layer.bias[i])) {
+        return Status::InvalidArgument(
+            "cannot serialize mlp: non-finite bias at layer " +
+            std::to_string(l) + " index " + std::to_string(i));
+      }
+    }
+  }
+  std::string out;
+  AppendBytes(out, "MLP2", 4);
+  AppendU32(out, arch_.input_dim);
+  AppendU32(out, static_cast<uint32_t>(arch_.hidden.size()));
+  for (const uint32_t h : arch_.hidden) AppendU32(out, h);
+  for (const LinearLayer& layer : layers_) {
+    AppendPadTo(out, kSimdAlignment);
+    AppendBytes(out, layer.weight.data(),
+                layer.weight.size() * sizeof(float));
+    AppendPadTo(out, kSimdAlignment);
+    AppendBytes(out, layer.bias.data(), layer.bias.size() * sizeof(float));
+  }
+  return out;
+}
+
+Result<Mlp> Mlp::DeserializeBinary(std::string_view bytes) {
+  BinaryReader reader(bytes);
+  if (!reader.ExpectTag("MLP2")) {
+    return Status::ParseError("not a binary mlp payload (bad MLP2 tag)");
+  }
+  uint32_t input_dim = 0;
+  uint32_t num_hidden = 0;
+  if (!reader.ReadU32(&input_dim) || !reader.ReadU32(&num_hidden)) {
+    return Status::ParseError("truncated binary mlp header");
+  }
+  // Dimension caps keep the weight-count arithmetic below overflow-free;
+  // real architectures are orders of magnitude smaller.
+  constexpr uint32_t kMaxDim = 1u << 20;
+  constexpr uint32_t kMaxHidden = 1024;
+  if (input_dim == 0 || input_dim > kMaxDim || num_hidden == 0 ||
+      num_hidden > kMaxHidden) {
+    return Status::ParseError("implausible binary mlp architecture header");
+  }
+  std::vector<uint32_t> hidden(num_hidden);
+  for (uint32_t& h : hidden) {
+    if (!reader.ReadU32(&h)) {
+      return Status::ParseError("truncated binary mlp architecture");
+    }
+    if (h == 0 || h > kMaxDim) {
+      return Status::ParseError("implausible binary mlp layer width");
+    }
+  }
+  const predict::Architecture arch(input_dim, std::move(hidden));
+  // Every declared weight and bias must fit in the payload, checked before
+  // any allocation: a forged header cannot demand a giant model. Each term
+  // is <= 2^40 and there are <= kMaxHidden + 1 of them — no u64 overflow.
+  uint64_t declared_floats = 0;
+  for (const auto& [out_dim, in_dim] : arch.LayerShapes()) {
+    declared_floats +=
+        static_cast<uint64_t>(out_dim) * in_dim + out_dim;
+  }
+  if (declared_floats > bytes.size() / sizeof(float)) {
+    return Status::ParseError(
+        "binary mlp declares more weights than the payload holds");
+  }
+  Mlp mlp(arch, /*seed=*/0);
+  for (uint32_t l = 0; l < mlp.num_layers(); ++l) {
+    LinearLayer& layer = mlp.layer(l);
+    if (!reader.AlignTo(kSimdAlignment) ||
+        !reader.ReadPodSpan(layer.weight.data(), layer.weight.size()) ||
+        !reader.AlignTo(kSimdAlignment) ||
+        !reader.ReadPodSpan(layer.bias.data(), layer.bias.size())) {
+      return Status::ParseError("truncated binary mlp weights at layer " +
+                                std::to_string(l));
+    }
+  }
+  if (reader.remaining() != 0) {
+    return Status::ParseError("trailing bytes after binary mlp weights (" +
+                              std::to_string(reader.remaining()) +
+                              " unaccounted)");
+  }
+#ifndef NDEBUG
+  // Same boundary policy as the text parser: debug builds validate here,
+  // release callers opt in via ValidateMlp.
   DNLR_RETURN_IF_ERROR(ValidateMlp(mlp));
 #endif
   return mlp;

@@ -2,6 +2,7 @@
 #define DNLR_NN_MLP_H_
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/rng.h"
@@ -64,6 +65,16 @@ class Mlp {
   /// time, not as a misleading parse error on the next load.
   Result<std::string> Serialize() const;
   static Result<Mlp> Deserialize(const std::string& text);
+
+  /// Binary (de)serialization: the little-endian "MLP2" payload carried by
+  /// v2 binary bundles. Weight and bias arrays are raw float bytes padded
+  /// to kSimdAlignment boundaries (payload-relative, which the 64-aligned
+  /// bundle sections make absolute in a mapped file), so loading is a
+  /// bounds-checked memcpy instead of a text float parse — bitwise
+  /// identical to the text round-trip, orders of magnitude faster.
+  /// SerializeBinary applies the same non-finite rejection as Serialize.
+  Result<std::string> SerializeBinary() const;
+  static Result<Mlp> DeserializeBinary(std::string_view bytes);
 
   /// Crash-safe save: the model is serialized, written to a temp file and
   /// atomically renamed over `path` (common::AtomicWriteFile), so a crash

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "bundle/bundle.h"
+#include "bundle/mapped_bundle.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "data/normalize.h"
@@ -38,6 +39,9 @@ struct ServableOptions {
   /// serial on machines where parallelism never wins. 0 keeps the
   /// structural default.
   uint32_t min_parallel_docs = 0;
+  /// LoadFromFile maps binary bundles with mmap when possible; false forces
+  /// the heap-read fallback (test knob, see common::MappedFile::Open).
+  bool prefer_mmap = true;
 };
 
 /// Everything a hot-swappable model generation needs to serve, owned in one
@@ -69,7 +73,16 @@ class Servable {
   static Result<std::unique_ptr<Servable>> FromBundle(
       const bundle::ModelBundle& bundle, const ServableOptions& options = {});
 
-  /// LoadFromFile = ModelBundle::LoadFromFile + FromBundle.
+  /// Builds from a memory-mapped binary bundle: model arrays decode
+  /// straight out of the mapping (bounds-checked memcpy, no intermediate
+  /// payload buffer). The mapping only needs to outlive this call — the
+  /// Servable owns its model objects either way.
+  static Result<std::unique_ptr<Servable>> FromMappedBundle(
+      const bundle::MappedBundle& bundle, const ServableOptions& options = {});
+
+  /// Sniffs the container format from the file's magic: a v2 binary bundle
+  /// goes through MappedFile + FromMappedBundle (zero-copy), a v1 text
+  /// bundle through ModelBundle::Deserialize + FromBundle.
   static Result<std::unique_ptr<Servable>> LoadFromFile(
       const std::string& path, const ServableOptions& options = {});
 
@@ -93,8 +106,12 @@ class Servable {
 
  private:
   Servable() = default;
-  Status Build(const bundle::ModelBundle& bundle,
-               const ServableOptions& options);
+  /// Works for any bundle type exposing the shared getter API
+  /// (HasSection/Teacher/Student/Normalizer/Rungs): bundle::ModelBundle and
+  /// bundle::MappedBundle today. Defined in servable.cc; both
+  /// instantiations live there.
+  template <typename BundleT>
+  Status Build(const BundleT& bundle, const ServableOptions& options);
 
   bundle::RungConfig rung_config_;
   uint32_t num_features_ = 0;

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <cmath>
 #include <cstring>
 #include <filesystem>
@@ -405,6 +406,53 @@ TEST_F(BundleCorruptionTest, MalformedHeader) {
             std::string::npos);
 }
 
+TEST_F(BundleCorruptionTest, ForgedHugeSectionSizeReportsTruncated) {
+  // `operator>>` into a size_t happily reads "-1" as SIZE_MAX without
+  // setting failbit, and the old `offset + size > total` bounds check then
+  // wrapped past the file end and waved the forged size through to a
+  // clamped substr. The overflow-safe check must reject both spellings
+  // with a clean truncation error, not a downstream crc/trailing-bytes
+  // artifact.
+  for (const char* forged : {"-1", "18446744073709551615", "9999999999"}) {
+    const std::string corrupt = "dnlrbundle 1 1\nsection teacher " +
+                                std::string(forged) +
+                                " 00000000\npayload\nx";
+    const Status status = DeserializeError(corrupt);
+    EXPECT_EQ(status.code(), StatusCode::kParseError);
+    EXPECT_NE(status.message().find("truncated section 'teacher'"),
+              std::string::npos)
+        << "forged size " << forged << ": " << status.ToString();
+  }
+}
+
+TEST_F(BundleCorruptionTest, NonCanonicalCrcFieldsAreMalformed) {
+  // The crc field is exactly 8 hex digits. strtoul used to accept sign
+  // prefixes, "0x", leading whitespace, and overlong digit strings — all
+  // of which now fail parsing instead of silently normalizing.
+  const std::string payload = "x";
+  char canonical[16];
+  std::snprintf(canonical, sizeof(canonical), "%08x",
+                bundle::Crc32(payload));
+  for (const char* field : {"-0000001", "+0000001", "0x123456", "123456789",
+                            "1234567", "0000000g"}) {
+    const std::string corrupt = "dnlrbundle 1 1\nsection teacher 1 " +
+                                std::string(field) + "\npayload\n" + payload;
+    const Status status = DeserializeError(corrupt);
+    EXPECT_EQ(status.code(), StatusCode::kParseError);
+    EXPECT_NE(status.message().find("malformed crc"), std::string::npos)
+        << "crc field '" << field << "': " << status.ToString();
+  }
+  // The canonical spelling (and its uppercase twin) still parses.
+  const std::string good = "dnlrbundle 1 1\nsection teacher 1 " +
+                           std::string(canonical) + "\npayload\n" + payload;
+  EXPECT_TRUE(bundle::ModelBundle::Deserialize(good).ok());
+  std::string upper = canonical;
+  for (char& c : upper) c = static_cast<char>(std::toupper(c));
+  const std::string good_upper = "dnlrbundle 1 1\nsection teacher 1 " +
+                                 upper + "\npayload\n" + payload;
+  EXPECT_TRUE(bundle::ModelBundle::Deserialize(good_upper).ok());
+}
+
 // ---------------------------------------------------------------------------
 // Crash-point atomicity
 
@@ -439,6 +487,30 @@ TEST(AtomicWriteTest, CrashAtAnyPointNeverTearsThePublishedFile) {
   auto bytes = ReadFileToString(path);
   ASSERT_TRUE(bytes.ok());
   EXPECT_EQ(*bytes, replacement.Serialize());
+}
+
+TEST(AtomicWriteTest, CrashAfterRenamePublishesButReportsFailure) {
+  // The durability hole the parent-directory fsync closes: a crash between
+  // the rename and that sync leaves the new content visible to live
+  // readers, but a power loss could still roll the directory entry back.
+  // AtomicWriteFile therefore reports IoError from this window — callers
+  // that need durability must treat the publish as failed and retry — even
+  // though the path already holds the new bytes.
+  const std::string path = TempPath("crashy-after-rename.bundle");
+  const bundle::ModelBundle original = MakeFullBundle(9, 5);
+  const bundle::ModelBundle replacement = MakeFullBundle(10, 5);
+  ASSERT_TRUE(original.SaveToFile(path).ok());
+
+  AtomicWriteOptions options;
+  options.crash_point = WriteCrashPoint::kAfterRename;
+  const Status status =
+      AtomicWriteFile(path, replacement.Serialize(), options);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  auto bytes = ReadFileToString(path);
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(*bytes, replacement.Serialize());
+  EXPECT_TRUE(bundle::ModelBundle::LoadFromFile(path).ok());
 }
 
 TEST(AtomicWriteTest, CrashOnFirstWriteLeavesNoFile) {

@@ -40,6 +40,7 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <future>
 #include <map>
 #include <memory>
@@ -49,7 +50,9 @@
 #include <vector>
 
 #include "bundle/bundle.h"
+#include "bundle/mapped_bundle.h"
 #include "common/file_util.h"
+#include "common/rng.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "core/cascade.h"
@@ -455,6 +458,11 @@ int CmdPredictTime(const Args& args) {
 /// swap counters, the model-version span observed on responses, and the
 /// failed-request count (which must be zero: a hot swap may never drop
 /// traffic).
+///
+/// With --binary 1 the reloads come from a v2 binary bundle (mmap load
+/// path) while the golden scores are captured from the text-loaded initial
+/// generation — the gate then directly proves text→binary conversion and
+/// the zero-copy load path are bitwise score-lossless under live traffic.
 int CmdServeBenchReload(const Args& args) {
   const auto features = static_cast<uint32_t>(args.GetInt("features", 64));
   const auto queries = static_cast<uint32_t>(args.GetInt("queries", 60));
@@ -467,6 +475,7 @@ int CmdServeBenchReload(const Args& args) {
   const std::string out = args.Get("out", "out/serve_reload.json");
   const std::string bundle_path =
       args.Get("bundle", "out/serve_reload.bundle");
+  const bool binary = args.GetInt("binary", 0) != 0;
 
   data::SyntheticConfig config = data::SyntheticConfig::MsnLike(1.0);
   config.num_queries = queries;
@@ -520,11 +529,22 @@ int CmdServeBenchReload(const Args& args) {
   if (status.ok()) status = pack.SetRungs(rungs);
   if (status.ok() && !EnsureParentDir(bundle_path)) return 1;
   if (status.ok()) status = pack.SaveToFile(bundle_path);
+  // The binary twin the reloads come from; the initial generation (and the
+  // golden scores) still come from the text bundle, so the swap gate
+  // compares binary-loaded scores against text-loaded ones bitwise.
+  std::string reload_path = bundle_path;
+  if (binary) {
+    reload_path = bundle_path + ".bin";
+    if (status.ok()) {
+      status = pack.SaveToFile(reload_path, bundle::BundleFormat::kBinary);
+    }
+  }
   if (!status.ok()) {
     std::fprintf(stderr, "%s\n", status.ToString().c_str());
     return 1;
   }
-  std::fprintf(stderr, "packed bundle %s\n", bundle_path.c_str());
+  std::fprintf(stderr, "packed bundle %s%s\n", bundle_path.c_str(),
+               binary ? " (+ binary twin)" : "");
 
   auto servable = serve::Servable::LoadFromFile(bundle_path, sopt);
   if (!servable.ok()) {
@@ -581,7 +601,7 @@ int CmdServeBenchReload(const Args& args) {
       inflight.erase(inflight.begin());
     }
     if ((r + 1) % reload_every == 0) {
-      auto candidate = serve::Servable::LoadFromFile(bundle_path, sopt);
+      auto candidate = serve::Servable::LoadFromFile(reload_path, sopt);
       if (!candidate.ok()) {
         std::fprintf(stderr, "reload: %s\n",
                      candidate.status().ToString().c_str());
@@ -621,7 +641,8 @@ int CmdServeBenchReload(const Args& args) {
        << ", \"reload_every\": " << reload_every
        << ", \"deadline_us\": " << deadline_us
        << ", \"workers\": " << workers << ", \"seed\": " << seed
-       << ", \"bundle\": \"" << bundle_path << "\"},\n";
+       << ", \"bundle\": \"" << bundle_path << "\", \"binary\": "
+       << (binary ? 1 : 0) << "},\n";
   json << "  \"swaps\": {\"attempted\": " << counters.swaps_attempted
        << ", \"completed\": " << counters.swaps_completed
        << ", \"rejected\": " << counters.swaps_rejected
@@ -1949,11 +1970,23 @@ bundle::RungConfig ParseRungSpec(const std::string& csv) {
 
 /// bundle pack: collects a teacher ensemble, a student MLP, normalizer
 /// statistics (fitted on --norm-data) and a rung configuration into one
-/// checksummed bundle file, written crash-safely.
+/// checksummed bundle file, written crash-safely. --binary 1 writes the v2
+/// binary (mmap-able) container instead of v1 text; --in seeds the pack
+/// from an existing bundle of either format, so
+/// `bundle pack --in text.bundle --out fast.bundle --binary 1` converts.
 int CmdBundlePack(const Args& args) {
   const std::string out = args.Require("out");
+  const bool binary = args.GetInt("binary", 0) != 0;
   bundle::ModelBundle pack;
 
+  if (args.Has("in")) {
+    auto loaded = bundle::ModelBundle::LoadFromFile(args.Get("in", ""));
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    pack = std::move(loaded).value();
+  }
   if (args.Has("teacher")) {
     auto teacher = gbdt::Ensemble::LoadFromFile(args.Get("teacher", ""));
     if (!teacher.ok()) {
@@ -1997,19 +2030,23 @@ int CmdBundlePack(const Args& args) {
   }
   if (pack.sections().empty()) {
     std::fprintf(stderr,
-                 "nothing to pack: give --teacher / --student / --norm-data "
-                 "/ --rungs\n");
+                 "nothing to pack: give --in / --teacher / --student / "
+                 "--norm-data / --rungs\n");
     return 2;
   }
 
   if (!EnsureParentDir(out)) return 1;
-  const Status status = pack.SaveToFile(out);
+  // SaveToFile(path, format) pairs the payload codecs with the container
+  // (text payloads in a text container, binary in binary), converting
+  // whatever --in provided.
+  const Status status = pack.SaveToFile(
+      out, binary ? bundle::BundleFormat::kBinary : bundle::BundleFormat::kText);
   if (!status.ok()) {
     std::fprintf(stderr, "%s\n", status.ToString().c_str());
     return 1;
   }
-  std::printf("packed %zu section(s) into %s\n", pack.sections().size(),
-              out.c_str());
+  std::printf("packed %zu section(s) into %s (%s)\n", pack.sections().size(),
+              out.c_str(), binary ? "binary" : "text");
   for (const bundle::Section& section : pack.sections()) {
     std::printf("  %-10s %zu bytes\n", section.name.c_str(),
                 section.payload.size());
@@ -2032,6 +2069,19 @@ int CmdBundleUnpack(const Args& args) {
     std::fprintf(stderr, "%s: bundle has no sections\n", in.c_str());
     return 1;
   }
+  // Normalize to the text codecs first so a binary bundle unpacks to the
+  // same standalone .txt model files a text bundle does (the conversion is
+  // bitwise score-lossless).
+  auto text_bytes = loaded->SerializeAs(bundle::BundleFormat::kText);
+  if (!text_bytes.ok()) {
+    std::fprintf(stderr, "%s\n", text_bytes.status().ToString().c_str());
+    return 1;
+  }
+  loaded = bundle::ModelBundle::Deserialize(*text_bytes);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
   for (const bundle::Section& section : loaded->sections()) {
     const std::string path =
         (std::filesystem::path(dir) / (section.name + ".txt")).string();
@@ -2049,11 +2099,38 @@ int CmdBundleUnpack(const Args& args) {
 
 /// bundle verify: structural check (magic, version, section order, lengths,
 /// CRC32s) plus a full parse and deep validation of every section it can
-/// type — the CI gate proving a packed artifact is servable.
+/// type — the CI gate proving a packed artifact is servable. Handles both
+/// container formats; for a binary bundle it additionally exercises the
+/// mmap path (MappedBundle layout validation + the deferred payload-CRC
+/// pass serving skips).
 int CmdBundleVerify(const Args& args) {
   const std::string in = args.Require("in");
   const auto features = static_cast<uint32_t>(args.GetInt("features", 0));
-  auto loaded = bundle::ModelBundle::LoadFromFile(in);
+  auto raw = ReadFileToString(in);
+  if (!raw.ok()) {
+    std::fprintf(stderr, "%s: %s\n", in.c_str(),
+                 raw.status().ToString().c_str());
+    return 1;
+  }
+  const bool binary = bundle::IsBinaryBundle(*raw);
+  if (binary) {
+    auto mapped = bundle::MappedBundle::Map(in);
+    if (!mapped.ok()) {
+      std::fprintf(stderr, "%s: mmap path: %s\n", in.c_str(),
+                   mapped.status().ToString().c_str());
+      return 1;
+    }
+    const Status crcs = mapped->VerifyPayloadCrcs();
+    if (!crcs.ok()) {
+      std::fprintf(stderr, "%s: mmap path: %s\n", in.c_str(),
+                   crcs.ToString().c_str());
+      return 1;
+    }
+    std::printf("mmap: %s, %zu bytes, payload crcs ok\n",
+                mapped->is_mapped() ? "mapped" : "read fallback",
+                mapped->file_bytes());
+  }
+  auto loaded = bundle::ModelBundle::Deserialize(*raw);
   if (!loaded.ok()) {
     std::fprintf(stderr, "%s: %s\n", in.c_str(),
                  loaded.status().ToString().c_str());
@@ -2094,17 +2171,220 @@ int CmdBundleVerify(const Args& args) {
                 section.payload.size(), verdict.c_str());
     if (verdict != "ok") ok = false;
   }
-  std::printf("%s: %s (%zu section(s))\n", in.c_str(),
-              ok ? "bundle ok" : "bundle INVALID", loaded->sections().size());
+  std::printf("%s: %s (%s, %zu section(s))\n", in.c_str(),
+              ok ? "bundle ok" : "bundle INVALID", binary ? "binary" : "text",
+              loaded->sections().size());
   return ok ? 0 : 1;
+}
+
+/// Random tree for `bundle bench` (same construction as the bundle tests:
+/// structure training rarely makes, but valid by the ensemble invariants).
+gbdt::RegressionTree BenchRandomTree(Rng& rng, uint32_t leaves,
+                                     uint32_t num_features) {
+  if (leaves == 1) {
+    return gbdt::RegressionTree({}, {rng.Normal()});
+  }
+  std::vector<gbdt::TreeNode> nodes;
+  std::vector<double> values;
+  std::function<int32_t(uint32_t)> build = [&](uint32_t budget) -> int32_t {
+    if (budget == 1) {
+      values.push_back(rng.Normal());
+      return gbdt::TreeNode::EncodeLeaf(
+          static_cast<uint32_t>(values.size() - 1));
+    }
+    const uint32_t left_budget =
+        1 + static_cast<uint32_t>(rng.Below(budget - 1));
+    const auto index = static_cast<int32_t>(nodes.size());
+    nodes.push_back({});
+    nodes[index].feature = static_cast<uint32_t>(rng.Below(num_features));
+    nodes[index].threshold = static_cast<float>(rng.Normal(0.0, 2.0));
+    const int32_t left = build(left_budget);
+    nodes[index].left = left;
+    const int32_t right = build(budget - left_budget);
+    nodes[index].right = right;
+    return index;
+  };
+  build(leaves);
+  gbdt::RegressionTree tree(std::move(nodes), std::move(values));
+  tree.NormalizeLeafOrder();
+  return tree;
+}
+
+/// bundle bench: packs one randomly initialized model family as both a v1
+/// text bundle and a v2 binary bundle, measures cold bundle-load +
+/// model-materialization time for each (text: read + parse; binary: mmap +
+/// bounds-checked memcpy decode; best of --iters), and proves the two
+/// loads materialize bitwise-identical models by comparing their canonical
+/// text serializations. --min-speedup gates the binary/text load-time
+/// ratio — the CI evidence for the binary format's load-time claim.
+int CmdBundleBench(const Args& args) {
+  const auto features = static_cast<uint32_t>(args.GetInt("features", 136));
+  const auto trees = static_cast<uint32_t>(args.GetInt("trees", 300));
+  const auto leaves = static_cast<uint32_t>(args.GetInt("leaves", 64));
+  const std::string arch_spec = args.Get("arch", "512x256x128");
+  const int iters = std::max(1, args.GetInt("iters", 7));
+  const double min_speedup = args.GetDouble("min-speedup", 0.0);
+  const std::string dir = args.Get("dir", "out");
+  const auto seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+
+  Rng rng(seed);
+  gbdt::Ensemble teacher(rng.Normal());
+  for (uint32_t t = 0; t < trees; ++t) {
+    const auto tree_leaves = 1 + static_cast<uint32_t>(rng.Below(leaves));
+    teacher.AddTree(BenchRandomTree(rng, tree_leaves, features));
+  }
+  auto arch = predict::Architecture::Parse(arch_spec, features);
+  if (!arch.ok()) {
+    std::fprintf(stderr, "%s\n", arch.status().ToString().c_str());
+    return 1;
+  }
+  const nn::Mlp student(*arch, seed + 1);
+  std::vector<float> mean(features);
+  std::vector<float> stddev(features);
+  for (uint32_t f = 0; f < features; ++f) {
+    mean[f] = static_cast<float>(rng.Normal());
+    stddev[f] = static_cast<float>(0.5 + rng.Uniform());
+  }
+  const data::ZNormalizer normalizer(std::move(mean), std::move(stddev));
+  bundle::RungConfig rungs;
+  rungs.rungs = {{"student", "student", 3.0},
+                 {"cascade", "cascade", 2.0},
+                 {"forest-subset", "teacher-subset", 1.0}};
+
+  bundle::ModelBundle pack;
+  Status status = pack.SetTeacher(teacher);
+  if (status.ok()) status = pack.SetStudent(student);
+  if (status.ok()) status = pack.SetNormalizer(normalizer);
+  if (status.ok()) status = pack.SetRungs(rungs);
+  const std::string text_path =
+      (std::filesystem::path(dir) / "bundle_bench_text.dnlr").string();
+  const std::string binary_path =
+      (std::filesystem::path(dir) / "bundle_bench_binary.dnlr").string();
+  if (status.ok() && !EnsureParentDir(text_path)) return 1;
+  if (status.ok()) {
+    status = pack.SaveToFile(text_path, bundle::BundleFormat::kText);
+  }
+  if (status.ok()) {
+    status = pack.SaveToFile(binary_path, bundle::BundleFormat::kBinary);
+  }
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  // Canonical text serializations of every model materialized on the first
+  // iteration of each path; equal strings = bitwise-equal parameters (the
+  // text codecs print max_digits10).
+  std::string text_fingerprint;
+  std::string binary_fingerprint;
+  const auto fingerprint =
+      [](const gbdt::Ensemble& t, const nn::Mlp& s,
+         const data::ZNormalizer& n,
+         const bundle::RungConfig& r) -> Result<std::string> {
+    auto ts = t.Serialize();
+    if (!ts.ok()) return ts.status();
+    auto ss = s.Serialize();
+    if (!ss.ok()) return ss.status();
+    auto ns = bundle::SerializeNormalizer(n);
+    if (!ns.ok()) return ns.status();
+    auto rs = r.Serialize();
+    if (!rs.ok()) return rs.status();
+    return *ts + *ss + *ns + *rs;
+  };
+
+  double text_us = std::numeric_limits<double>::infinity();
+  double binary_us = std::numeric_limits<double>::infinity();
+  using Clock = std::chrono::steady_clock;
+  for (int i = 0; i < iters; ++i) {
+    const auto start = Clock::now();
+    auto loaded = bundle::ModelBundle::LoadFromFile(text_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    auto lt = loaded->Teacher();
+    auto ls = loaded->Student();
+    auto ln = loaded->Normalizer();
+    auto lr = loaded->Rungs();
+    if (!lt.ok() || !ls.ok() || !ln.ok() || !lr.ok()) {
+      std::fprintf(stderr, "text load failed to materialize a model\n");
+      return 1;
+    }
+    const auto elapsed = std::chrono::duration<double, std::micro>(
+                             Clock::now() - start)
+                             .count();
+    text_us = std::min(text_us, elapsed);
+    if (i == 0) {
+      auto fp = fingerprint(*lt, *ls, *ln, *lr);
+      if (!fp.ok()) {
+        std::fprintf(stderr, "%s\n", fp.status().ToString().c_str());
+        return 1;
+      }
+      text_fingerprint = std::move(*fp);
+    }
+  }
+  bool mmap_used = false;
+  for (int i = 0; i < iters; ++i) {
+    const auto start = Clock::now();
+    auto mapped = bundle::MappedBundle::Map(binary_path);
+    if (!mapped.ok()) {
+      std::fprintf(stderr, "%s\n", mapped.status().ToString().c_str());
+      return 1;
+    }
+    auto lt = mapped->Teacher();
+    auto ls = mapped->Student();
+    auto ln = mapped->Normalizer();
+    auto lr = mapped->Rungs();
+    if (!lt.ok() || !ls.ok() || !ln.ok() || !lr.ok()) {
+      std::fprintf(stderr, "binary load failed to materialize a model\n");
+      return 1;
+    }
+    const auto elapsed = std::chrono::duration<double, std::micro>(
+                             Clock::now() - start)
+                             .count();
+    binary_us = std::min(binary_us, elapsed);
+    mmap_used = mapped->is_mapped();
+    if (i == 0) {
+      auto fp = fingerprint(*lt, *ls, *ln, *lr);
+      if (!fp.ok()) {
+        std::fprintf(stderr, "%s\n", fp.status().ToString().c_str());
+        return 1;
+      }
+      binary_fingerprint = std::move(*fp);
+    }
+  }
+
+  if (text_fingerprint != binary_fingerprint) {
+    std::fprintf(stderr,
+                 "FAIL: binary load materialized different model parameters "
+                 "than the text load\n");
+    return 1;
+  }
+
+  const auto text_size = std::filesystem::file_size(text_path);
+  const auto binary_size = std::filesystem::file_size(binary_path);
+  const double speedup = text_us / binary_us;
+  std::printf("text    %10ju bytes  load %10.1f us  (%s)\n",
+              static_cast<uintmax_t>(text_size), text_us, text_path.c_str());
+  std::printf("binary  %10ju bytes  load %10.1f us  (%s, %s)\n",
+              static_cast<uintmax_t>(binary_size), binary_us,
+              binary_path.c_str(), mmap_used ? "mmap" : "read fallback");
+  std::printf("speedup %.1fx, models bitwise identical\n", speedup);
+  if (min_speedup > 0.0 && speedup < min_speedup) {
+    std::fprintf(stderr, "FAIL: speedup %.1fx below --min-speedup %.1f\n",
+                 speedup, min_speedup);
+    return 1;
+  }
+  return 0;
 }
 
 int CmdBundle(const std::string& sub, const Args& args) {
   if (sub == "pack") return CmdBundlePack(args);
   if (sub == "unpack") return CmdBundleUnpack(args);
   if (sub == "verify") return CmdBundleVerify(args);
+  if (sub == "bench") return CmdBundleBench(args);
   std::fprintf(stderr, "unknown bundle subcommand '%s' "
-                       "(want pack|unpack|verify)\n", sub.c_str());
+                       "(want pack|unpack|verify|bench)\n", sub.c_str());
   return 2;
 }
 
@@ -2132,10 +2412,13 @@ int Usage() {
       "[--abusive-tenant T] [--soak-ms D] [--baseline-ms D] [--pace-us U] "
       "[--quota-rate R] [--quota-burst B] [--burst-trigger P] [--burst-len N] "
       "[--p99-ratio X] [--p99-floor-us U] [--max-error-rate P]\n"
-      "  bundle pack   --out B [--teacher M] [--student M] [--norm-data F] "
+      "  bundle pack   --out B [--in B] [--binary 1] [--teacher M] "
+      "[--student M] [--norm-data F] "
       "[--rungs name:kind:us,...]\n"
       "  bundle unpack --in B [--out-dir D]\n"
       "  bundle verify --in B [--features K]\n"
+      "  bundle bench  [--trees N] [--leaves L] [--arch AxBxC] [--features K] "
+      "[--iters I] [--min-speedup X] [--dir D]\n"
       "  bench-scaling [--configs small,large] [--threads 1,2,4] "
       "[--arch AxBxC] [--features K] [--sparsity S] [--trees N] "
       "[--repeats R] [--min-t2-ratio R] [--min-t2-ratio-small R] "
