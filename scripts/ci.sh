@@ -123,6 +123,20 @@ out/release/tools/dnlr_cli serve-bench --shards 4 --tenants 8 \
   --abusive-tenant 0 --soak-ms 2000 \
   --out out/serve_shard_ci.json >/dev/null
 
+# Traffic-replay soak: a 3 s Zipfian replay (mixed candidate-set sizes,
+# diurnal + burst load) against one engine with the hot score cache, under
+# periodic golden-gated hot reloads, a poisoned-bundle rejection probe, a
+# mid-soak fault episode, a streaming LETOR pass and a cache-on/off bitwise
+# parity sweep. soak-bench exits non-zero unless every SLO gate holds:
+# cache hit rate >= 50% on the Zipfian phase, shed rate <= 5%, zero
+# internal failures, per-rung p99 within the deadline, every good reload
+# accepted and the poisoned one rejected, at least one cross-generation
+# stale-entry reject, and bitwise score parity with caching off.
+echo "==== [soak-bench] traffic-replay soak + score-cache SLO gate"
+out/release/tools/dnlr_cli soak-bench --duration-ms 3000 --qps 600 \
+  --queries 48 --features 32 --reload-every-ms 700 --min-hit-rate 0.5 \
+  --out out/soak_ci.json >/dev/null
+
 fail=0
 for preset in asan-ubsan tsan; do
   log="out/${preset}/Testing/Temporary/LastTest.log"
@@ -136,5 +150,5 @@ done
 [ "${fail}" -eq 0 ] || exit 1
 echo "ci.sh: static analysis + release + asan-ubsan + tsan(threaded) +" \
      "scaling small/large gates + bundle verify/reload (text + binary," \
-     "10x load gate) + tenant-isolation soak gates green, no sanitizer" \
-     "reports"
+     "10x load gate) + tenant-isolation soak + traffic-replay soak" \
+     "(score-cache SLO) gates green, no sanitizer reports"

@@ -10,16 +10,9 @@
 #include "data/validate.h"
 
 namespace dnlr::data {
-namespace {
 
-struct ParsedDoc {
-  float label = 0.0f;
-  uint32_t qid = 0;
-  // (feature id - 1, value) pairs in file order.
-  std::vector<std::pair<uint32_t, float>> features;
-};
-
-Status ParseLine(std::string_view line, size_t line_number, ParsedDoc* doc) {
+Status ParseLetorLine(std::string_view line, size_t line_number,
+                      LetorDoc* doc) {
   // Strip trailing comment.
   const size_t hash = line.find('#');
   if (hash != std::string_view::npos) line = line.substr(0, hash);
@@ -58,10 +51,12 @@ Status ParseLine(std::string_view line, size_t line_number, ParsedDoc* doc) {
   return Status::Ok();
 }
 
-Result<Dataset> ParseDocs(const std::vector<ParsedDoc>& docs,
+namespace {
+
+Result<Dataset> ParseDocs(const std::vector<LetorDoc>& docs,
                           uint32_t num_features) {
   if (num_features == 0) {
-    for (const ParsedDoc& doc : docs) {
+    for (const LetorDoc& doc : docs) {
       for (const auto& [fid, value] : doc.features) {
         num_features = std::max(num_features, fid + 1);
       }
@@ -71,7 +66,7 @@ Result<Dataset> ParseDocs(const std::vector<ParsedDoc>& docs,
   std::vector<float> row(num_features, 0.0f);
   bool have_query = false;
   uint32_t current_qid = 0;
-  for (const ParsedDoc& doc : docs) {
+  for (const LetorDoc& doc : docs) {
     if (!have_query || doc.qid != current_qid) {
       dataset.BeginQuery(doc.qid);
       current_qid = doc.qid;
@@ -94,14 +89,14 @@ Result<Dataset> ParseDocs(const std::vector<ParsedDoc>& docs,
 }  // namespace
 
 Result<Dataset> ParseLetor(const std::string& text, uint32_t num_features) {
-  std::vector<ParsedDoc> docs;
+  std::vector<LetorDoc> docs;
   std::istringstream stream(text);
   std::string line;
   size_t line_number = 0;
   while (std::getline(stream, line)) {
     ++line_number;
-    ParsedDoc doc;
-    const Status status = ParseLine(line, line_number, &doc);
+    LetorDoc doc;
+    const Status status = ParseLetorLine(line, line_number, &doc);
     if (status.code() == StatusCode::kNotFound) continue;  // blank line
     if (!status.ok()) return status;
     docs.push_back(std::move(doc));

@@ -2,11 +2,29 @@
 #define DNLR_DATA_LETOR_IO_H_
 
 #include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 #include "common/status.h"
 #include "data/dataset.h"
 
 namespace dnlr::data {
+
+/// One parsed LETOR line: the shared building block of the whole-file
+/// reader below and the streaming LetorQueryStream (data/letor_stream.h).
+struct LetorDoc {
+  float label = 0.0f;
+  uint32_t qid = 0;
+  /// (feature id - 1, value) pairs in file order; absent features are 0.
+  std::vector<std::pair<uint32_t, float>> features;
+};
+
+/// Parses one line of the LETOR grammar (see ReadLetorFile) into `doc`.
+/// Returns NotFound for blank / comment-only lines (callers skip those),
+/// ParseError with `line_number` in the message for malformed input.
+Status ParseLetorLine(std::string_view line, size_t line_number,
+                      LetorDoc* doc);
 
 /// Reads a dataset in the LETOR / SVMLight-for-ranking text format used by
 /// MSLR-WEB30K and Istella-S:

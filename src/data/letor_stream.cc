@@ -1,0 +1,107 @@
+#include "data/letor_stream.h"
+
+#include <utility>
+
+namespace dnlr::data {
+
+LetorQueryStream::LetorQueryStream(std::ifstream file, std::string path,
+                                   uint32_t num_features)
+    : file_(std::move(file)),
+      path_(std::move(path)),
+      num_features_(num_features) {}
+
+Result<LetorQueryStream> LetorQueryStream::Open(const std::string& path,
+                                                uint32_t num_features) {
+  if (num_features == 0) {
+    return Status::InvalidArgument(
+        "LetorQueryStream: num_features must be explicit (a streaming pass "
+        "cannot infer it); got 0 for " + path);
+  }
+  std::ifstream file(path);
+  if (!file.is_open()) {
+    return Status::IoError("LetorQueryStream: cannot open " + path);
+  }
+  return LetorQueryStream(std::move(file), path, num_features);
+}
+
+Status LetorQueryStream::ReadDoc(LetorDoc* doc, bool* got) {
+  *got = false;
+  std::string line;
+  while (std::getline(file_, line)) {
+    ++line_number_;
+    const Status status = ParseLetorLine(line, line_number_, doc);
+    if (status.code() == StatusCode::kNotFound) continue;  // blank line
+    if (!status.ok()) return status;
+    *got = true;
+    return Status::Ok();
+  }
+  if (file_.bad()) {
+    return Status::IoError("LetorQueryStream: read error in " + path_);
+  }
+  return Status::Ok();  // clean EOF
+}
+
+Status LetorQueryStream::AppendDoc(const LetorDoc& doc,
+                                   QueryBatch* out) const {
+  const size_t row_start = out->features.size();
+  out->features.resize(row_start + num_features_, 0.0f);
+  for (const auto& [fid, value] : doc.features) {
+    if (fid >= num_features_) {
+      return Status::ParseError(
+          "line " + std::to_string(line_number_) + ": feature id " +
+          std::to_string(fid + 1) + " exceeds num_features " +
+          std::to_string(num_features_));
+    }
+    out->features[row_start + fid] = value;
+  }
+  out->labels.push_back(doc.label);
+  return Status::Ok();
+}
+
+Result<bool> LetorQueryStream::Next(QueryBatch* out) {
+  if (!have_pending_) {
+    bool got = false;
+    DNLR_RETURN_IF_ERROR(ReadDoc(&pending_, &got));
+    if (!got) return false;  // end of file
+    have_pending_ = true;
+  }
+
+  out->qid = pending_.qid;
+  out->num_docs = 0;
+  out->features.clear();
+  out->labels.clear();
+  DNLR_RETURN_IF_ERROR(AppendDoc(pending_, out));
+  have_pending_ = false;
+
+  for (;;) {
+    LetorDoc doc;
+    bool got = false;
+    DNLR_RETURN_IF_ERROR(ReadDoc(&doc, &got));
+    if (!got) break;  // EOF: the current query is the last one
+    if (doc.qid != out->qid) {
+      // First document of the next query: park it for the next call.
+      pending_ = std::move(doc);
+      have_pending_ = true;
+      break;
+    }
+    DNLR_RETURN_IF_ERROR(AppendDoc(doc, out));
+  }
+
+  out->num_docs = static_cast<uint32_t>(out->labels.size());
+  ++queries_read_;
+  return true;
+}
+
+Status LetorQueryStream::Rewind() {
+  file_.clear();  // a previous pass leaves eofbit set
+  file_.seekg(0);
+  if (!file_.good()) {
+    return Status::IoError("LetorQueryStream: cannot rewind " + path_);
+  }
+  line_number_ = 0;
+  queries_read_ = 0;
+  have_pending_ = false;
+  return Status::Ok();
+}
+
+}  // namespace dnlr::data

@@ -1,0 +1,78 @@
+#ifndef DNLR_DATA_LETOR_STREAM_H_
+#define DNLR_DATA_LETOR_STREAM_H_
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/letor_io.h"
+
+namespace dnlr::data {
+
+/// One query's worth of documents, materialized row-major — the unit a
+/// streaming replay feeds the serve path.
+struct QueryBatch {
+  uint32_t qid = 0;
+  uint32_t num_docs = 0;
+  std::vector<float> features;  // num_docs x num_features, row-major
+  std::vector<float> labels;    // one per document
+};
+
+/// Streams a LETOR file query-by-query: only one query's documents are ever
+/// resident, so MSLR/Istella-scale files (gigabytes of text) replay through
+/// the serving engine without the whole-file load that ReadLetorFile does.
+/// Same line grammar as ReadLetorFile; documents of a query must be
+/// contiguous, as they are in the official files.
+///
+/// `num_features` must be explicit and >= 1: a single forward pass cannot
+/// infer the global feature count the way the whole-file reader does (it
+/// would only be known at EOF). For MSLR-WEB30K pass 136, for Istella-S 220.
+class LetorQueryStream {
+ public:
+  /// Opens `path` for streaming. Fails with IoError when the file cannot be
+  /// opened and InvalidArgument when num_features is 0.
+  static Result<LetorQueryStream> Open(const std::string& path,
+                                       uint32_t num_features);
+
+  LetorQueryStream(LetorQueryStream&&) = default;
+  LetorQueryStream& operator=(LetorQueryStream&&) = default;
+
+  /// Reads the next query into `out` (overwriting it). Returns true when a
+  /// query was read, false at end of file; ParseError (with the line
+  /// number) on malformed input, including feature ids beyond
+  /// num_features.
+  Result<bool> Next(QueryBatch* out);
+
+  /// Restarts the stream from the beginning of the file, so one open
+  /// stream can replay a file any number of times (soak loops).
+  Status Rewind();
+
+  uint32_t num_features() const { return num_features_; }
+  /// Queries fully read since open / the last Rewind.
+  uint64_t queries_read() const { return queries_read_; }
+
+ private:
+  LetorQueryStream(std::ifstream file, std::string path,
+                   uint32_t num_features);
+
+  /// Reads the next non-blank document line. `*got` is false at EOF.
+  Status ReadDoc(LetorDoc* doc, bool* got);
+  /// Appends `doc` to `out`, expanding the sparse features to a dense row.
+  Status AppendDoc(const LetorDoc& doc, QueryBatch* out) const;
+
+  std::ifstream file_;
+  std::string path_;
+  uint32_t num_features_;
+  size_t line_number_ = 0;
+  uint64_t queries_read_ = 0;
+  /// Read-ahead slot: the first document of the next query, parsed while
+  /// detecting the current query's boundary.
+  bool have_pending_ = false;
+  LetorDoc pending_;
+};
+
+}  // namespace dnlr::data
+
+#endif  // DNLR_DATA_LETOR_STREAM_H_

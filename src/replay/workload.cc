@@ -1,0 +1,86 @@
+#include "replay/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace dnlr::replay {
+
+WorkloadGenerator::WorkloadGenerator(const WorkloadConfig& config)
+    : config_(config),
+      zipf_(config.num_queries, config.zipf_exponent),
+      rng_(config.seed) {
+  DNLR_CHECK_GT(config_.base_qps, 0.0);
+  DNLR_CHECK_GE(config_.diurnal_amplitude, 0.0);
+  DNLR_CHECK_LT(config_.diurnal_amplitude, 1.0);
+  DNLR_CHECK_GE(config_.diurnal_period_micros, 1u);
+  DNLR_CHECK_GE(config_.burst_probability, 0.0);
+  DNLR_CHECK_LE(config_.burst_probability, 1.0);
+  DNLR_CHECK_GE(config_.burst_multiplier, 1.0);
+  if (config_.mix.empty()) {
+    config_.mix = {{10, 0.3}, {128, 0.55}, {1024, 0.15}};
+  }
+  double total = 0.0;
+  for (const SizeClass& c : config_.mix) {
+    DNLR_CHECK_GE(c.docs, 1u);
+    DNLR_CHECK_GT(c.weight, 0.0);
+    total += c.weight;
+    mix_cdf_.push_back(total);
+  }
+  for (double& c : mix_cdf_) c /= total;
+}
+
+double WorkloadGenerator::RateMultiplierAt(uint64_t micros) const {
+  const double phase = 2.0 * 3.141592653589793 *
+                       static_cast<double>(micros) /
+                       static_cast<double>(config_.diurnal_period_micros);
+  double mult = 1.0 + config_.diurnal_amplitude * std::sin(phase);
+  if (micros < burst_until_micros_) mult *= config_.burst_multiplier;
+  return mult;
+}
+
+uint32_t WorkloadGenerator::PickCandidateDocs() {
+  const double u = rng_.Uniform();
+  const auto it = std::lower_bound(mix_cdf_.begin(), mix_cdf_.end(), u);
+  const size_t i = it == mix_cdf_.end() ? mix_cdf_.size() - 1
+                                        : static_cast<size_t>(it - mix_cdf_.begin());
+  return config_.mix[i].docs;
+}
+
+Arrival WorkloadGenerator::Next() {
+  // Exponential inter-arrival gap at the instantaneous rate. 1 - Uniform()
+  // lies in (0, 1], so the log argument is never zero; the gap is floored
+  // at 1 us so the timeline strictly advances.
+  const double rate_per_us =
+      config_.base_qps * RateMultiplierAt(now_micros_) * 1e-6;
+  const double gap_us = -std::log(1.0 - rng_.Uniform()) / rate_per_us;
+  now_micros_ += std::max<uint64_t>(1, static_cast<uint64_t>(gap_us));
+
+  // Burst episodes open at arrival granularity; while one is active no new
+  // trigger is rolled (episodes do not stack). The draw is consumed even
+  // when bursts are disabled so the arrival stream does not depend on
+  // which features are switched on.
+  const double burst_draw = rng_.Uniform();
+  if (config_.burst_probability > 0.0 && now_micros_ >= burst_until_micros_ &&
+      burst_draw < config_.burst_probability) {
+    burst_until_micros_ = now_micros_ + config_.burst_duration_micros;
+    ++bursts_started_;
+  }
+
+  Arrival arrival;
+  arrival.query = zipf_.Sample(rng_);
+  arrival.candidate_docs = PickCandidateDocs();
+  arrival.due_micros = now_micros_;
+  arrival.in_burst = now_micros_ < burst_until_micros_;
+  return arrival;
+}
+
+void SleepUntilDue(Clock& clock, uint64_t start_micros,
+                   const Arrival& arrival) {
+  const uint64_t due = start_micros + arrival.due_micros;
+  const uint64_t now = clock.NowMicros();
+  if (now < due) clock.SleepMicros(due - now);
+}
+
+}  // namespace dnlr::replay

@@ -1,0 +1,102 @@
+#ifndef DNLR_REPLAY_WORKLOAD_H_
+#define DNLR_REPLAY_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "replay/zipf.h"
+
+namespace dnlr::replay {
+
+/// One candidate-set size class in the traffic mix. Real ranking traffic is
+/// not one batch shape: an autocomplete query ranks ~10 candidates, a web
+/// query a few hundred, a full-rank pass thousands. `weight` is the
+/// relative frequency of the class (weights need not sum to 1).
+struct SizeClass {
+  uint32_t docs = 0;
+  double weight = 0.0;
+};
+
+/// Deterministic workload model: Zipfian query popularity, a weighted mix
+/// of candidate-set sizes, a sinusoidal diurnal load curve, and random
+/// burst episodes. Everything is a pure function of the config (including
+/// the seed), so a replay is exactly reproducible run-to-run.
+struct WorkloadConfig {
+  /// Zipf rank-table size (the corpus query count). Must be >= 1.
+  uint32_t num_queries = 0;
+  double zipf_exponent = 1.1;
+  /// Candidate-set size mix; empty means the default
+  /// {10 x 0.3, 128 x 0.55, 1024 x 0.15} (autocomplete / web / full-rank).
+  std::vector<SizeClass> mix;
+  /// Mean arrival rate at diurnal phase 0, in queries per second. Must be
+  /// > 0.
+  double base_qps = 500.0;
+  /// Diurnal swing in [0, 1): the instantaneous rate multiplier follows
+  /// 1 + amplitude * sin(2*pi*t / period), so load oscillates between
+  /// (1 - a) and (1 + a) times base_qps over one compressed "day".
+  double diurnal_amplitude = 0.5;
+  uint64_t diurnal_period_micros = 60'000'000;
+  /// Per-arrival probability of opening a burst episode (when none is
+  /// active): for its duration the rate is additionally multiplied by
+  /// burst_multiplier. 0 disables bursts.
+  double burst_probability = 0.0;
+  double burst_multiplier = 4.0;
+  uint64_t burst_duration_micros = 250'000;
+  uint64_t seed = 42;
+};
+
+/// One generated request: which query, how many candidates, and when it is
+/// due on the workload's own timeline (micros since the replay started).
+struct Arrival {
+  uint32_t query = 0;
+  uint32_t candidate_docs = 0;
+  uint64_t due_micros = 0;
+  bool in_burst = false;
+};
+
+/// Generates the arrival sequence. Single-threaded by design: one generator
+/// feeds one replay driver, and the arrival stream is a pure function of
+/// (config, call count).
+class WorkloadGenerator {
+ public:
+  /// Validates the config (aborting on nonsense: empty rank table,
+  /// non-positive rate or weights, amplitude outside [0, 1)) and fills in
+  /// the default mix when none is given.
+  explicit WorkloadGenerator(const WorkloadConfig& config);
+
+  /// Produces the next arrival. Inter-arrival gaps are exponential with the
+  /// instantaneous rate base_qps * RateMultiplierAt(now), i.e. a
+  /// non-homogeneous Poisson process stepped at arrival granularity.
+  Arrival Next();
+
+  /// Diurnal multiplier at `micros`, times the burst multiplier when a
+  /// burst episode is active there.
+  double RateMultiplierAt(uint64_t micros) const;
+
+  const WorkloadConfig& config() const { return config_; }
+  uint64_t bursts_started() const { return bursts_started_; }
+
+ private:
+  uint32_t PickCandidateDocs();
+
+  WorkloadConfig config_;
+  ZipfSampler zipf_;
+  Rng rng_;
+  std::vector<double> mix_cdf_;
+  uint64_t now_micros_ = 0;
+  uint64_t burst_until_micros_ = 0;
+  uint64_t bursts_started_ = 0;
+};
+
+/// Paces a replay driver against a real (or fake) clock: blocks until
+/// `arrival.due_micros` past `start_micros`, or returns immediately when the
+/// arrival is already due. This is the only place the workload model meets
+/// wall time; under a FakeClock the sleep advances fake time instead, so
+/// paced replays are instant in tests.
+void SleepUntilDue(Clock& clock, uint64_t start_micros, const Arrival& arrival);
+
+}  // namespace dnlr::replay
+
+#endif  // DNLR_REPLAY_WORKLOAD_H_

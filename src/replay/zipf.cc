@@ -1,0 +1,38 @@
+#include "replay/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace dnlr::replay {
+
+ZipfSampler::ZipfSampler(uint32_t n, double exponent)
+    : exponent_(exponent), total_(0.0), cdf_(n) {
+  DNLR_CHECK_GE(n, 1u) << "ZipfSampler needs at least one rank";
+  DNLR_CHECK(std::isfinite(exponent));
+  for (uint32_t i = 0; i < n; ++i) {
+    total_ += 1.0 / std::pow(static_cast<double>(i) + 1.0, exponent);
+    cdf_[i] = total_;
+  }
+  for (double& c : cdf_) c /= total_;
+}
+
+uint32_t ZipfSampler::SampleFromUniform(double u) const {
+  DNLR_DCHECK_GE(u, 0.0);
+  DNLR_DCHECK_LT(u, 1.0);
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) {
+    // Only reachable by violating the u < 1 contract (cdf_.back() is
+    // exactly 1.0); clamp to the last rank, which exists since n >= 1.
+    return static_cast<uint32_t>(cdf_.size() - 1);
+  }
+  return static_cast<uint32_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::Pmf(uint32_t i) const {
+  DNLR_DCHECK_LT(i, size());
+  return 1.0 / std::pow(static_cast<double>(i) + 1.0, exponent_) / total_;
+}
+
+}  // namespace dnlr::replay

@@ -1,0 +1,60 @@
+#ifndef DNLR_REPLAY_ZIPF_H_
+#define DNLR_REPLAY_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace dnlr::replay {
+
+/// Zipfian rank sampler: query popularity in real ranking traffic is
+/// heavily skewed, so replay harnesses draw query indices from a Zipf(s)
+/// distribution over the corpus instead of a uniform round-robin. Rank 0 is
+/// the most popular item; pmf(i) ∝ 1 / (i + 1)^exponent.
+///
+/// Promoted out of tools/dnlr_cli.cc so every replay driver (sharded soak,
+/// soak-bench, tests) shares one audited implementation. The CLI-local
+/// original accepted n == 0 and then indexed cdf_.size() - 1 in Sample(),
+/// underflowing to SIZE_MAX; an empty rank table is now rejected at
+/// construction.
+class ZipfSampler {
+ public:
+  /// Builds the cdf over ranks {0, ..., n - 1}. `n` must be >= 1 (an empty
+  /// table has no valid sample) and `exponent` finite; violations abort.
+  ZipfSampler(uint32_t n, double exponent);
+
+  /// Draws a rank in [0, size()). Rng::Uniform() returns u ∈ [0, 1), which
+  /// is exactly the domain SampleFromUniform requires.
+  uint32_t Sample(Rng& rng) const { return SampleFromUniform(rng.Uniform()); }
+
+  /// Maps one uniform variate to a rank via the inverse cdf.
+  ///
+  /// Boundary contract: u must lie in the half-open interval [0, 1).
+  ///   - u == 0 maps to rank 0 (the most popular item);
+  ///   - any u < 1 maps to a valid rank, because the last cdf entry is
+  ///     exactly 1.0 (it is total / total, and IEEE division of a finite
+  ///     positive value by itself is exact), so lower_bound always finds an
+  ///     element;
+  ///   - u == 1 is outside the contract (lower_bound would fall off the
+  ///     end). Debug builds abort on it; release builds clamp to the last
+  ///     rank as defence in depth, which is well defined since n >= 1.
+  uint32_t SampleFromUniform(double u) const;
+
+  /// Number of ranks.
+  uint32_t size() const { return static_cast<uint32_t>(cdf_.size()); }
+
+  /// Analytic probability of rank `i`, computed from the closed form (not
+  /// by differencing the cdf, which would lose precision in the tail).
+  /// The reference distribution for goodness-of-fit tests.
+  double Pmf(uint32_t i) const;
+
+ private:
+  double exponent_;
+  double total_;  // unnormalized mass, the Pmf denominator
+  std::vector<double> cdf_;
+};
+
+}  // namespace dnlr::replay
+
+#endif  // DNLR_REPLAY_ZIPF_H_

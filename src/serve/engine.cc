@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "serve/score_cache.h"
 
 namespace dnlr::serve {
 namespace {
@@ -72,6 +73,7 @@ ServingEngine::ServingEngine(std::shared_ptr<const DegradationLadder> ladder,
   obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
   queue_wait_histogram_ = &registry.GetHistogram("serve.queue_wait_us");
   backoff_histogram_ = &registry.GetHistogram("serve.backoff_us");
+  cache_hit_histogram_ = &registry.GetHistogram("serve.cache_hit.total_us");
   {
     // No worker thread exists yet; the lock satisfies the thread-safety
     // analysis (guarded members are only touched with their mutex held).
@@ -237,6 +239,38 @@ ServeResponse ServingEngine::Process(const LadderState& state,
     return resp;
   }
 
+  // Hot score cache: fingerprint the batch and look it up under the pinned
+  // generation before any rung (or even rung selection) runs — under load
+  // a hit is the cheapest possible answer, so it is worth trying even when
+  // no rung would fit the remaining budget. A hit replays the cached
+  // scores bitwise along with the rung/degraded stamp of the computation
+  // that produced them; stale entries (older model_version) can never
+  // match because the version is part of the key check.
+  ScoreCache* const cache = config_.score_cache;
+  uint64_t cache_fingerprint = 0;
+  if (cache != nullptr) {
+    cache_fingerprint =
+        ScoreCache::Fingerprint(request.docs, request.count, request.stride);
+    ScoreCache::Entry entry;
+    if (cache->Lookup(cache_fingerprint, state.version, request.count,
+                      &entry)) {
+      resp.status = Status::Ok();
+      resp.scores = std::move(entry.scores);
+      resp.rung = entry.rung;
+      if (entry.rung >= 0 &&
+          static_cast<size_t>(entry.rung) < ladder.num_rungs()) {
+        resp.rung_name = ladder.rung(static_cast<size_t>(entry.rung)).name;
+      }
+      resp.degraded = entry.degraded;
+      resp.cache_hit = true;
+      Bump(counters_.ok);
+      if (resp.degraded) Bump(counters_.degraded);
+      resp.total_micros = clock_->NowMicros() - start;
+      cache_hit_histogram_->Record(static_cast<double>(resp.total_micros));
+      return resp;
+    }
+  }
+
   // Strongest rung that fits the initial budget irrespective of breaker
   // state: the reference point for the degraded flag.
   const int strongest_feasible =
@@ -319,6 +353,12 @@ ServeResponse ServingEngine::Process(const LadderState& state,
       if (resp.degraded) Bump(counters_.degraded);
       resp.total_micros = clock_->NowMicros() - start;
       state.rung_latency[r]->Record(static_cast<double>(resp.total_micros));
+      if (cache != nullptr) {
+        // Stamped with the pinned generation: a swap published mid-request
+        // makes this entry stale for all future lookups, by construction.
+        cache->Insert(cache_fingerprint, state.version, resp.scores.data(),
+                      request.count, resp.rung, resp.degraded);
+      }
       return resp;
     }
   }

@@ -22,6 +22,8 @@
 
 namespace dnlr::serve {
 
+class ScoreCache;
+
 /// One scoring request: a query's candidate documents plus the deadline by
 /// which the caller needs scores. The feature memory is borrowed and must
 /// stay valid until the response future resolves.
@@ -45,6 +47,9 @@ struct ServeResponse {
   int rung = -1;
   std::string rung_name;
   bool degraded = false;
+  /// True when the scores were replayed from the score cache instead of
+  /// running a rung; `rung`/`degraded` then stamp the original computation.
+  bool cache_hit = false;
   uint32_t retries = 0;
   uint64_t queue_micros = 0;
   uint64_t total_micros = 0;
@@ -69,6 +74,14 @@ struct ServingConfig {
   uint32_t circuit_failure_threshold = 3;
   /// ...for this long, after which a single half-open probe may re-close it.
   uint64_t circuit_open_micros = 50000;
+  /// Optional hot score cache, not owned (must outlive the engine; may be
+  /// shared by several engines). When set, each request is fingerprinted
+  /// and looked up under the pinned model generation before any rung runs;
+  /// a hit replays the cached scores bitwise, a successful scoring inserts.
+  /// Generation stamping makes SwapModel the invalidation: entries from the
+  /// old version can never satisfy lookups from the new one (see
+  /// serve/score_cache.h). nullptr disables caching.
+  ScoreCache* score_cache = nullptr;
 };
 
 /// Circuit-breaker state of one rung (exposed for tests and introspection).
@@ -176,6 +189,12 @@ class ServingEngine {
   }
   /// Time requests spent queued before a worker picked them up.
   const obs::Histogram& queue_wait() const { return *queue_wait_histogram_; }
+  /// End-to-end latency of cache-hit responses ("serve.cache_hit.total_us").
+  /// Kept out of the per-rung histograms so rung p99 gates keep measuring
+  /// actual scoring.
+  const obs::Histogram& cache_hit_latency() const {
+    return *cache_hit_histogram_;
+  }
   /// Backoff sleeps taken before rung retries.
   const obs::Histogram& retry_backoff() const { return *backoff_histogram_; }
 
@@ -254,6 +273,7 @@ class ServingEngine {
 
   obs::Histogram* queue_wait_histogram_ = nullptr;
   obs::Histogram* backoff_histogram_ = nullptr;
+  obs::Histogram* cache_hit_histogram_ = nullptr;
 
   mutable common::Mutex queue_mu_;
   common::CondVar queue_cv_;

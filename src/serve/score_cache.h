@@ -1,0 +1,139 @@
+#ifndef DNLR_SERVE_SCORE_CACHE_H_
+#define DNLR_SERVE_SCORE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+#include "obs/metrics.h"
+
+namespace dnlr::serve {
+
+struct ScoreCacheConfig {
+  /// Total entry bound across all shards; >= 1. Split evenly per shard
+  /// (rounded up), each shard evicting its own LRU tail.
+  size_t capacity = 4096;
+  /// Lock shards; clamped to [1, capacity]. Requests hash to a shard by
+  /// fingerprint, so hot queries spread across locks.
+  size_t num_shards = 8;
+  /// Registry namespace for the obs counters ("<prefix>.hits", ".misses",
+  /// ".evictions", ".stale_rejects"). Registry counters are shared by name
+  /// process-wide; give each logically distinct cache its own prefix.
+  std::string metric_prefix = "serve.score_cache";
+};
+
+/// Point-in-time statistics (per cache instance, unlike the registry
+/// counters, which aggregate across same-prefix instances).
+struct ScoreCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t stale_rejects = 0;
+  size_t entries = 0;
+};
+
+/// Sharded, bounded, LRU-evicting cache of served score vectors for the
+/// Zipfian hot set, keyed by (query fingerprint, model generation).
+///
+/// The no-stale-score guarantee is structural: every entry is stamped with
+/// the model_version that produced it, and Lookup only returns an entry
+/// whose stamp equals the version the caller is serving with. An entry from
+/// generation N can never satisfy a lookup from generation N+1 — it is
+/// counted as a stale reject and dropped on sight. SwapModel therefore
+/// invalidates the entire cache by doing what it already does (bumping the
+/// published version); no flush or epoch walk is needed, and a hit is
+/// always bitwise identical to what the stamped generation produced for the
+/// same feature bytes.
+///
+/// The rung/degraded stamps record which ladder rung originally produced
+/// the scores; a hit replays that rung's output, so under identical serving
+/// conditions (same generation, rung choice deterministic) cache-on and
+/// cache-off scoring are bitwise identical.
+///
+/// Thread-safe: each shard is an independent mutex + LRU list + index.
+class ScoreCache {
+ public:
+  explicit ScoreCache(const ScoreCacheConfig& config = {});
+
+  ScoreCache(const ScoreCache&) = delete;
+  ScoreCache& operator=(const ScoreCache&) = delete;
+
+  /// 64-bit FNV-1a over the candidate set: count, stride, then every row's
+  /// feature bytes. Identical bytes always collide (that is the point: the
+  /// same query resubmitted fingerprints equal); distinct batches collide
+  /// with probability ~2^-64 per pair, which the count check in Lookup
+  /// narrows further. Cost is one pass over the batch — noise next to
+  /// scoring it.
+  static uint64_t Fingerprint(const float* docs, uint32_t count,
+                              uint32_t stride);
+
+  /// What a hit returns: the scores plus the rung stamp of the original
+  /// computation.
+  struct Entry {
+    std::vector<float> scores;
+    int rung = -1;
+    bool degraded = false;
+  };
+
+  /// Returns true and fills `out` when an entry for `fingerprint` exists
+  /// with exactly this `version` and `count`. A version mismatch drops the
+  /// entry (stale reject + miss); a count mismatch (fingerprint collision)
+  /// drops it too rather than ever serving wrong-shaped scores.
+  bool Lookup(uint64_t fingerprint, uint64_t version, uint32_t count,
+              Entry* out);
+
+  /// Inserts (or refreshes) the entry, evicting the shard's LRU tail when
+  /// at capacity. `scores` must hold `count` floats.
+  void Insert(uint64_t fingerprint, uint64_t version, const float* scores,
+              uint32_t count, int rung, bool degraded);
+
+  /// Drops every entry (stats keep accumulating). Not an invalidation
+  /// mechanism — generation stamping is — just a test / phase-boundary
+  /// helper.
+  void Clear();
+
+  ScoreCacheStats Stats() const;
+
+ private:
+  struct Node {
+    uint64_t fingerprint = 0;
+    uint64_t version = 0;
+    uint32_t count = 0;
+    int rung = -1;
+    bool degraded = false;
+    std::vector<float> scores;
+  };
+  struct Shard {
+    mutable common::Mutex mu;
+    /// Front = most recently used.
+    std::list<Node> lru DNLR_GUARDED_BY(mu);
+    std::unordered_map<uint64_t, std::list<Node>::iterator> index
+        DNLR_GUARDED_BY(mu);
+  };
+
+  Shard& ShardFor(uint64_t fingerprint) {
+    // FNV output is well mixed; modulo is an adequate shard hash.
+    return *shards_[fingerprint % shards_.size()];
+  }
+
+  size_t per_shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  // Per-instance tallies (the Stats source) and registry mirrors (the obs
+  // export). obs::Counter is internally relaxed-atomic; safe from any
+  // thread.
+  obs::Counter hit_count_, miss_count_, eviction_count_, stale_count_;
+  obs::Counter* hits_metric_;
+  obs::Counter* misses_metric_;
+  obs::Counter* evictions_metric_;
+  obs::Counter* stale_rejects_metric_;
+};
+
+}  // namespace dnlr::serve
+
+#endif  // DNLR_SERVE_SCORE_CACHE_H_

@@ -15,6 +15,14 @@
 //                 under load instead; with --shards N, run the sharded
 //                 multi-tenant isolation soak (abusive tenant + one faulted
 //                 shard) and emit out/serve_shard_ci.json with SLO gates
+//   soak-bench    minutes-scale traffic replay against the serving engine:
+//                 Zipfian query popularity, mixed candidate-set sizes,
+//                 diurnal + burst load shaping, a hot score cache, periodic
+//                 golden-gated hot reloads (with poisoned-bundle rejection
+//                 probes) and a mid-soak fault episode; streams a LETOR file
+//                 through the serve path and gates on obs-derived SLOs
+//                 (per-rung p99, shed rate, cache hit rate, swap
+//                 losslessness, cache-on/off bitwise parity)
 //   bundle        pack / unpack / verify the single-file model bundle
 //                 (teacher + student + normalizer + serve rungs, versioned
 //                 and CRC-checksummed)
@@ -60,6 +68,7 @@
 #include "core/timing.h"
 #include "forest/parallel_scorer.h"
 #include "data/letor_io.h"
+#include "data/letor_stream.h"
 #include "data/synthetic.h"
 #include "data/validate.h"
 #include "forest/validate.h"
@@ -78,10 +87,14 @@
 #include "predict/network_time.h"
 #include "predict/sparse_predictor.h"
 #include "prune/magnitude.h"
+#include "replay/workload.h"
+#include "replay/zipf.h"
 #include "serve/engine.h"
 #include "serve/fault_injection.h"
 #include "serve/latency.h"
 #include "serve/router.h"
+#include "serve/score_cache.h"
+#include "serve/scorer.h"
 #include "serve/servable.h"
 
 namespace dnlr::cli {
@@ -691,36 +704,13 @@ int CmdServeBenchReload(const Args& args) {
   return 0;
 }
 
-/// Zipfian query sampler: query popularity in real ranking traffic is
-/// heavily skewed, so the sharded soak replays a Zipf(s) distribution over
-/// the synthetic corpus instead of a uniform round-robin.
-class ZipfSampler {
- public:
-  ZipfSampler(uint32_t n, double exponent) : cdf_(n) {
-    double total = 0.0;
-    for (uint32_t i = 0; i < n; ++i) {
-      total += 1.0 / std::pow(static_cast<double>(i) + 1.0, exponent);
-      cdf_[i] = total;
-    }
-    for (double& c : cdf_) c /= total;
-  }
-
-  uint32_t Sample(dnlr::Rng& rng) const {
-    const double u = rng.Uniform();
-    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
-    return static_cast<uint32_t>(it == cdf_.end() ? cdf_.size() - 1
-                                                  : it - cdf_.begin());
-  }
-
- private:
-  std::vector<double> cdf_;
-};
-
 /// One soak phase: every tenant replays Zipf-skewed traffic from its own
 /// thread until the phase deadline; the abusive tenant (if any) ignores
-/// pacing and hammers as fast as the router answers it.
+/// pacing and hammers as fast as the router answers it — subject only to a
+/// tiny bounded backoff when the router sheds it, so "abusive" means
+/// saturating its quota, not busy-burning a CPU core generating rejections.
 void RunTenantTraffic(serve::ShardedRouter& router, const data::Dataset& data,
-                      const ZipfSampler& zipf, uint64_t tenants,
+                      const replay::ZipfSampler& zipf, uint64_t tenants,
                       int64_t abusive_tenant, uint64_t pace_us,
                       uint64_t deadline_us, uint64_t duration_ms,
                       uint64_t seed) {
@@ -731,13 +721,31 @@ void RunTenantTraffic(serve::ShardedRouter& router, const data::Dataset& data,
     threads.emplace_back([&, tenant] {
       dnlr::Rng rng(seed ^ (tenant * 0x9E3779B97F4A7C15ull));
       const bool paced = static_cast<int64_t>(tenant) != abusive_tenant;
+      // Exponential 25 -> 200 us backoff on shed responses, reset by any
+      // non-shed answer. The cap stays far under 1/quota-rate (2 ms at the
+      // default 500/s), so a quota-limited tenant still attempts thousands
+      // of requests per second and the quota-rejection gates keep firing —
+      // it just stops spinning a core when every answer is "go away".
+      constexpr uint64_t kShedBackoffStartUs = 25;
+      constexpr uint64_t kShedBackoffCapUs = 200;
+      uint64_t shed_backoff_us = 0;
       // Relaxed stop flag: plain shutdown signal; the join below orders
       // everything the threads wrote.
       while (!stop.load(std::memory_order_relaxed)) {
         const uint32_t q = zipf.Sample(rng);
-        (void)router.ScoreSync(tenant, data.Row(data.QueryBegin(q)),
-                               data.QuerySize(q), data.num_features(),
-                               deadline_us);
+        const serve::ShardedRouter::Response resp = router.ScoreSync(
+            tenant, data.Row(data.QueryBegin(q)), data.QuerySize(q),
+            data.num_features(), deadline_us);
+        if (resp.serve.status.code() == StatusCode::kResourceExhausted) {
+          shed_backoff_us =
+              shed_backoff_us == 0
+                  ? kShedBackoffStartUs
+                  : std::min(shed_backoff_us * 2, kShedBackoffCapUs);
+          std::this_thread::sleep_for(
+              std::chrono::microseconds(shed_backoff_us));
+        } else {
+          shed_backoff_us = 0;
+        }
         if (paced && pace_us > 0) {
           std::this_thread::sleep_for(std::chrono::microseconds(pace_us));
         }
@@ -806,8 +814,8 @@ int CmdServeBenchSharded(const Args& args) {
   const data::Dataset dataset = data::GenerateSynthetic(config);
   data::ZNormalizer normalizer;
   normalizer.Fit(dataset);
-  const ZipfSampler zipf(dataset.num_queries(),
-                         args.GetDouble("zipf-exponent", 1.1));
+  const replay::ZipfSampler zipf(dataset.num_queries(),
+                                 args.GetDouble("zipf-exponent", 1.1));
 
   const predict::Architecture strong_arch(features, {64, 32});
   const predict::Architecture floor_arch(features, {16});
@@ -1067,6 +1075,576 @@ int CmdServeBenchSharded(const Args& args) {
     return 1;
   }
   std::fprintf(stderr, "isolation SLO gate passed\n");
+  return 0;
+}
+
+/// Traffic-replay soak (`soak-bench`): a minutes-scale replay of realistic
+/// ranking traffic against one Servable-backed engine with a hot score
+/// cache, under periodic hot reloads and a mid-soak fault episode.
+///
+/// Phase A (replay soak): a replay::WorkloadGenerator paces arrivals on the
+/// engine's clock — Zipfian query popularity over the corpus, a weighted
+/// mix of candidate-set sizes (autocomplete through full-rank, built by
+/// tiling the query's rows), a diurnal sine on the arrival rate and random
+/// burst episodes. While traffic flows, an orchestrator thread hot-reloads
+/// the model bundle through the golden-score gate every --reload-every-ms,
+/// substituting a POISONED bundle (a student trained from a different seed)
+/// every --poison-every attempts — those must be rejected by the gate,
+/// which is the swap-losslessness proof. Between 45% and 60% of the soak
+/// the orchestrator swaps in (ungated) a ladder whose top rung injects
+/// transient faults, latency spikes and NaNs, then rolls back through the
+/// gate: the engine must keep answering via retries / degradation the
+/// whole time.
+///
+/// Phase B (LETOR streaming): the corpus is written as a LETOR file (or
+/// --letor supplies a real MSLR/Istella slice) and streamed back
+/// query-by-query through data::LetorQueryStream into the serve path —
+/// constant memory no matter the file size, zero failures required.
+///
+/// Phase C (cache parity): the cache is cleared, then every query is served
+/// twice on the cached engine and once on a cache-disabled twin loaded from
+/// the same bundle. The second serve must be a cache hit and all three
+/// score vectors must be bitwise identical — the cache may change latency,
+/// never scores.
+///
+/// Exits 1 unless every gate passes: cache hit rate on the Zipfian phase
+/// >= --min-hit-rate, shed rate <= --max-shed-rate, zero internal
+/// failures, per-rung p99 <= --max-p99-us, every good reload accepted and
+/// every poisoned one rejected, at least one cross-generation stale-entry
+/// reject (the invalidation evidence), and bitwise cache parity.
+int CmdSoakBench(const Args& args) {
+  const auto duration_ms =
+      static_cast<uint64_t>(args.GetInt("duration-ms", 10'000));
+  const auto features = static_cast<uint32_t>(args.GetInt("features", 32));
+  const auto queries = static_cast<uint32_t>(args.GetInt("queries", 48));
+  const auto workers = static_cast<uint32_t>(args.GetInt("workers", 4));
+  const auto deadline_us =
+      static_cast<uint64_t>(args.GetInt("deadline-us", 20'000));
+  const auto reload_every_ms =
+      static_cast<uint64_t>(args.GetInt("reload-every-ms", 700));
+  const int poison_every = args.GetInt("poison-every", 2);
+  const auto seed = static_cast<uint64_t>(args.GetInt("seed", 42));
+  const double min_hit_rate = args.GetDouble("min-hit-rate", 0.5);
+  const double max_shed_rate = args.GetDouble("max-shed-rate", 0.05);
+  const double max_p99_us =
+      args.GetDouble("max-p99-us", static_cast<double>(deadline_us));
+  const std::string out = args.Get("out", "out/soak.json");
+  const std::string bundle_path = args.Get("bundle", "out/soak.bundle");
+  if (duration_ms < 1000) {
+    std::fprintf(stderr, "--duration-ms must be >= 1000\n");
+    return 2;
+  }
+
+  // ---- Setup: corpus, teacher, student, bundle (the CmdServeBenchReload
+  // recipe), plus a poisoned twin whose student comes from a different seed
+  // so its scores cannot match the golden probe.
+  data::SyntheticConfig config = data::SyntheticConfig::MsnLike(1.0);
+  config.num_queries = queries;
+  config.num_features = features;
+  config.seed = seed;
+  const data::Dataset dataset = data::GenerateSynthetic(config);
+  std::fprintf(stderr, "corpus: %u docs / %u queries / %u features\n",
+               dataset.num_docs(), dataset.num_queries(),
+               dataset.num_features());
+
+  gbdt::BoosterConfig bc;
+  bc.num_trees = static_cast<uint32_t>(args.GetInt("trees", 20));
+  bc.num_leaves = 16;
+  gbdt::Booster booster(bc);
+  const gbdt::Ensemble teacher = booster.TrainLambdaMart(dataset, nullptr);
+  const predict::Architecture student_arch(features, {64, 32});
+  const nn::Mlp student(student_arch, seed + 1);
+  const nn::Mlp poisoned_student(student_arch, seed + 999);
+  data::ZNormalizer normalizer;
+  normalizer.Fit(dataset);
+
+  serve::ServableOptions sopt;
+  sopt.num_features = features;
+  gbdt::Ensemble subset(teacher.base_score());
+  const uint32_t subset_trees =
+      std::max(1u, teacher.num_trees() / sopt.subset_tree_divisor);
+  for (uint32_t t = 0; t < subset_trees; ++t) subset.AddTree(teacher.tree(t));
+  const forest::QuickScorer subset_qs(subset, features);
+  const nn::NeuralScorer student_scorer(student, &normalizer);
+  const double student_cost =
+      core::MeasureScorerMicrosPerDocSynthetic(student_scorer, 2048, features);
+  const double subset_cost =
+      core::MeasureScorerMicrosPerDocSynthetic(subset_qs, 2048, features);
+  double costs[3] = {
+      student_cost,
+      serve::PredictCascadeMicrosPerDoc(subset_cost, student_cost,
+                                        sopt.cascade_rescore_fraction),
+      subset_cost};
+  for (int i = 1; i < 3; ++i) costs[i] = std::min(costs[i], costs[i - 1]);
+
+  bundle::RungConfig rungs;
+  rungs.rungs = {{"student", "student", costs[0]},
+                 {"cascade", "cascade", costs[1]},
+                 {"forest-subset", "teacher-subset", costs[2]}};
+  const std::string poison_path = bundle_path + ".poison";
+  {
+    bundle::ModelBundle pack;
+    Status status = pack.SetTeacher(teacher);
+    if (status.ok()) status = pack.SetStudent(student);
+    if (status.ok()) status = pack.SetNormalizer(normalizer);
+    if (status.ok()) status = pack.SetRungs(rungs);
+    if (status.ok() && !EnsureParentDir(bundle_path)) return 1;
+    if (status.ok()) status = pack.SaveToFile(bundle_path);
+    if (status.ok()) status = pack.SetStudent(poisoned_student);
+    if (status.ok()) status = pack.SaveToFile(poison_path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+  std::fprintf(stderr, "packed %s (+ poisoned twin)\n", bundle_path.c_str());
+
+  auto servable = serve::Servable::LoadFromFile(bundle_path, sopt);
+  if (!servable.ok()) {
+    std::fprintf(stderr, "%s\n", servable.status().ToString().c_str());
+    return 1;
+  }
+  std::shared_ptr<const serve::Servable> initial(std::move(servable).value());
+  auto ladder = serve::Servable::LadderHandle(initial);
+  const size_t num_rungs = ladder->num_rungs();
+
+  const float* probe_docs = dataset.Row(dataset.QueryBegin(0));
+  const uint32_t probe_count = std::min(dataset.QuerySize(0), 64u);
+  auto golden =
+      serve::CaptureGoldenScores(*ladder, probe_docs, probe_count, features);
+  if (!golden.ok()) {
+    std::fprintf(stderr, "%s\n", golden.status().ToString().c_str());
+    return 1;
+  }
+
+  serve::ScoreCacheConfig cache_config;
+  cache_config.capacity =
+      static_cast<size_t>(args.GetInt("cache-capacity", 4096));
+  cache_config.num_shards =
+      static_cast<size_t>(args.GetInt("cache-shards", 8));
+  serve::ScoreCache cache(cache_config);
+
+  serve::ServingConfig sc;
+  sc.num_workers = workers;
+  sc.queue_capacity = static_cast<uint32_t>(args.GetInt("queue", 256));
+  sc.score_cache = &cache;
+  serve::ServingEngine engine(std::move(ladder), sc);
+  const serve::ServingEngine::SwapValidator gate =
+      [&](const serve::DegradationLadder& candidate) {
+        return serve::RunGoldenSmoke(candidate, probe_docs, probe_count,
+                                     features, &*golden);
+      };
+
+  // The fault episode's ladder: same rung count as the Servable's, top rung
+  // wrapped in an injector throwing transient faults, latency spikes and
+  // NaNs. Installed WITHOUT the gate (it could never pass), rolled back
+  // through it.
+  serve::FaultInjectionConfig fault_config;
+  fault_config.transient_fault_probability =
+      args.GetDouble("fault-rate", 0.3);
+  fault_config.latency_spike_probability = 0.2;
+  fault_config.spike_micros = 1000;
+  fault_config.non_finite_probability = 0.05;
+  fault_config.seed = seed + 777;
+  serve::FaultInjectingScorer faulty_top(&student_scorer, fault_config);
+  serve::InfallibleScorerAdapter clean_mid(&student_scorer);
+  serve::InfallibleScorerAdapter clean_floor(&subset_qs);
+  auto faulty_ladder = std::make_shared<serve::DegradationLadder>();
+  {
+    Status status =
+        faulty_ladder->AddRung("student-faulty", &faulty_top, costs[0]);
+    if (status.ok()) {
+      status = faulty_ladder->AddRung("student-clean", &clean_mid, costs[1]);
+    }
+    if (status.ok()) {
+      status =
+          faulty_ladder->AddRung("forest-subset", &clean_floor, costs[2]);
+    }
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
+
+  // ---- Phase A: the replay soak. One driver thread paces arrivals from
+  // the workload model; the orchestrator reloads / poisons / faults
+  // concurrently.
+  replay::WorkloadConfig wc;
+  wc.num_queries = dataset.num_queries();
+  wc.zipf_exponent = args.GetDouble("zipf-exponent", 1.1);
+  wc.base_qps = args.GetDouble("qps", 600.0);
+  wc.diurnal_amplitude = args.GetDouble("diurnal-amplitude", 0.5);
+  // Default period: the soak covers 1.5 compressed "days", so both the
+  // peak and the trough are exercised.
+  wc.diurnal_period_micros = static_cast<uint64_t>(args.GetInt(
+      "diurnal-period-ms",
+      static_cast<int>(duration_ms * 2 / 3))) * 1000;
+  wc.burst_probability = args.GetDouble("burst-probability", 0.003);
+  wc.burst_multiplier = 3.0;
+  wc.burst_duration_micros = 150'000;
+  wc.seed = seed;
+  replay::WorkloadGenerator workload(wc);
+
+  const uint64_t start_micros = engine.clock().NowMicros();
+  const uint64_t soak_end = start_micros + duration_ms * 1000;
+  std::atomic<bool> soak_done{false};
+
+  uint64_t good_reloads = 0;
+  uint64_t good_reload_failures = 0;
+  uint64_t poison_attempts = 0;
+  uint64_t poison_rejected = 0;
+  uint64_t fault_swap_failures = 0;
+  std::thread orchestrator([&] {
+    const uint64_t fault_start = start_micros + duration_ms * 1000 * 45 / 100;
+    const uint64_t fault_end = start_micros + duration_ms * 1000 * 60 / 100;
+    bool fault_active = false;
+    bool fault_done = false;
+    uint64_t reload_count = 0;
+    uint64_t last_reload = start_micros;
+    const auto reload_from = [&](const std::string& path,
+                                 bool expect_reject) {
+      auto candidate = serve::Servable::LoadFromFile(path, sopt);
+      if (!candidate.ok()) {
+        if (!expect_reject) ++good_reload_failures;
+        return;
+      }
+      const Status swapped = engine.SwapModel(
+          serve::Servable::LadderHandle(std::move(candidate).value()), gate);
+      if (expect_reject) {
+        if (!swapped.ok()) ++poison_rejected;
+      } else if (swapped.ok()) {
+        ++good_reloads;
+      } else {
+        std::fprintf(stderr, "swap: %s\n", swapped.ToString().c_str());
+        ++good_reload_failures;
+      }
+    };
+    while (!soak_done.load(std::memory_order_relaxed)) {
+      const uint64_t now = engine.clock().NowMicros();
+      if (!fault_done && !fault_active && now >= fault_start &&
+          now < fault_end) {
+        std::fprintf(stderr, "fault episode: injecting faulty ladder\n");
+        if (engine.SwapModel(faulty_ladder, nullptr).ok()) {
+          fault_active = true;
+        } else {
+          ++fault_swap_failures;
+          fault_done = true;
+        }
+      } else if (fault_active && now >= fault_end) {
+        std::fprintf(stderr, "fault episode: rolling back (golden-gated)\n");
+        reload_from(bundle_path, /*expect_reject=*/false);
+        fault_active = false;
+        fault_done = true;
+        last_reload = now;
+      } else if (!fault_active &&
+                 now - last_reload >= reload_every_ms * 1000) {
+        ++reload_count;
+        const bool poison =
+            poison_every > 0 &&
+            reload_count % static_cast<uint64_t>(poison_every) == 0;
+        if (poison) ++poison_attempts;
+        reload_from(poison ? poison_path : bundle_path, poison);
+        last_reload = now;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  });
+
+  // Candidate buffers, memoized per (query, size-class): the class size is
+  // met by tiling the query's real rows, so a repeat of the same arrival
+  // key is byte-identical — which is exactly what the cache fingerprints.
+  std::map<std::pair<uint32_t, uint32_t>, std::vector<float>> buffers;
+  const auto candidate_buffer =
+      [&](uint32_t q, uint32_t docs) -> const std::vector<float>& {
+    const auto key = std::make_pair(q, docs);
+    auto it = buffers.find(key);
+    if (it != buffers.end()) return it->second;
+    std::vector<float> buf(static_cast<size_t>(docs) * features);
+    const uint32_t base = dataset.QueryBegin(q);
+    const uint32_t size = dataset.QuerySize(q);
+    for (uint32_t i = 0; i < docs; ++i) {
+      const float* row = dataset.Row(base + (i % size));
+      std::copy(row, row + features,
+                buf.begin() + static_cast<size_t>(i) * features);
+    }
+    return buffers.emplace(key, std::move(buf)).first->second;
+  };
+
+  std::fprintf(stderr,
+               "soak: %llu ms @ ~%.0f qps, reload every %llu ms "
+               "(poison every %d), fault episode at 45%%-60%%...\n",
+               static_cast<unsigned long long>(duration_ms), wc.base_qps,
+               static_cast<unsigned long long>(reload_every_ms),
+               poison_every);
+  std::vector<std::future<serve::ServeResponse>> inflight;
+  std::vector<serve::ServeResponse> responses;
+  const size_t window = static_cast<size_t>(workers) * 4;
+  uint64_t arrivals_in_burst = 0;
+  while (engine.clock().NowMicros() < soak_end) {
+    const replay::Arrival arrival = workload.Next();
+    replay::SleepUntilDue(engine.clock(), start_micros, arrival);
+    if (engine.clock().NowMicros() >= soak_end) break;
+    arrivals_in_burst += arrival.in_burst ? 1 : 0;
+    const std::vector<float>& docs =
+        candidate_buffer(arrival.query, arrival.candidate_docs);
+    serve::ServeRequest request;
+    request.docs = docs.data();
+    request.count = arrival.candidate_docs;
+    request.stride = features;
+    request.deadline =
+        serve::Deadline::AfterMicros(engine.clock(), deadline_us);
+    inflight.push_back(engine.Submit(request));
+    if (inflight.size() >= window) {
+      responses.push_back(inflight.front().get());
+      inflight.erase(inflight.begin());
+    }
+  }
+  for (auto& future : inflight) responses.push_back(future.get());
+  soak_done.store(true, std::memory_order_relaxed);
+  orchestrator.join();
+
+  // One final golden-gated reload so phases B and C run on a generation
+  // proven equivalent to the initial one even if the soak ended mid-fault.
+  {
+    auto candidate = serve::Servable::LoadFromFile(bundle_path, sopt);
+    if (!candidate.ok() ||
+        !engine
+             .SwapModel(serve::Servable::LadderHandle(
+                            std::move(candidate).value()),
+                        gate)
+             .ok()) {
+      ++good_reload_failures;
+    }
+  }
+
+  // Snapshots for the gates, taken before the later phases add traffic.
+  const serve::ScoreCacheStats soak_cache = cache.Stats();
+  const serve::ServeCountersSnapshot counters = engine.counters().Snapshot();
+  const uint64_t submitted = responses.size();
+  uint64_t soak_cache_hits = 0;
+  std::vector<std::vector<double>> rung_latencies(num_rungs);
+  for (const auto& resp : responses) {
+    if (!resp.status.ok()) continue;
+    if (resp.cache_hit) {
+      ++soak_cache_hits;
+      continue;  // cache hits are not rung latencies
+    }
+    if (resp.rung >= 0 && static_cast<size_t>(resp.rung) < num_rungs) {
+      rung_latencies[static_cast<size_t>(resp.rung)].push_back(
+          static_cast<double>(resp.total_micros));
+    }
+  }
+  const double hit_rate =
+      soak_cache.hits + soak_cache.misses > 0
+          ? static_cast<double>(soak_cache.hits) /
+                static_cast<double>(soak_cache.hits + soak_cache.misses)
+          : 0.0;
+  const uint64_t shed = counters.shed_queue_full + counters.shed_deadline;
+  const double shed_rate =
+      submitted > 0
+          ? static_cast<double>(shed) / static_cast<double>(submitted)
+          : 0.0;
+
+  // ---- Phase B: stream a LETOR file through the serve path.
+  std::string letor_path = args.Get("letor", "");
+  if (letor_path.empty()) {
+    letor_path = "out/soak_corpus.letor";
+    if (!EnsureParentDir(letor_path)) return 1;
+    const Status written = data::WriteLetorFile(dataset, letor_path);
+    if (!written.ok()) {
+      std::fprintf(stderr, "%s\n", written.ToString().c_str());
+      return 1;
+    }
+  }
+  uint64_t letor_queries = 0;
+  uint64_t letor_docs = 0;
+  uint64_t letor_failures = 0;
+  {
+    auto stream = data::LetorQueryStream::Open(letor_path, features);
+    if (!stream.ok()) {
+      std::fprintf(stderr, "%s\n", stream.status().ToString().c_str());
+      return 1;
+    }
+    data::LetorQueryStream reader = std::move(stream).value();
+    data::QueryBatch batch;
+    while (true) {
+      auto more = reader.Next(&batch);
+      if (!more.ok()) {
+        std::fprintf(stderr, "letor: %s\n",
+                     more.status().ToString().c_str());
+        ++letor_failures;
+        break;
+      }
+      if (!more.value()) break;
+      if (batch.num_docs == 0) continue;
+      const serve::ServeResponse resp = engine.ScoreSync(
+          batch.features.data(), batch.num_docs, features, 100'000);
+      if (!resp.status.ok()) ++letor_failures;
+      ++letor_queries;
+      letor_docs += batch.num_docs;
+    }
+  }
+  std::fprintf(stderr, "letor stream: %llu queries / %llu docs from %s\n",
+               static_cast<unsigned long long>(letor_queries),
+               static_cast<unsigned long long>(letor_docs),
+               letor_path.c_str());
+
+  // ---- Phase C: bitwise cache parity. Clear first — soak-era entries may
+  // legitimately carry degraded-rung scores; parity is defined against
+  // what the current generation computes at full strength.
+  cache.Clear();
+  uint64_t parity_queries = 0;
+  uint64_t parity_mismatches = 0;
+  uint64_t parity_missed_hits = 0;
+  {
+    auto twin_servable = serve::Servable::LoadFromFile(bundle_path, sopt);
+    if (!twin_servable.ok()) {
+      std::fprintf(stderr, "%s\n",
+                   twin_servable.status().ToString().c_str());
+      return 1;
+    }
+    std::shared_ptr<const serve::Servable> twin_model(
+        std::move(twin_servable).value());
+    serve::ServingConfig twin_config = sc;
+    twin_config.score_cache = nullptr;
+    serve::ServingEngine twin(serve::Servable::LadderHandle(twin_model),
+                              twin_config);
+    constexpr uint64_t kParityBudgetUs = 200'000;
+    for (uint32_t q = 0; q < dataset.num_queries(); ++q) {
+      const float* docs = dataset.Row(dataset.QueryBegin(q));
+      const uint32_t count = dataset.QuerySize(q);
+      const serve::ServeResponse first =
+          engine.ScoreSync(docs, count, features, kParityBudgetUs);
+      const serve::ServeResponse second =
+          engine.ScoreSync(docs, count, features, kParityBudgetUs);
+      const serve::ServeResponse uncached =
+          twin.ScoreSync(docs, count, features, kParityBudgetUs);
+      ++parity_queries;
+      if (!first.status.ok() || !second.status.ok() ||
+          !uncached.status.ok()) {
+        ++parity_mismatches;
+        continue;
+      }
+      if (!second.cache_hit) ++parity_missed_hits;
+      if (first.scores != second.scores || first.scores != uncached.scores) {
+        ++parity_mismatches;
+      }
+    }
+    twin.Stop();
+  }
+  engine.Stop();
+
+  // ---- Gates and report.
+  const bool gate_hit_rate = hit_rate >= min_hit_rate;
+  const bool gate_shed = shed_rate <= max_shed_rate;
+  const bool gate_failures = counters.failed == 0;
+  bool gate_p99 = true;
+  std::ostringstream rungs_json;
+  for (size_t r = 0; r < num_rungs; ++r) {
+    const double p50 = serve::Percentile(rung_latencies[r], 50);
+    const double p99 = serve::Percentile(rung_latencies[r], 99);
+    // Rungs that served a trivial number of requests are reported but not
+    // gated: a p99 over <20 samples is noise.
+    const bool gated = rung_latencies[r].size() >= 20;
+    if (gated && p99 > max_p99_us) gate_p99 = false;
+    rungs_json << "    {\"rung\": " << r << ", \"name\": \""
+               << engine.ladder().rung(r).name << "\", \"served\": "
+               << rung_latencies[r].size()
+               << ", \"p50_us\": " << FormatFixed(p50, 1)
+               << ", \"p99_us\": " << FormatFixed(p99, 1)
+               << ", \"gated\": " << (gated ? "true" : "false") << "}"
+               << (r + 1 < num_rungs ? "," : "") << "\n";
+  }
+  const bool gate_reloads =
+      good_reload_failures == 0 && counters.swaps_completed >= 2;
+  const bool gate_poison =
+      poison_attempts >= 1 && poison_rejected == poison_attempts;
+  const bool gate_fault = fault_swap_failures == 0;
+  const bool gate_stale = soak_cache.stale_rejects >= 1;
+  const bool gate_parity = parity_mismatches == 0 &&
+                           parity_missed_hits == 0 && parity_queries >= 1;
+  const bool gate_letor = letor_failures == 0 && letor_queries >= 1;
+  const bool pass = gate_hit_rate && gate_shed && gate_failures &&
+                    gate_p99 && gate_reloads && gate_poison && gate_fault &&
+                    gate_stale && gate_parity && gate_letor;
+
+  std::ostringstream json;
+  json << "{\n";
+  json << "  \"benchmark\": \"soak-bench\",\n";
+  json << "  \"config\": {\"duration_ms\": " << duration_ms
+       << ", \"qps\": " << FormatFixed(wc.base_qps, 1)
+       << ", \"queries\": " << queries << ", \"features\": " << features
+       << ", \"workers\": " << workers << ", \"deadline_us\": " << deadline_us
+       << ", \"reload_every_ms\": " << reload_every_ms
+       << ", \"poison_every\": " << poison_every
+       << ", \"zipf_exponent\": " << FormatFixed(wc.zipf_exponent, 2)
+       << ", \"diurnal_amplitude\": "
+       << FormatFixed(wc.diurnal_amplitude, 2)
+       << ", \"burst_probability\": "
+       << FormatFixed(wc.burst_probability, 4)
+       << ", \"cache_capacity\": " << cache_config.capacity
+       << ", \"seed\": " << seed << "},\n";
+  json << "  \"soak\": {\"submitted\": " << submitted
+       << ", \"ok\": " << counters.ok << ", \"failed\": " << counters.failed
+       << ", \"shed_queue_full\": " << counters.shed_queue_full
+       << ", \"shed_deadline\": " << counters.shed_deadline
+       << ", \"deadline_exceeded\": " << counters.deadline_exceeded
+       << ", \"degraded\": " << counters.degraded
+       << ", \"shed_rate\": " << FormatFixed(shed_rate, 4)
+       << ", \"cache_hit_responses\": " << soak_cache_hits
+       << ", \"bursts_started\": " << workload.bursts_started()
+       << ", \"arrivals_in_burst\": " << arrivals_in_burst << "},\n";
+  json << "  \"cache\": {\"hits\": " << soak_cache.hits
+       << ", \"misses\": " << soak_cache.misses
+       << ", \"evictions\": " << soak_cache.evictions
+       << ", \"stale_rejects\": " << soak_cache.stale_rejects
+       << ", \"entries\": " << soak_cache.entries
+       << ", \"hit_rate\": " << FormatFixed(hit_rate, 4) << "},\n";
+  json << "  \"rungs\": [\n" << rungs_json.str() << "  ],\n";
+  json << "  \"swaps\": {\"attempted\": " << counters.swaps_attempted
+       << ", \"completed\": " << counters.swaps_completed
+       << ", \"rejected\": " << counters.swaps_rejected
+       << ", \"good_reloads\": " << good_reloads
+       << ", \"good_reload_failures\": " << good_reload_failures
+       << ", \"poison_attempts\": " << poison_attempts
+       << ", \"poison_rejected\": " << poison_rejected
+       << ", \"fault_swap_failures\": " << fault_swap_failures
+       << ", \"final_model_version\": " << engine.model_version() << "},\n";
+  json << "  \"letor\": {\"path\": \"" << letor_path
+       << "\", \"queries\": " << letor_queries
+       << ", \"docs\": " << letor_docs
+       << ", \"failures\": " << letor_failures << "},\n";
+  json << "  \"parity\": {\"queries\": " << parity_queries
+       << ", \"mismatches\": " << parity_mismatches
+       << ", \"missed_hits\": " << parity_missed_hits << "},\n";
+  json << "  \"gates\": {\"cache_hit_rate\": "
+       << (gate_hit_rate ? "true" : "false")
+       << ", \"shed_rate\": " << (gate_shed ? "true" : "false")
+       << ", \"zero_failures\": " << (gate_failures ? "true" : "false")
+       << ", \"rung_p99\": " << (gate_p99 ? "true" : "false")
+       << ", \"reloads_lossless\": " << (gate_reloads ? "true" : "false")
+       << ", \"poison_rejected\": " << (gate_poison ? "true" : "false")
+       << ", \"fault_swaps\": " << (gate_fault ? "true" : "false")
+       << ", \"stale_rejected\": " << (gate_stale ? "true" : "false")
+       << ", \"cache_parity\": " << (gate_parity ? "true" : "false")
+       << ", \"letor_stream\": " << (gate_letor ? "true" : "false")
+       << ", \"pass\": " << (pass ? "true" : "false") << "}\n";
+  json << "}\n";
+
+  if (!EnsureParentDir(out)) return 1;
+  std::ofstream file(out);
+  file << json.str();
+  if (!file) {
+    std::fprintf(stderr, "failed to write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("%s", json.str().c_str());
+  std::printf("wrote %s\n", out.c_str());
+  if (!pass) {
+    std::fprintf(stderr, "soak SLO gate FAILED (see gates above)\n");
+    return 1;
+  }
+  std::fprintf(stderr, "soak SLO gate passed\n");
   return 0;
 }
 
@@ -2412,6 +2990,12 @@ int Usage() {
       "[--abusive-tenant T] [--soak-ms D] [--baseline-ms D] [--pace-us U] "
       "[--quota-rate R] [--quota-burst B] [--burst-trigger P] [--burst-len N] "
       "[--p99-ratio X] [--p99-floor-us U] [--max-error-rate P]\n"
+      "  soak-bench    [--duration-ms D] [--qps R] [--queries N] "
+      "[--features K] [--workers W] [--deadline-us U] [--reload-every-ms D] "
+      "[--poison-every N] [--zipf-exponent S] [--diurnal-amplitude A] "
+      "[--diurnal-period-ms D] [--burst-probability P] [--cache-capacity N] "
+      "[--cache-shards N] [--min-hit-rate R] [--max-shed-rate R] "
+      "[--max-p99-us U] [--letor F] [--out F]\n"
       "  bundle pack   --out B [--in B] [--binary 1] [--teacher M] "
       "[--student M] [--norm-data F] "
       "[--rungs name:kind:us,...]\n"
@@ -2448,6 +3032,7 @@ int main(int argc, char** argv) {
   if (command == "predict-time") return CmdPredictTime(args);
   if (command == "validate") return CmdValidate(args);
   if (command == "serve-bench") return CmdServeBench(args);
+  if (command == "soak-bench") return CmdSoakBench(args);
   if (command == "bench-scaling") return CmdBenchScaling(args);
   if (command == "stats") return CmdStats(args);
   return Usage();
